@@ -1,0 +1,59 @@
+"""Ablation: activation broadcast topology.
+
+The paper implements the activation as a dissemination pattern equivalent
+to the union of P binomial trees (logarithmic depth).  The obvious
+alternative — the initiator sending P-1 direct messages (a flat star) — is
+latency-equivalent for tiny worlds but scales linearly.  This benchmark
+compares the two through the cost model and verifies the binomial
+activation stays logarithmic.
+"""
+
+import math
+
+from repro.experiments.report import format_table
+from repro.simtime.collective_model import ACTIVATION_MESSAGE_BYTES
+from repro.simtime.network import DEFAULT_NETWORK, message_time
+
+
+def _binomial_activation_time(size: int) -> float:
+    if size <= 1:
+        return 0.0
+    return math.ceil(math.log2(size)) * message_time(ACTIVATION_MESSAGE_BYTES, DEFAULT_NETWORK)
+
+
+def _flat_activation_time(size: int) -> float:
+    # The initiator injects P-1 messages back to back: the last leaves
+    # after (P-1) injection overheads, then one network traversal.
+    if size <= 1:
+        return 0.0
+    params = DEFAULT_NETWORK
+    return (size - 1) * params.alpha + message_time(ACTIVATION_MESSAGE_BYTES, params)
+
+
+def bench_ablation_activation_topology(benchmark):
+    def sweep():
+        rows = []
+        for size in (2, 8, 32, 128, 512, 4096):
+            rows.append(
+                (
+                    size,
+                    _binomial_activation_time(size) * 1e6,
+                    _flat_activation_time(size) * 1e6,
+                )
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(
+        format_table(
+            ["processes", "binomial activation (us)", "flat star activation (us)"],
+            rows,
+            title="Ablation: activation broadcast topology",
+        )
+    )
+    # At large scale the binomial activation must be much cheaper.
+    largest = rows[-1]
+    assert largest[1] < largest[2] / 10
+    # And it grows logarithmically: doubling P adds at most one hop.
+    assert rows[-1][1] <= rows[0][1] * (math.log2(4096) / 1) + 1e-6

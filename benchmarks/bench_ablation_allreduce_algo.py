@@ -1,0 +1,60 @@
+"""Ablation: synchronous allreduce algorithm (recursive doubling vs ring vs
+Rabenseifner), both as an analytic cost sweep and as wall-clock throughput
+of the thread-backed implementations.
+"""
+
+import numpy as np
+
+from repro.comm import run_world
+from repro.collectives import ALLREDUCE_ALGORITHMS, allreduce
+from repro.experiments.report import format_table
+from repro.simtime.collective_model import allreduce_time
+
+
+def bench_ablation_allreduce_cost_model(benchmark):
+    def sweep():
+        rows = []
+        for nbytes in (4 * 1024, 256 * 1024, 4 * 1024 * 1024, 100 * 1024 * 1024):
+            row = [nbytes]
+            for algo in ("recursive_doubling", "ring", "rabenseifner"):
+                row.append(allreduce_time(nbytes, 64, algo) * 1e3)
+            rows.append(tuple(row))
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(
+        format_table(
+            ["message bytes", "recursive doubling (ms)", "ring (ms)", "rabenseifner (ms)"],
+            rows,
+            title="Ablation: allreduce algorithm cost model (64 ranks)",
+        )
+    )
+    # Bandwidth-optimal algorithms win for the largest payload.
+    largest = rows[-1]
+    assert largest[2] < largest[1]
+
+
+def _thread_allreduce(algorithm, elements, iterations=3, world_size=4):
+    def worker(comm):
+        data = np.ones(elements) * (comm.rank + 1)
+        for _ in range(iterations):
+            out = allreduce(comm, data, algorithm=algorithm)
+        return float(out[0])
+
+    return run_world(world_size, worker)
+
+
+def bench_allreduce_recursive_doubling_threads(benchmark):
+    results = benchmark(lambda: _thread_allreduce("recursive_doubling", 64 * 1024))
+    assert all(r == 10.0 for r in results)
+
+
+def bench_allreduce_ring_threads(benchmark):
+    results = benchmark(lambda: _thread_allreduce("ring", 64 * 1024))
+    assert all(r == 10.0 for r in results)
+
+
+def bench_allreduce_rabenseifner_threads(benchmark):
+    results = benchmark(lambda: _thread_allreduce("rabenseifner", 64 * 1024))
+    assert all(r == 10.0 for r in results)

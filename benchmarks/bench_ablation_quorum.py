@@ -1,0 +1,69 @@
+"""Ablation: the solo -- majority -- full quorum spectrum.
+
+The paper's conclusions suggest "a spectrum between solo, majority, and
+full collectives" obtained by varying the quorum size.  This benchmark
+sweeps the quorum from 1 to P through the latency model and through the
+training-time projection, showing the latency / freshness trade-off.
+"""
+
+import numpy as np
+
+from repro.experiments.report import format_table
+from repro.simtime import StepTimeline, linear_skew, project_training_time
+from repro.simtime.collective_model import quorum_allreduce_latencies
+
+
+def bench_ablation_quorum_latency(benchmark):
+    world_size = 32
+    arrivals = linear_skew(world_size, 1.0)
+
+    def sweep():
+        rows = []
+        for quorum in (1, 4, 8, 16, 24, 32):
+            res = quorum_allreduce_latencies(arrivals, 32 * 1024, quorum=quorum)
+            rows.append((quorum, res.average_latency * 1e3, res.num_active))
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(
+        format_table(
+            ["quorum", "avg latency (ms)", "active processes"],
+            rows,
+            title="Ablation: quorum spectrum (32 ranks, 1 ms/rank skew, 32 KB)",
+        )
+    )
+    latencies = [r[1] for r in rows]
+    naps = [r[2] for r in rows]
+    assert all(b >= a - 1e-9 for a, b in zip(latencies, latencies[1:]))
+    assert all(b >= a for a, b in zip(naps, naps[1:]))
+
+
+def bench_ablation_quorum_training_time(benchmark):
+    rng = np.random.default_rng(0)
+    durations = np.abs(rng.normal(0.45, 0.1, size=(200, 16)))
+    durations[:, 0] += rng.exponential(0.3, size=200)  # one noisy straggler
+    timeline = StepTimeline(durations)
+
+    def sweep():
+        rows = []
+        for quorum in (1, 4, 8, 12, 16):
+            proj = project_training_time(
+                timeline, "quorum", gradient_bytes=25_000_000 * 4, quorum=quorum, seed=1
+            )
+            rows.append((quorum, proj.total_time, float(proj.num_active_per_step.mean())))
+        sync = project_training_time(timeline, "sync", gradient_bytes=25_000_000 * 4)
+        rows.append(("sync (full)", sync.total_time, 16.0))
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(
+        format_table(
+            ["quorum", "projected training time (s)", "mean fresh contributors"],
+            rows,
+            title="Ablation: quorum size vs projected training time (16 ranks)",
+        )
+    )
+    times = [r[1] for r in rows[:-1]]
+    assert all(b >= a - 1e-9 for a, b in zip(times, times[1:]))

@@ -1,0 +1,35 @@
+"""Benchmark regenerating Fig. 10 (hyperplane regression, synch vs eager).
+
+The paper's numbers: eager-SGD (solo) is 1.50x / 1.75x / 2.01x faster than
+synch-SGD (Deep500) under 200 / 300 / 400 ms injections, converging to the
+same validation loss.  The benchmark runs the scaled-down workload and
+checks the ordering (speedup grows with the injected delay; loss matches).
+"""
+
+from repro.experiments import fig10_hyperplane
+
+
+def bench_fig10_hyperplane(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig10_hyperplane.run(
+            scale="small", delays_ms=(200.0, 300.0, 400.0), seed=0, time_scale=0.0005
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig10_hyperplane.report(result))
+    speedups = fig10_hyperplane.speedups_per_delay(result)
+    # Eager-SGD wins at every injection level.
+    assert all(s > 1.0 for s in speedups.values())
+    # More imbalance, more benefit (the trend of Fig. 10's top panel).
+    assert speedups[400.0] > speedups[200.0]
+    # Both variants converge to comparable validation losses.
+    for delay in (200, 300, 400):
+        sync_loss = result.comparison.results[
+            f"synch-SGD-{delay} (Deep500)"
+        ].final_epoch.eval_loss
+        solo_loss = result.comparison.results[
+            f"eager-SGD-{delay} (solo)"
+        ].final_epoch.eval_loss
+        assert solo_loss < 2.0 * sync_loss + 1e-6

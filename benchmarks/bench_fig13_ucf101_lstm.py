@@ -1,0 +1,31 @@
+"""Benchmark regenerating Fig. 13 (LSTM / UCF101-like video classification).
+
+Paper headline: on the inherently imbalanced video workload, eager-SGD
+(solo) is 1.64x faster than Horovod but loses accuracy; eager-SGD
+(majority) is 1.27x faster with equivalent accuracy.
+"""
+
+from repro.experiments import fig13_ucf101_lstm
+
+
+def bench_fig13_ucf101_lstm(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig13_ucf101_lstm.run(scale="small", seed=0, time_scale=0.0005),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig13_ucf101_lstm.report(result))
+    comp = result.comparison
+    solo_speedup = comp.speedup_over("eager-SGD (solo)")
+    majority_speedup = comp.speedup_over("eager-SGD (majority)")
+    assert solo_speedup > 1.0
+    assert majority_speedup > 1.0
+    # Solo skips more contributors than majority on this workload.
+    solo_nap = comp.results["eager-SGD (solo)"].epochs[-1].mean_num_active
+    majority_nap = comp.results["eager-SGD (majority)"].epochs[-1].mean_num_active
+    assert solo_nap < majority_nap
+    # Majority's accuracy stays within reach of the synchronous baseline.
+    sync_acc = comp.results["synch-SGD (Horovod)"].final_epoch.eval_top1
+    majority_acc = comp.results["eager-SGD (majority)"].final_epoch.eval_top1
+    assert majority_acc >= sync_acc - 0.15

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Fig. 2 (UCF101 workload characterisation).
+
+Run with ``pytest benchmarks/bench_fig2_ucf101_workload.py --benchmark-only -s``
+to see the paper-vs-reproduction table.
+"""
+
+from repro.experiments import fig2_workload
+
+
+def bench_fig2_ucf101_workload(benchmark):
+    result = benchmark(lambda: fig2_workload.run(num_videos=9_537, batch_size=16, seed=0))
+    print()
+    print(fig2_workload.report(result))
+    # Regression guards on the distribution shape (paper: 29-1776 frames,
+    # median 167; runtimes 201-3410 ms).
+    assert 29 <= result.length_summary.min
+    assert result.length_summary.max <= 1776
+    assert abs(result.length_summary.median - 167) < 25
+    assert result.runtime_summary_ms.max <= 3500
+    assert result.runtime_summary_ms.std > 300

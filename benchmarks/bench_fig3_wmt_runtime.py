@@ -1,0 +1,12 @@
+"""Benchmark regenerating Fig. 3 (Transformer/WMT runtime distribution)."""
+
+from repro.experiments import fig3_wmt_runtime
+
+
+def bench_fig3_wmt_runtime(benchmark):
+    result = benchmark(lambda: fig3_wmt_runtime.run(num_sentences=100_000, seed=0))
+    print()
+    print(fig3_wmt_runtime.report(result))
+    assert 120 < result.runtime_summary_ms.min < 300
+    assert abs(result.runtime_summary_ms.mean - 475) / 475 < 0.4
+    assert result.runtime_summary_ms.max > 2 * result.runtime_summary_ms.mean

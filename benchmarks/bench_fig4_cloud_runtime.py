@@ -1,0 +1,12 @@
+"""Benchmark regenerating Fig. 4 (cloud ResNet-50 runtime distribution)."""
+
+from repro.experiments import fig4_cloud_runtime
+
+
+def bench_fig4_cloud_runtime(benchmark):
+    result = benchmark(lambda: fig4_cloud_runtime.run(num_batches=30_000, seed=0))
+    print()
+    print(fig4_cloud_runtime.report(result))
+    assert result.runtime_summary_ms.min >= 399
+    assert abs(result.runtime_summary_ms.mean - 454) / 454 < 0.15
+    assert result.runtime_summary_ms.max > 1200

@@ -1,0 +1,42 @@
+"""Benchmark regenerating Fig. 9 (partial allreduce latency + NAP).
+
+Two benches: the paper-scale sweep through the calibrated latency model
+(32 processes, 64 B - 4 MB, 64 iterations) and a reduced-scale measurement
+of the actual thread-backed collectives, which validates that the
+implementation preserves the ordering solo < majority < MPI_Allreduce.
+"""
+
+from repro.experiments import fig9_microbenchmark
+
+
+def bench_fig9_latency_model_sweep(benchmark):
+    result = benchmark(
+        lambda: fig9_microbenchmark.run(world_size=32, iterations=64, skew_step_ms=1.0)
+    )
+    print()
+    print(fig9_microbenchmark.report(result))
+    for row in result.rows:
+        assert row.solo_latency_ms < row.majority_latency_ms < row.mpi_latency_ms
+    assert result.solo_speedup > 10
+    assert 1.5 < result.majority_speedup < 4.5
+    assert abs(result.rows[0].majority_nap - 16) < 4
+    assert result.rows[0].solo_nap <= 2
+
+
+def bench_fig9_thread_backend(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig9_microbenchmark.run_functional(
+            world_size=8, iterations=6, skew_step_ms=6.0, message_elements=512
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    row = rows[0]
+    print()
+    print(
+        f"thread backend (8 ranks, 6 ms/rank skew): sync={row.mpi_latency_ms:.2f} ms "
+        f"majority={row.majority_latency_ms:.2f} ms solo={row.solo_latency_ms:.2f} ms "
+        f"NAP solo={row.solo_nap:.1f} majority={row.majority_nap:.1f}"
+    )
+    assert row.solo_latency_ms < row.mpi_latency_ms
+    assert row.solo_nap <= row.majority_nap

@@ -1,0 +1,29 @@
+"""Benchmark reproducing the paper's strong/weak scaling headlines."""
+
+from repro.experiments import scaling
+
+
+def bench_scaling_projections(benchmark):
+    result = benchmark(lambda: scaling.run(steps=200, seed=0))
+    print()
+    print(scaling.report(result))
+    by_name = {r.name: r for r in result.rows}
+    hyper_solo = by_name["hyperplane strong scaling, 8 ranks, eager (solo, 400 ms)"]
+    hyper_sync = by_name["hyperplane strong scaling, 8 ranks, synch-SGD (400 ms)"]
+    # Eager-SGD scales better than synch-SGD, and its strong-scaling
+    # speedup lands near the paper's 3.8x.
+    assert hyper_solo.speedup > hyper_sync.speedup
+    assert 2.5 < hyper_solo.speedup < 8.0
+    resnet = by_name["resnet50 weak scaling, 64 ranks, eager (solo, 460 ms)"]
+    assert 35 < resnet.speedup <= 64
+
+
+def bench_scaling_inherent_imbalance(benchmark):
+    result = benchmark(lambda: scaling.run_with_inherent_imbalance(steps=150, seed=0))
+    print()
+    print(scaling.report(result))
+    speeds = {r.mode: r.speedup for r in result.rows}
+    # On the content-imbalanced workload: solo >= majority >= sync, and
+    # every variant stays below the ideal world_size speedup.
+    assert speeds["solo"] >= speeds["majority"] >= speeds["sync"]
+    assert all(s <= 8.0 + 1e-9 for s in speeds.values())

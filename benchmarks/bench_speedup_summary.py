@@ -1,0 +1,14 @@
+"""Benchmark aggregating the headline speedups (abstract / Section 6)."""
+
+from repro.experiments import speedups
+
+
+def bench_speedup_summary(benchmark):
+    summary = benchmark.pedantic(
+        lambda: speedups.run(scale="tiny", seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(speedups.report(summary))
+    assert len(summary.rows) >= 5
+    # Every eager variant beats its synchronous baseline.
+    assert all(row.measured > 0.95 for row in summary.rows)

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table 1 (evaluated networks and their sizes)."""
+
+from repro.experiments import table1_networks
+
+
+def bench_table1_networks(benchmark):
+    result = benchmark(lambda: table1_networks.run(scale="small"))
+    print()
+    print(table1_networks.report(result))
+    assert len(result.rows) == 4
+    # The hyperplane MLP at paper scale matches Table 1 exactly.
+    paper = table1_networks.run(scale="paper")
+    mlp = next(r for r in paper.rows if "Hyperplane" in r.task)
+    assert mlp.repro_parameters == 8_193

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file
+exists so that ``pip install -e .`` works in fully offline environments
+where the ``wheel`` package (required by PEP 660 editable installs) is not
+available: pip then falls back to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,164 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro fig9  --world-size 32 --iterations 64
+    python -m repro fig2
+    python -m repro fig10 --scale tiny
+    python -m repro fig13 --scale small
+    python -m repro scaling
+    python -m repro table1 --scale paper
+
+Each sub-command runs the corresponding harness from
+:mod:`repro.experiments` and prints its paper-vs-reproduction report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    fig2_workload,
+    fig3_wmt_runtime,
+    fig4_cloud_runtime,
+    fig9_microbenchmark,
+    fig10_hyperplane,
+    fig11_imagenet,
+    fig12_cifar_severe,
+    fig13_ucf101_lstm,
+    scaling,
+    speedups,
+    table1_networks,
+)
+
+#: Description of every sub-command, shown by ``python -m repro list``.
+EXPERIMENTS: Dict[str, str] = {
+    "fig2": "UCF101 video-length and LSTM batch-runtime distributions",
+    "fig3": "Transformer/WMT batch-runtime distribution",
+    "fig4": "cloud ResNet-50 batch-runtime distribution",
+    "table1": "evaluated networks (parameter counts, dataset sizes)",
+    "fig9": "partial allreduce latency microbenchmark + NAP",
+    "fig10": "hyperplane regression: synch-SGD vs eager-SGD (solo)",
+    "fig11": "ResNet/ImageNet-like: Deep500/Horovod vs eager-SGD (solo)",
+    "fig12": "ResNet/CIFAR-like under severe imbalance: Horovod/solo/majority",
+    "fig13": "LSTM/UCF101-like video classification: Horovod/solo/majority",
+    "speedups": "headline speedup summary across the training figures",
+    "scaling": "strong/weak scaling projections",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of eager-SGD with partial collective operations "
+        "(Li et al., PPoPP 2020).",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list the available experiments")
+
+    p = sub.add_parser("fig2", help=EXPERIMENTS["fig2"])
+    p.add_argument("--num-videos", type=int, default=9_537)
+    p.add_argument("--batch-size", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fig3", help=EXPERIMENTS["fig3"])
+    p.add_argument("--num-sentences", type=int, default=100_000)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fig4", help=EXPERIMENTS["fig4"])
+    p.add_argument("--num-batches", type=int, default=30_000)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("table1", help=EXPERIMENTS["table1"])
+    p.add_argument("--scale", choices=["small", "paper"], default="small")
+
+    p = sub.add_parser("fig9", help=EXPERIMENTS["fig9"])
+    p.add_argument("--world-size", type=int, default=32)
+    p.add_argument("--iterations", type=int, default=64)
+    p.add_argument("--skew-ms", type=float, default=1.0)
+    p.add_argument(
+        "--functional",
+        action="store_true",
+        help="also measure the thread-backed collectives at reduced scale",
+    )
+
+    for name, scales in (
+        ("fig10", ("tiny", "small", "paper")),
+        ("fig11", ("tiny", "small", "large")),
+        ("fig12", ("tiny", "small", "large")),
+        ("fig13", ("tiny", "small", "large")),
+    ):
+        p = sub.add_parser(name, help=EXPERIMENTS[name])
+        p.add_argument("--scale", choices=scales, default="tiny")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("speedups", help=EXPERIMENTS["speedups"])
+    p.add_argument("--scale", default="tiny")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("scaling", help=EXPERIMENTS["scaling"])
+    p.add_argument("--steps", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` (returns an exit code)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        width = max(len(k) for k in EXPERIMENTS)
+        print("available experiments:")
+        for name, description in EXPERIMENTS.items():
+            print(f"  {name.ljust(width)}  {description}")
+        return 0
+
+    if args.command == "fig2":
+        result = fig2_workload.run(
+            num_videos=args.num_videos, batch_size=args.batch_size, seed=args.seed
+        )
+        print(fig2_workload.report(result))
+    elif args.command == "fig3":
+        print(fig3_wmt_runtime.report(
+            fig3_wmt_runtime.run(num_sentences=args.num_sentences, seed=args.seed)))
+    elif args.command == "fig4":
+        print(fig4_cloud_runtime.report(
+            fig4_cloud_runtime.run(num_batches=args.num_batches, seed=args.seed)))
+    elif args.command == "table1":
+        print(table1_networks.report(table1_networks.run(scale=args.scale)))
+    elif args.command == "fig9":
+        result = fig9_microbenchmark.run(
+            world_size=args.world_size,
+            iterations=args.iterations,
+            skew_step_ms=args.skew_ms,
+        )
+        if args.functional:
+            result.functional_rows = fig9_microbenchmark.run_functional()
+        print(fig9_microbenchmark.report(result))
+    elif args.command == "fig10":
+        print(fig10_hyperplane.report(fig10_hyperplane.run(scale=args.scale, seed=args.seed)))
+    elif args.command == "fig11":
+        print(fig11_imagenet.report(fig11_imagenet.run(scale=args.scale, seed=args.seed)))
+    elif args.command == "fig12":
+        print(fig12_cifar_severe.report(fig12_cifar_severe.run(scale=args.scale, seed=args.seed)))
+    elif args.command == "fig13":
+        print(fig13_ucf101_lstm.report(fig13_ucf101_lstm.run(scale=args.scale, seed=args.seed)))
+    elif args.command == "speedups":
+        print(speedups.report(speedups.run(scale=args.scale, seed=args.seed)))
+    elif args.command == "scaling":
+        print(scaling.report(scaling.run(steps=args.steps, seed=args.seed)))
+        print()
+        print(scaling.report(scaling.run_with_inherent_imbalance(steps=args.steps, seed=args.seed)))
+    else:  # pragma: no cover - argparse already rejects unknown commands
+        parser.error(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

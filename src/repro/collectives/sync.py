@@ -1,0 +1,333 @@
+"""Synchronous collective operations over the point-to-point substrate.
+
+These implement the classic allreduce algorithms referenced by the paper
+(Section 7, *Collective communication*):
+
+* **recursive doubling** — ``log2(P)`` rounds of pairwise exchange;
+  latency-optimal for small messages, used by the paper's partial
+  collectives as the reduction schedule.
+* **ring allreduce** — reduce-scatter followed by allgather on a ring;
+  bandwidth-optimal for large messages (Horovod's default).
+* **Rabenseifner's algorithm** — recursive-halving reduce-scatter followed
+  by recursive-doubling allgather.
+
+Every function is SPMD: all ranks of the communicator's world must call it
+with consistently shaped inputs.  Tags are namespaced by a per-communicator
+epoch counter so consecutive collectives can never steal each other's
+messages.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.comm.communicator import Communicator
+from repro.comm.reduce_ops import ReduceOp, get_op
+from repro.collectives.topology import (
+    binomial_tree_children,
+    binomial_tree_parent,
+    is_power_of_two,
+    largest_power_of_two_leq,
+)
+
+#: Base of the tag space used by synchronous collectives.
+_SYNC_TAG_BASE = 2_000_000_000
+#: Tag stride reserved per collective invocation.
+_EPOCH_STRIDE = 8_192
+
+
+def _next_epoch(comm: Communicator) -> int:
+    """Per-communicator collective sequence number.
+
+    All ranks call collectives in the same (SPMD) order, so incrementing a
+    local counter on each rank keeps the tag spaces aligned globally.
+    """
+    counter = getattr(comm, "_sync_collective_epoch", None)
+    if counter is None:
+        counter = itertools.count()
+        setattr(comm, "_sync_collective_epoch", counter)
+    return next(counter)
+
+
+def _tag(epoch: int, phase: int, round_index: int) -> int:
+    return _SYNC_TAG_BASE + epoch * _EPOCH_STRIDE + phase * 512 + round_index
+
+
+def _as_float_array(data) -> np.ndarray:
+    arr = np.asarray(data, dtype=np.float64)
+    return np.array(arr, copy=True)
+
+
+# --------------------------------------------------------------------------
+# broadcast / reduce / allgather
+# --------------------------------------------------------------------------
+def broadcast(comm: Communicator, data, root: int = 0, timeout: Optional[float] = None):
+    """Binomial-tree broadcast of ``data`` from ``root`` to all ranks."""
+    epoch = _next_epoch(comm)
+    rank, size = comm.rank, comm.size
+    tag = _tag(epoch, 0, 0)
+    if size == 1:
+        return data
+    if rank != root:
+        parent = binomial_tree_parent(rank, size, root)
+        data = comm.recv(source=parent, tag=tag, timeout=timeout)
+    for child in binomial_tree_children(rank, size, root):
+        comm.send(data, child, tag=tag)
+    return data
+
+
+def reduce(
+    comm: Communicator,
+    data,
+    op: ReduceOp | str = "sum",
+    root: int = 0,
+    timeout: Optional[float] = None,
+) -> Optional[np.ndarray]:
+    """Binomial-tree reduction to ``root``; returns the result on root only."""
+    epoch = _next_epoch(comm)
+    reduce_op = get_op(op)
+    rank, size = comm.rank, comm.size
+    acc = _as_float_array(data)
+    tag = _tag(epoch, 1, 0)
+    if size == 1:
+        return acc
+    # Children in the *broadcast* tree are the senders in the reduction tree.
+    for child in reversed(binomial_tree_children(rank, size, root)):
+        contribution = comm.recv(source=child, tag=tag, timeout=timeout)
+        acc = reduce_op(acc, contribution)
+    if rank != root:
+        parent = binomial_tree_parent(rank, size, root)
+        comm.send(acc, parent, tag=tag)
+        return None
+    return acc
+
+
+def allgather(comm: Communicator, data, timeout: Optional[float] = None) -> List:
+    """Gather one value from every rank at every rank (ring algorithm)."""
+    epoch = _next_epoch(comm)
+    rank, size = comm.rank, comm.size
+    items: List = [None] * size
+    items[rank] = data
+    if size == 1:
+        return items
+    succ = (rank + 1) % size
+    pred = (rank - 1) % size
+    for step in range(size - 1):
+        tag = _tag(epoch, 2, step)
+        send_idx = (rank - step) % size
+        comm.send(items[send_idx], succ, tag=tag)
+        recv_idx = (rank - step - 1) % size
+        items[recv_idx] = comm.recv(source=pred, tag=tag, timeout=timeout)
+    return items
+
+
+# --------------------------------------------------------------------------
+# allreduce algorithms
+# --------------------------------------------------------------------------
+def allreduce_recursive_doubling(
+    comm: Communicator,
+    data,
+    op: ReduceOp | str = "sum",
+    timeout: Optional[float] = None,
+) -> np.ndarray:
+    """Recursive-doubling allreduce (hypercube exchange).
+
+    Non-power-of-two sizes are handled with the standard fold: the first
+    ``r = P - 2^k`` "extra" ranks fold their contribution into a partner,
+    the remaining power-of-two group runs recursive doubling, and the
+    result is sent back to the folded ranks.
+    """
+    epoch = _next_epoch(comm)
+    reduce_op = get_op(op)
+    rank, size = comm.rank, comm.size
+    acc = _as_float_array(data)
+    if size == 1:
+        return acc
+
+    pof2 = largest_power_of_two_leq(size)
+    rem = size - pof2
+
+    # --- fold-in: ranks [pof2, size) send to their partner in [0, rem)
+    fold_tag = _tag(epoch, 3, 0)
+    if rank >= pof2:
+        partner = rank - pof2
+        comm.send(acc, partner, tag=fold_tag)
+        in_group = False
+        group_rank = -1
+    else:
+        if rank < rem:
+            extra = comm.recv(source=rank + pof2, tag=fold_tag, timeout=timeout)
+            acc = reduce_op(acc, extra)
+        in_group = True
+        group_rank = rank
+
+    # --- recursive doubling within the power-of-two group
+    if in_group:
+        dist = 1
+        round_index = 1
+        while dist < pof2:
+            partner = group_rank ^ dist
+            tag = _tag(epoch, 3, round_index)
+            comm.send(acc, partner, tag=tag)
+            other = comm.recv(source=partner, tag=tag, timeout=timeout)
+            acc = reduce_op(acc, other)
+            dist <<= 1
+            round_index += 1
+
+    # --- fold-out: send the final result back to the extra ranks
+    out_tag = _tag(epoch, 3, 500)
+    if in_group and rank < rem:
+        comm.send(acc, rank + pof2, tag=out_tag)
+    elif not in_group:
+        acc = comm.recv(source=rank - pof2, tag=out_tag, timeout=timeout)
+    return np.asarray(acc)
+
+
+def allreduce_ring(
+    comm: Communicator,
+    data,
+    op: ReduceOp | str = "sum",
+    timeout: Optional[float] = None,
+) -> np.ndarray:
+    """Ring allreduce: reduce-scatter then allgather over ``P - 1`` steps each.
+
+    The payload is chunked into ``P`` nearly equal pieces; each step sends
+    one chunk to the successor and combines the chunk received from the
+    predecessor.  This is the bandwidth-optimal algorithm used by Horovod /
+    baidu-allreduce for large gradients.
+    """
+    epoch = _next_epoch(comm)
+    reduce_op = get_op(op)
+    rank, size = comm.rank, comm.size
+    arr = _as_float_array(data)
+    if size == 1:
+        return arr
+    flat = arr.reshape(-1)
+    chunks = np.array_split(np.arange(flat.size), size)
+    succ = (rank + 1) % size
+    pred = (rank - 1) % size
+
+    # reduce-scatter
+    for step in range(size - 1):
+        tag = _tag(epoch, 4, step)
+        send_chunk = (rank - step) % size
+        recv_chunk = (rank - step - 1) % size
+        comm.send(flat[chunks[send_chunk]], succ, tag=tag)
+        incoming = comm.recv(source=pred, tag=tag, timeout=timeout)
+        if len(chunks[recv_chunk]):
+            flat[chunks[recv_chunk]] = reduce_op(flat[chunks[recv_chunk]], incoming)
+
+    # allgather
+    for step in range(size - 1):
+        tag = _tag(epoch, 5, step)
+        send_chunk = (rank - step + 1) % size
+        recv_chunk = (rank - step) % size
+        comm.send(flat[chunks[send_chunk]], succ, tag=tag)
+        incoming = comm.recv(source=pred, tag=tag, timeout=timeout)
+        if len(chunks[recv_chunk]):
+            flat[chunks[recv_chunk]] = incoming
+    return flat.reshape(arr.shape)
+
+
+def allreduce_rabenseifner(
+    comm: Communicator,
+    data,
+    op: ReduceOp | str = "sum",
+    timeout: Optional[float] = None,
+) -> np.ndarray:
+    """Rabenseifner's allreduce (recursive halving + recursive doubling).
+
+    Requires a power-of-two world size; other sizes transparently fall
+    back to :func:`allreduce_recursive_doubling`, matching the behaviour
+    of production MPI libraries which switch algorithms based on the
+    communicator size.
+    """
+    rank, size = comm.rank, comm.size
+    if not is_power_of_two(size) or size == 1:
+        return allreduce_recursive_doubling(comm, data, op=op, timeout=timeout)
+    epoch = _next_epoch(comm)
+    reduce_op = get_op(op)
+    arr = _as_float_array(data)
+    flat = arr.reshape(-1)
+    n = flat.size
+
+    # Recursive-halving reduce-scatter.  Each rank keeps track of the
+    # index range [lo, hi) it is responsible for.
+    lo, hi = 0, n
+    dist = size // 2
+    round_index = 0
+    while dist >= 1:
+        partner = rank ^ dist
+        tag = _tag(epoch, 6, round_index)
+        mid = lo + (hi - lo) // 2
+        if rank < partner:
+            # Keep the lower half, send the upper half.
+            keep_lo, keep_hi = lo, mid
+            send_lo, send_hi = mid, hi
+        else:
+            keep_lo, keep_hi = mid, hi
+            send_lo, send_hi = lo, mid
+        comm.send(flat[send_lo:send_hi], partner, tag=tag)
+        incoming = comm.recv(source=partner, tag=tag, timeout=timeout)
+        if keep_hi > keep_lo:
+            flat[keep_lo:keep_hi] = reduce_op(flat[keep_lo:keep_hi], incoming)
+        lo, hi = keep_lo, keep_hi
+        dist //= 2
+        round_index += 1
+
+    # Recursive-doubling allgather of the owned segments, retracing the
+    # halving steps in reverse order.
+    segments: List = []
+    seg_lo, seg_hi = lo, hi
+    dist = 1
+    while dist < size:
+        partner = rank ^ dist
+        tag = _tag(epoch, 7, round_index)
+        comm.send((seg_lo, seg_hi, flat[seg_lo:seg_hi].copy()), partner, tag=tag)
+        other_lo, other_hi, other_data = comm.recv(source=partner, tag=tag, timeout=timeout)
+        if other_hi > other_lo:
+            flat[other_lo:other_hi] = other_data
+        seg_lo, seg_hi = min(seg_lo, other_lo), max(seg_hi, other_hi)
+        dist *= 2
+        round_index += 1
+    return flat.reshape(arr.shape)
+
+
+#: Registry of allreduce algorithms by name.
+ALLREDUCE_ALGORITHMS: Dict[str, Callable] = {
+    "recursive_doubling": allreduce_recursive_doubling,
+    "ring": allreduce_ring,
+    "rabenseifner": allreduce_rabenseifner,
+}
+
+
+def allreduce(
+    comm: Communicator,
+    data,
+    op: ReduceOp | str = "sum",
+    algorithm: str = "recursive_doubling",
+    average: bool = False,
+    timeout: Optional[float] = None,
+) -> np.ndarray:
+    """Synchronous allreduce with a selectable algorithm.
+
+    Parameters
+    ----------
+    average:
+        If true, divide the reduced result by the world size (the form
+        needed by data-parallel SGD, line 6 of Algorithm 2).
+    """
+    try:
+        impl = ALLREDUCE_ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown allreduce algorithm {algorithm!r}; "
+            f"available: {sorted(ALLREDUCE_ALGORITHMS)}"
+        ) from None
+    result = impl(comm, data, op=op, timeout=timeout)
+    if average:
+        result = result / comm.size
+    return result

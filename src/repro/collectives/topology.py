@@ -1,0 +1,143 @@
+"""Communication topologies used by the collective algorithms.
+
+The activation phase of a partial collective broadcasts a small message
+along a *binomial tree rooted at the initiator* (the union of ``P``
+binomial trees described in Section 4.1.1 of the paper); the reduction
+itself uses *recursive doubling* (hypercube exchange).  This module
+provides the pure rank arithmetic for those patterns so that both the
+thread-backed implementation and the discrete-event simulator share a
+single source of truth.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+
+def _validate(size: int, rank: int = 0, root: int = 0) -> None:
+    if size < 1:
+        raise ValueError(f"world size must be >= 1, got {size}")
+    if not 0 <= rank < size:
+        raise ValueError(f"rank {rank} out of range for size {size}")
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} out of range for size {size}")
+
+
+def tree_depth(size: int) -> int:
+    """Depth of a binomial broadcast tree over ``size`` ranks."""
+    _validate(size)
+    return int(math.ceil(math.log2(size))) if size > 1 else 0
+
+
+def binomial_tree_children(rank: int, size: int, root: int = 0) -> List[int]:
+    """Children of ``rank`` in the binomial tree rooted at ``root``.
+
+    The tree is defined on *relative* ranks ``v = (rank - root) mod size``
+    by the doubling broadcast recursion: in round ``k`` (``k = 0, 1, ...``)
+    every already-reached rank ``v < 2^k`` sends to ``v + 2^k`` when that
+    target exists.  A rank ``v > 0`` is therefore first reached in the
+    round given by its highest set bit and forwards in every later round.
+    This is exactly the "union of P binomial trees" activation pattern of
+    Section 4.1.1: the same arithmetic serves any root.
+    """
+    _validate(size, rank, root)
+    v = (rank - root) % size
+    depth = tree_depth(size)
+    # Round in which v is first reached (-1 for the root, which starts
+    # sending in round 0).
+    reached_round = v.bit_length() - 1 if v > 0 else -1
+    children = []
+    for k in range(reached_round + 1, depth):
+        child = v + (1 << k)
+        if child < size:
+            children.append((child + root) % size)
+    return children
+
+
+def binomial_tree_parent(rank: int, size: int, root: int = 0) -> int:
+    """Parent of ``rank`` in the binomial tree rooted at ``root``.
+
+    The root's parent is itself.
+    """
+    _validate(size, rank, root)
+    v = (rank - root) % size
+    if v == 0:
+        return root
+    # Clear the highest set bit to obtain the parent's relative rank.
+    parent_v = v & ~(1 << (v.bit_length() - 1))
+    return (parent_v + root) % size
+
+
+def binomial_tree_level(rank: int, size: int, root: int = 0) -> int:
+    """Distance (number of hops) from ``root`` to ``rank`` in the tree."""
+    _validate(size, rank, root)
+    v = (rank - root) % size
+    return bin(v).count("1")
+
+
+def recursive_doubling_rounds(rank: int, size: int) -> List[int]:
+    """Exchange partners of ``rank`` for recursive-doubling allreduce.
+
+    Only defined when ``size`` is a power of two; the non-power-of-two case
+    is handled by the calling algorithm (fold-in pre/post steps).
+    """
+    _validate(size, rank)
+    if size & (size - 1):
+        raise ValueError(f"recursive doubling requires a power-of-two size, got {size}")
+    partners = []
+    dist = 1
+    while dist < size:
+        partners.append(rank ^ dist)
+        dist <<= 1
+    return partners
+
+
+def hypercube_neighbors(rank: int, size: int) -> List[int]:
+    """All hypercube neighbours of ``rank`` (alias of the RD partners)."""
+    return recursive_doubling_rounds(rank, size)
+
+
+def ring_neighbors(rank: int, size: int) -> Tuple[int, int]:
+    """``(predecessor, successor)`` of ``rank`` on the ring."""
+    _validate(size, rank)
+    return ((rank - 1) % size, (rank + 1) % size)
+
+
+def largest_power_of_two_leq(n: int) -> int:
+    """Largest power of two that is ``<= n``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return 1 << (n.bit_length() - 1)
+
+
+def is_power_of_two(n: int) -> bool:
+    """Whether ``n`` is a positive power of two."""
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def bcast_order(size: int, root: int = 0) -> List[Tuple[int, int]]:
+    """Flattened ``(sender, receiver)`` edge list of the binomial broadcast.
+
+    The edges are listed level by level, which is the order in which they
+    can first be scheduled; it is used by the simulator to compute the
+    per-rank activation arrival time.
+    """
+    _validate(size, root=root)
+    edges: List[Tuple[int, int]] = []
+    frontier = [root]
+    reached = {root}
+    while len(reached) < size:
+        next_frontier: List[int] = []
+        for sender in frontier:
+            for child in binomial_tree_children(sender, size, root):
+                if child not in reached:
+                    edges.append((sender, child))
+                    reached.add(child)
+                    next_frontier.append(child)
+        if not next_frontier:
+            # Defensive: should never happen for a correct tree.
+            missing = sorted(set(range(size)) - reached)
+            raise RuntimeError(f"broadcast tree did not reach ranks {missing}")
+        frontier = next_frontier
+    return edges

@@ -1,0 +1,56 @@
+"""Thread-backed message-passing substrate.
+
+This package plays the role of the MPI layer in the original paper: it
+provides tagged point-to-point communication between *ranks*, where each
+rank is backed by one or more Python threads inside a single process.
+
+Design
+------
+* A :class:`~repro.comm.router.Router` owns one
+  :class:`~repro.comm.mailbox.Mailbox` per ``(rank, channel)`` pair.
+  Channels separate the *application* traffic (synchronous collectives
+  issued by the compute thread) from the *library* traffic (partial
+  collectives progressed by the communication thread, mirroring the
+  library-offloading design of Section 4.3 of the paper).
+* A :class:`~repro.comm.communicator.Communicator` is the per-rank handle
+  exposing ``send`` / ``recv`` / ``isend`` / ``irecv`` / ``barrier`` and
+  rank/size queries, in the spirit of ``mpi4py``'s ``Comm`` objects.
+* :func:`~repro.comm.world.run_world` spawns one thread per rank, runs a
+  user function on each and collects results or re-raises failures.
+
+All payloads are either NumPy arrays (copied on send to avoid shared
+mutation, as a real network would) or small picklable Python objects.
+"""
+
+from repro.comm.message import Message, ANY_SOURCE, ANY_TAG
+from repro.comm.mailbox import Mailbox, MailboxClosed
+from repro.comm.router import Router, Channel
+from repro.comm.reduce_ops import ReduceOp, SUM, PROD, MAX, MIN, AVG, get_op
+from repro.comm.requests import Request, SendRequest, RecvRequest
+from repro.comm.communicator import Communicator, CommTimeoutError
+from repro.comm.world import ThreadWorld, run_world, WorldError
+
+__all__ = [
+    "Message",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Mailbox",
+    "MailboxClosed",
+    "Router",
+    "Channel",
+    "ReduceOp",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "AVG",
+    "get_op",
+    "Request",
+    "SendRequest",
+    "RecvRequest",
+    "Communicator",
+    "CommTimeoutError",
+    "ThreadWorld",
+    "run_world",
+    "WorldError",
+]

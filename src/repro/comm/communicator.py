@@ -1,0 +1,186 @@
+"""Per-rank communicator handle.
+
+A :class:`Communicator` binds a rank to a channel of the
+:class:`~repro.comm.router.Router` and exposes MPI-like point-to-point
+primitives.  Collective operations are layered on top of it in
+:mod:`repro.collectives`.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.comm.message import ANY_SOURCE, ANY_TAG, Message
+from repro.comm.requests import RecvRequest, Request, SendRequest
+from repro.comm.router import Channel, Router
+
+
+class CommTimeoutError(TimeoutError):
+    """A blocking receive or barrier exceeded its timeout."""
+
+
+#: Default timeout, in seconds, for blocking receives issued by the
+#: library.  Distributed-training deadlocks otherwise hang the test suite;
+#: a generous-but-finite timeout converts them into actionable errors.
+DEFAULT_TIMEOUT = 120.0
+
+# Reserved tag space for the dissemination barrier.
+_BARRIER_TAG_BASE = 1_000_000_000
+
+
+class Communicator:
+    """MPI-like communicator for one rank on one channel.
+
+    Parameters
+    ----------
+    router:
+        The shared in-process router.
+    rank:
+        This endpoint's rank in ``[0, world_size)``.
+    channel:
+        Router channel carrying this communicator's traffic.
+    default_timeout:
+        Timeout applied to blocking receives when the caller does not
+        specify one.  ``None`` disables the safety timeout.
+    """
+
+    def __init__(
+        self,
+        router: Router,
+        rank: int,
+        channel: str = Channel.APP,
+        default_timeout: Optional[float] = DEFAULT_TIMEOUT,
+    ) -> None:
+        self._router = router
+        self._rank = int(rank)
+        self._channel = channel
+        self._mailbox = router.mailbox(rank, channel)
+        self.default_timeout = default_timeout
+        self._barrier_epoch = 0
+
+    # -------------------------------------------------------------- meta
+    @property
+    def rank(self) -> int:
+        """This endpoint's rank."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """World size."""
+        return self._router.world_size
+
+    @property
+    def channel(self) -> str:
+        """Channel name this communicator uses."""
+        return self._channel
+
+    @property
+    def router(self) -> Router:
+        """The underlying router (shared by all communicators)."""
+        return self._router
+
+    def dup(self, channel: Optional[str] = None) -> "Communicator":
+        """Return a communicator for the same rank on another channel."""
+        return Communicator(
+            self._router,
+            self._rank,
+            channel=channel or self._channel,
+            default_timeout=self.default_timeout,
+        )
+
+    # ----------------------------------------------------------- p2p send
+    @staticmethod
+    def _copy_payload(payload: Any) -> Any:
+        if isinstance(payload, np.ndarray):
+            return payload.copy()
+        # Small control payloads (ints, tuples, dataclasses); deep-copy so
+        # the receiver can never observe sender-side mutation.
+        return copy.deepcopy(payload)
+
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        """Eager blocking send (never blocks: copies and enqueues)."""
+        msg = Message(
+            source=self._rank, dest=int(dest), tag=int(tag),
+            payload=self._copy_payload(payload),
+        )
+        self._router.deliver(msg, self._channel)
+
+    def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send; the returned request is already complete."""
+        msg = Message(
+            source=self._rank, dest=int(dest), tag=int(tag),
+            payload=self._copy_payload(payload),
+        )
+        self._router.deliver(msg, self._channel)
+        return SendRequest(msg)
+
+    # ----------------------------------------------------------- p2p recv
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """Blocking receive; returns the payload."""
+        return self.recv_message(source, tag, timeout=timeout).payload
+
+    def recv_message(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: Optional[float] = None,
+    ) -> Message:
+        """Blocking receive returning the full :class:`Message` envelope."""
+        effective = self.default_timeout if timeout is None else timeout
+        try:
+            return self._mailbox.get(source, tag, timeout=effective)
+        except TimeoutError as exc:
+            raise CommTimeoutError(str(exc)) from exc
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRequest:
+        """Nonblocking receive request."""
+        return RecvRequest(self._mailbox, source, tag)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Whether a matching message is already queued."""
+        return self._mailbox.probe(source, tag)
+
+    def poll(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Any]:
+        """Non-blocking receive; returns the payload or ``None``."""
+        msg = self._mailbox.poll(source, tag)
+        return None if msg is None else msg.payload
+
+    # ------------------------------------------------------------ barrier
+    def barrier(self, timeout: Optional[float] = None) -> None:
+        """Dissemination barrier over all ranks of this channel.
+
+        The dissemination algorithm completes in ``ceil(log2(P))`` rounds;
+        each round ``k`` exchanges a token with the ranks at distance
+        ``2**k``.  Tags are namespaced by a per-communicator barrier epoch
+        so that back-to-back barriers cannot interfere.
+        """
+        size = self.size
+        epoch = self._barrier_epoch
+        self._barrier_epoch += 1
+        if size == 1:
+            return
+        k = 0
+        dist = 1
+        while dist < size:
+            dest = (self._rank + dist) % size
+            src = (self._rank - dist) % size
+            tag = _BARRIER_TAG_BASE + epoch * 64 + k
+            self.send(("barrier", epoch, k), dest, tag=tag)
+            self.recv(source=src, tag=tag, timeout=timeout)
+            dist <<= 1
+            k += 1
+
+    # --------------------------------------------------------------- misc
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Communicator(rank={self._rank}, size={self.size}, "
+            f"channel={self._channel!r})"
+        )

@@ -1,0 +1,67 @@
+"""Message envelope used by the thread-backed transport."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+#: Wildcard source rank, analogous to ``MPI.ANY_SOURCE``.
+ANY_SOURCE = -1
+
+#: Wildcard message tag, analogous to ``MPI.ANY_TAG``.
+ANY_TAG = -1
+
+
+@dataclass
+class Message:
+    """A single point-to-point message.
+
+    Attributes
+    ----------
+    source:
+        Rank of the sender.
+    dest:
+        Rank of the receiver.
+    tag:
+        Non-negative integer tag; receivers may match on a specific tag or
+        on :data:`ANY_TAG`.
+    payload:
+        The data being transferred.  NumPy arrays are copied by the sender
+        (see :meth:`repro.comm.communicator.Communicator.send`) so the
+        receiver can never observe sender-side mutation, mimicking a real
+        network transfer.
+    seq:
+        Monotonic per-sender sequence number, useful for debugging and
+        for asserting FIFO ordering per ``(source, dest, tag)`` triple.
+    """
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    seq: int = 0
+
+    def matches(self, source: int, tag: int) -> bool:
+        """Whether this message matches a receive posted for ``(source, tag)``."""
+        source_ok = source == ANY_SOURCE or source == self.source
+        tag_ok = tag == ANY_TAG or tag == self.tag
+        return source_ok and tag_ok
+
+    def nbytes(self) -> int:
+        """Approximate size of the payload in bytes (arrays only)."""
+        if isinstance(self.payload, np.ndarray):
+            return int(self.payload.nbytes)
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        desc = (
+            f"ndarray{self.payload.shape}"
+            if isinstance(self.payload, np.ndarray)
+            else type(self.payload).__name__
+        )
+        return (
+            f"Message(src={self.source}, dst={self.dest}, tag={self.tag}, "
+            f"seq={self.seq}, payload={desc})"
+        )

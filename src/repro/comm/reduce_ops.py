@@ -1,0 +1,84 @@
+"""Reduction operators for collective operations.
+
+The operators mirror the MPI predefined reductions used by the paper's
+allreduce implementations, plus ``AVG`` which is what distributed SGD
+actually needs (line 6 of Algorithm 2 divides the sum by ``P``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A binary, associative, commutative reduction operator.
+
+    Attributes
+    ----------
+    name:
+        Human-readable operator name (``"sum"``, ``"max"``, ...).
+    fn:
+        Element-wise binary function combining two arrays.
+    identity:
+        Scalar identity element (used to initialise accumulation buffers
+        and as the *null contribution* of absent processes in partial
+        collectives).
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    identity: float
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.fn(np.asarray(a), np.asarray(b))
+
+    def reduce_many(self, arrays) -> np.ndarray:
+        """Reduce an iterable of equally-shaped arrays."""
+        arrays = list(arrays)
+        if not arrays:
+            raise ValueError(f"cannot {self.name}-reduce an empty sequence")
+        acc = np.array(arrays[0], dtype=np.float64, copy=True)
+        for arr in arrays[1:]:
+            acc = self.fn(acc, np.asarray(arr, dtype=np.float64))
+        return acc
+
+    def identity_like(self, shape, dtype=np.float64) -> np.ndarray:
+        """Return an identity-filled array of the given shape."""
+        return np.full(shape, self.identity, dtype=dtype)
+
+    def __repr__(self) -> str:
+        return f"ReduceOp({self.name})"
+
+
+SUM = ReduceOp("sum", lambda a, b: a + b, 0.0)
+PROD = ReduceOp("prod", lambda a, b: a * b, 1.0)
+MAX = ReduceOp("max", np.maximum, -np.inf)
+MIN = ReduceOp("min", np.minimum, np.inf)
+#: Average: implemented as SUM at the transport level; callers divide by
+#: the number of contributors (or by the world size for eager-SGD, which
+#: treats absent contributions as zero — see Algorithm 2, line 6).
+AVG = ReduceOp("avg", lambda a, b: a + b, 0.0)
+
+_REGISTRY: Dict[str, ReduceOp] = {
+    "sum": SUM,
+    "prod": PROD,
+    "max": MAX,
+    "min": MIN,
+    "avg": AVG,
+}
+
+
+def get_op(op) -> ReduceOp:
+    """Resolve an operator given by name or instance."""
+    if isinstance(op, ReduceOp):
+        return op
+    try:
+        return _REGISTRY[str(op).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown reduce op {op!r}; available: {sorted(_REGISTRY)}"
+        ) from None

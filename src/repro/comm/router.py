@@ -1,0 +1,115 @@
+"""In-process router connecting all rank mailboxes.
+
+The router is the "network": a send is a copy of the payload followed by a
+``put`` into the destination mailbox.  Each rank owns one mailbox per
+*channel*; channels keep the traffic of the application thread and of the
+communication-library progress thread (Section 4.3 of the paper) disjoint,
+so that a partial collective progressing in the background can never steal
+messages intended for a synchronous collective issued by the application,
+and vice versa.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.comm.mailbox import Mailbox
+from repro.comm.message import Message
+
+
+@dataclass(frozen=True)
+class Channel:
+    """Well-known channel names."""
+
+    APP: str = "app"
+    LIB: str = "lib"
+    ACTIVATION: str = "activation"
+
+
+#: Channels created by default for every rank.
+DEFAULT_CHANNELS: Tuple[str, ...] = (Channel.APP, Channel.LIB, Channel.ACTIVATION)
+
+
+class Router:
+    """Delivers messages between ranks inside one process.
+
+    Parameters
+    ----------
+    world_size:
+        Number of ranks.
+    channels:
+        Channel names to create for every rank.
+    """
+
+    def __init__(
+        self, world_size: int, channels: Iterable[str] = DEFAULT_CHANNELS
+    ) -> None:
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.world_size = int(world_size)
+        self.channels: Tuple[str, ...] = tuple(channels)
+        if not self.channels:
+            raise ValueError("at least one channel is required")
+        self._mailboxes: Dict[Tuple[int, str], Mailbox] = {
+            (rank, ch): Mailbox(rank, ch)
+            for rank in range(self.world_size)
+            for ch in self.channels
+        }
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._message_count = 0
+        self._byte_count = 0
+
+    # ------------------------------------------------------------- access
+    def mailbox(self, rank: int, channel: str) -> Mailbox:
+        """Return the mailbox for ``(rank, channel)``."""
+        self._check_rank(rank)
+        try:
+            return self._mailboxes[(rank, channel)]
+        except KeyError:
+            raise KeyError(
+                f"unknown channel {channel!r}; available: {self.channels}"
+            ) from None
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(
+                f"rank {rank} out of range for world of size {self.world_size}"
+            )
+
+    # ------------------------------------------------------------ deliver
+    def deliver(self, message: Message, channel: str) -> None:
+        """Route ``message`` to its destination mailbox on ``channel``."""
+        self._check_rank(message.dest)
+        self._check_rank(message.source)
+        message.seq = next(self._seq)
+        with self._lock:
+            self._message_count += 1
+            self._byte_count += message.nbytes()
+        self.mailbox(message.dest, channel).put(message)
+
+    # ------------------------------------------------------------- stats
+    @property
+    def message_count(self) -> int:
+        """Total number of messages delivered so far."""
+        with self._lock:
+            return self._message_count
+
+    @property
+    def byte_count(self) -> int:
+        """Total number of array payload bytes delivered so far."""
+        with self._lock:
+            return self._byte_count
+
+    def pending_messages(self) -> int:
+        """Number of delivered-but-unreceived messages across all mailboxes."""
+        return sum(mb.pending() for mb in self._mailboxes.values())
+
+    # -------------------------------------------------------------- close
+    def close(self) -> None:
+        """Close every mailbox (wakes all blocked receivers)."""
+        for mb in self._mailboxes.values():
+            mb.close()

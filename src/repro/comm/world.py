@@ -1,0 +1,146 @@
+"""Thread world: spawn one thread per rank and run an SPMD function.
+
+This plays the role of ``mpiexec -n P python script.py`` for the in-process
+transport: :func:`run_world` runs ``fn(comm, *args)`` on ``P`` threads, one
+per rank, and returns the per-rank results.  Exceptions on any rank are
+collected and re-raised as a :class:`WorldError` carrying all failures, so
+a bug on rank 3 does not silently hang the remaining ranks: the router is
+closed, which wakes every blocked receive.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.comm.communicator import Communicator
+from repro.comm.router import Channel, DEFAULT_CHANNELS, Router
+
+
+class WorldError(RuntimeError):
+    """One or more ranks raised an exception during :func:`run_world`."""
+
+    def __init__(self, failures: Dict[int, BaseException], tracebacks: Dict[int, str]):
+        self.failures = failures
+        self.tracebacks = tracebacks
+        lines = [f"{len(failures)} rank(s) failed:"]
+        for rank in sorted(failures):
+            lines.append(f"--- rank {rank}: {failures[rank]!r}")
+            lines.append(tracebacks[rank])
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class ThreadWorld:
+    """A set of ranks sharing one router.
+
+    Use as a context manager to guarantee the router is closed (unblocking
+    any straggler threads) even when a rank fails.
+    """
+
+    world_size: int
+    channels: Sequence[str] = DEFAULT_CHANNELS
+    default_timeout: Optional[float] = 120.0
+    router: Router = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.router = Router(self.world_size, channels=self.channels)
+
+    def communicator(self, rank: int, channel: str = Channel.APP) -> Communicator:
+        """Build the communicator for ``rank`` on ``channel``."""
+        return Communicator(
+            self.router, rank, channel=channel, default_timeout=self.default_timeout
+        )
+
+    def communicators(self, channel: str = Channel.APP) -> List[Communicator]:
+        """Communicators for every rank (useful for single-threaded tests)."""
+        return [self.communicator(r, channel) for r in range(self.world_size)]
+
+    def close(self) -> None:
+        self.router.close()
+
+    def __enter__(self) -> "ThreadWorld":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def run_world(
+    world_size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    channels: Sequence[str] = DEFAULT_CHANNELS,
+    channel: str = Channel.APP,
+    timeout: Optional[float] = 300.0,
+    default_recv_timeout: Optional[float] = 120.0,
+    thread_name_prefix: str = "rank",
+    **kwargs: Any,
+) -> List[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``world_size`` rank threads.
+
+    Parameters
+    ----------
+    world_size:
+        Number of ranks (threads) to spawn.
+    fn:
+        The SPMD function.  Its first argument is the rank's
+        :class:`Communicator` on ``channel``.
+    timeout:
+        Overall join timeout per rank, in seconds.
+    default_recv_timeout:
+        Default timeout installed on every rank's blocking receives.
+
+    Returns
+    -------
+    list
+        ``fn``'s return value per rank, indexed by rank.
+
+    Raises
+    ------
+    WorldError
+        If any rank raised; contains per-rank exceptions and tracebacks.
+    """
+    world = ThreadWorld(
+        world_size, channels=channels, default_timeout=default_recv_timeout
+    )
+    results: List[Any] = [None] * world_size
+    failures: Dict[int, BaseException] = {}
+    tracebacks: Dict[int, str] = {}
+    lock = threading.Lock()
+
+    def _target(rank: int) -> None:
+        comm = world.communicator(rank, channel=channel)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reported to the caller
+            with lock:
+                failures[rank] = exc
+                tracebacks[rank] = traceback.format_exc()
+            # Unblock every other rank: they would otherwise wait forever
+            # for messages this rank will never send.
+            world.close()
+
+    threads = [
+        threading.Thread(
+            target=_target, args=(rank,), name=f"{thread_name_prefix}{rank}", daemon=True
+        )
+        for rank in range(world_size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+
+    hung = [t.name for t in threads if t.is_alive()]
+    world.close()
+    if hung and not failures:
+        raise WorldError(
+            {-1: TimeoutError(f"ranks did not finish within {timeout}s: {hung}")},
+            {-1: ""},
+        )
+    if failures:
+        raise WorldError(failures, tracebacks)
+    return results

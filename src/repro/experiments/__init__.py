@@ -1,0 +1,26 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every module exposes
+
+* ``run(...) -> result`` — executes the experiment (with a ``scale``
+  parameter so tests and benchmarks can run reduced versions), and
+* ``report(result) -> str`` — prints the same rows/series the paper
+  reports, side by side with the paper's numbers where applicable.
+
+| Module | Paper content |
+| --- | --- |
+| :mod:`repro.experiments.fig2_workload` | Fig. 2a/2b — UCF101 video lengths and LSTM batch runtimes |
+| :mod:`repro.experiments.fig3_wmt_runtime` | Fig. 3 — Transformer/WMT batch runtimes |
+| :mod:`repro.experiments.fig4_cloud_runtime` | Fig. 4 — ResNet-50 cloud batch runtimes |
+| :mod:`repro.experiments.table1_networks` | Table 1 — evaluated networks |
+| :mod:`repro.experiments.fig9_microbenchmark` | Fig. 9 — partial allreduce latency + NAP |
+| :mod:`repro.experiments.fig10_hyperplane` | Fig. 10 — hyperplane regression throughput/loss |
+| :mod:`repro.experiments.fig11_imagenet` | Fig. 11 — ResNet/ImageNet throughput and accuracy |
+| :mod:`repro.experiments.fig12_cifar_severe` | Fig. 12 — ResNet/CIFAR under severe imbalance |
+| :mod:`repro.experiments.fig13_ucf101_lstm` | Fig. 13 — LSTM/UCF101 accuracy vs time |
+| :mod:`repro.experiments.speedups` | Speedup headlines quoted in the abstract/Section 6 |
+"""
+
+from repro.experiments import report
+
+__all__ = ["report"]

@@ -1,0 +1,123 @@
+"""Fig. 2 — load imbalance in LSTM training on UCF101.
+
+Fig. 2a of the paper shows the distribution of video lengths over the
+9,537 training videos of UCF101 (29 to 1,776 frames, median 167, standard
+deviation 97).  Fig. 2b shows the resulting distribution of per-batch
+runtimes (batch size 16, bucketed by length) on a P100 GPU: 201 ms to
+3,410 ms.
+
+The reproduction samples synthetic video lengths from the calibrated
+distribution, buckets them exactly as the paper describes and maps each
+batch to a runtime with the LSTM cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.bucketing import BucketBatchSampler
+from repro.data.ucf101 import UCF101_LENGTH_STATS, sample_video_lengths
+from repro.experiments.report import format_table
+from repro.imbalance.cost_model import lstm_ucf101_cost_model
+from repro.utils.stats import DistributionSummary, Histogram, summarize
+
+#: Reference numbers quoted in Section 2.1 of the paper.
+PAPER_LENGTH = {"min": 29, "max": 1776, "median": 167, "std": 97}
+PAPER_RUNTIME_MS = {"min": 201, "max": 3410, "mean": 1235, "std": 706}
+
+
+@dataclass
+class Fig2Result:
+    """Measured distributions for Fig. 2a (lengths) and Fig. 2b (runtimes)."""
+
+    num_videos: int
+    batch_size: int
+    length_summary: DistributionSummary
+    length_hist_centers: np.ndarray
+    length_hist_counts: np.ndarray
+    runtime_summary_ms: DistributionSummary
+    runtime_hist_centers: np.ndarray
+    runtime_hist_counts: np.ndarray
+
+
+def run(
+    num_videos: int = UCF101_LENGTH_STATS.num_videos,
+    batch_size: int = 16,
+    epochs: int = 2,
+    seed: int = 0,
+) -> Fig2Result:
+    """Generate the synthetic workload and measure both distributions.
+
+    ``epochs=2`` mirrors the paper, which samples 1,192 batches over two
+    epochs.
+    """
+    lengths = sample_video_lengths(num_videos, seed=seed)
+    length_hist = Histogram(bin_width=100.0)
+    length_hist.extend(lengths)
+
+    cost_model = lstm_ucf101_cost_model(batch_size=batch_size)
+    # drop_last: the paper's runtime distribution is over full batches of
+    # 16 bucketed videos; ragged trailing batches would add artificially
+    # cheap outliers below the paper's 201 ms minimum.
+    sampler = BucketBatchSampler(
+        lengths, batch_size=batch_size, num_buckets=16, seed=seed, drop_last=True
+    )
+    runtimes_ms = []
+    for epoch in range(epochs):
+        for batch_indices in sampler.epoch_batches(epoch):
+            total_frames = float(lengths[batch_indices].sum())
+            runtimes_ms.append(cost_model.cost_from_size(total_frames) * 1000.0)
+    runtime_hist = Histogram(bin_width=250.0)
+    runtime_hist.extend(runtimes_ms)
+
+    lc, lcounts = length_hist.as_series()
+    rc, rcounts = runtime_hist.as_series()
+    return Fig2Result(
+        num_videos=num_videos,
+        batch_size=batch_size,
+        length_summary=summarize(lengths),
+        length_hist_centers=lc,
+        length_hist_counts=lcounts,
+        runtime_summary_ms=summarize(runtimes_ms),
+        runtime_hist_centers=rc,
+        runtime_hist_counts=rcounts,
+    )
+
+
+def report(result: Fig2Result) -> str:
+    """Side-by-side comparison with the numbers quoted in the paper."""
+    length_rows = [
+        ("min frames", PAPER_LENGTH["min"], result.length_summary.min),
+        ("max frames", PAPER_LENGTH["max"], result.length_summary.max),
+        ("median frames", PAPER_LENGTH["median"], result.length_summary.median),
+        ("std frames", PAPER_LENGTH["std"], result.length_summary.std),
+        ("num videos", UCF101_LENGTH_STATS.num_videos, result.num_videos),
+    ]
+    runtime_rows = [
+        ("min runtime (ms)", PAPER_RUNTIME_MS["min"], result.runtime_summary_ms.min),
+        ("max runtime (ms)", PAPER_RUNTIME_MS["max"], result.runtime_summary_ms.max),
+        ("mean runtime (ms)", PAPER_RUNTIME_MS["mean"], result.runtime_summary_ms.mean),
+        ("std runtime (ms)", PAPER_RUNTIME_MS["std"], result.runtime_summary_ms.std),
+    ]
+    parts = [
+        format_table(
+            ["quantity", "paper", "reproduction"],
+            length_rows,
+            title="Fig. 2a  UCF101 video-length distribution",
+        ),
+        "",
+        format_table(
+            ["quantity", "paper", "reproduction"],
+            runtime_rows,
+            title=f"Fig. 2b  LSTM batch runtimes (batch size {result.batch_size})",
+        ),
+        "",
+        format_table(
+            ["frames (bin center)", "num videos"],
+            list(zip(result.length_hist_centers.tolist(), result.length_hist_counts.tolist())),
+            title="Fig. 2a histogram (reproduction)",
+        ),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,78 @@
+"""Fig. 3 — runtime distribution of Transformer training on WMT16.
+
+The paper samples 20,653 batches (batch size 64, one third of an epoch)
+and reports runtimes from 179 ms to 3,482 ms with a mean of 475 ms and a
+standard deviation of 144 ms — inherent load imbalance caused by variable
+sentence lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.bucketing import BucketBatchSampler
+from repro.data.wmt import sample_sentence_lengths
+from repro.experiments.report import format_table
+from repro.imbalance.cost_model import transformer_wmt_cost_model
+from repro.utils.stats import DistributionSummary, Histogram, summarize
+
+#: Reference numbers from Section 2.2 of the paper.
+PAPER_RUNTIME_MS = {"min": 179, "max": 3482, "mean": 475, "std": 144}
+PAPER_NUM_BATCHES = 20_653
+
+
+@dataclass
+class Fig3Result:
+    """Measured batch-runtime distribution for the Transformer workload."""
+
+    num_sentences: int
+    batch_size: int
+    num_batches: int
+    runtime_summary_ms: DistributionSummary
+    hist_centers: np.ndarray
+    hist_counts: np.ndarray
+
+
+def run(
+    num_sentences: int = 200_000,
+    batch_size: int = 64,
+    seed: int = 0,
+) -> Fig3Result:
+    """Sample sentence lengths, bucket them and measure batch runtimes."""
+    lengths = sample_sentence_lengths(num_sentences, seed=seed)
+    cost_model = transformer_wmt_cost_model(batch_size=batch_size)
+    sampler = BucketBatchSampler(
+        lengths, batch_size=batch_size, num_buckets=16, seed=seed, drop_last=True
+    )
+    runtimes_ms = [
+        cost_model.cost_from_size(float(lengths[batch].sum())) * 1000.0
+        for batch in sampler.epoch_batches(0)
+    ]
+    hist = Histogram(bin_width=100.0)
+    hist.extend(runtimes_ms)
+    centers, counts = hist.as_series()
+    return Fig3Result(
+        num_sentences=num_sentences,
+        batch_size=batch_size,
+        num_batches=len(runtimes_ms),
+        runtime_summary_ms=summarize(runtimes_ms),
+        hist_centers=centers,
+        hist_counts=counts,
+    )
+
+
+def report(result: Fig3Result) -> str:
+    rows = [
+        ("min runtime (ms)", PAPER_RUNTIME_MS["min"], result.runtime_summary_ms.min),
+        ("max runtime (ms)", PAPER_RUNTIME_MS["max"], result.runtime_summary_ms.max),
+        ("mean runtime (ms)", PAPER_RUNTIME_MS["mean"], result.runtime_summary_ms.mean),
+        ("std runtime (ms)", PAPER_RUNTIME_MS["std"], result.runtime_summary_ms.std),
+        ("num batches", PAPER_NUM_BATCHES, result.num_batches),
+    ]
+    return format_table(
+        ["quantity", "paper", "reproduction"],
+        rows,
+        title=f"Fig. 3  Transformer/WMT batch runtimes (batch size {result.batch_size})",
+    )

@@ -1,0 +1,75 @@
+"""Plain-text report formatting shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Floats are shown with four significant decimals; everything else uses
+    ``str``.  Used by every ``report()`` function so experiment output is
+    uniform and diffable.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    str_rows: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        if len(row) != len(str_headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(str_headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(str_headers))
+    lines.append(render_row(["-" * w for w in widths]))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int = 20,
+) -> str:
+    """Render an (x, y) series as a compact table, subsampled if long."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    n = len(xs)
+    if n == 0:
+        return f"{name}: (empty series)"
+    if n > max_points:
+        idx = [int(round(i * (n - 1) / (max_points - 1))) for i in range(max_points)]
+    else:
+        idx = list(range(n))
+    rows = [(float(xs[i]), float(ys[i])) for i in idx]
+    return format_table([x_label, y_label], rows, title=name)
+
+
+def ratio_line(label: str, ours: float, paper: float, unit: str = "x") -> str:
+    """One-line comparison of a measured ratio against the paper's value."""
+    return (
+        f"{label}: measured {ours:.2f}{unit} vs paper {paper:.2f}{unit} "
+        f"(relative difference {abs(ours - paper) / max(abs(paper), 1e-12) * 100:.0f}%)"
+    )

@@ -1,0 +1,227 @@
+"""Strong- and weak-scaling projections (Sections 6.2.1, 6.2.2, 6.3).
+
+Besides the figure-level comparisons, the paper quotes several scaling
+numbers:
+
+* hyperplane regression: single-GPU throughput 0.64 steps/s at batch 2,048;
+  eager-SGD with 400 ms injection still reaches a 3.8x strong-scaling
+  speedup on 8 nodes;
+* ResNet-50: single-GPU throughput 1.56 steps/s at batch 128; eager-SGD on
+  64 processes with 460 ms injection reaches a 46.9x weak-scaling speedup;
+* UCF101 LSTM: synch-SGD/Horovod reaches 3.72x and eager-SGD (majority)
+  4.71x weak-scaling speedup on 8 nodes, while in strong scaling only
+  eager-SGD (solo) shows a speedup (1.12x).
+
+This harness reproduces those numbers through the timing projection: the
+per-step compute cost of the scaled workload is combined with the paper's
+injection scheme, replayed under each SGD variant, and compared against
+the single-process baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.report import format_table
+from repro.simtime.network import DEFAULT_NETWORK
+from repro.simtime.training_model import StepTimeline, project_training_time
+from repro.utils.rng import seeded_rng
+
+#: Paper reference values (speedup over one GPU node).
+PAPER_SCALING = {
+    "hyperplane strong scaling, 8 ranks, eager (solo, 400 ms)": 3.8,
+    "resnet50 weak scaling, 64 ranks, eager (solo, 460 ms)": 46.9,
+    "ucf101 weak scaling, 8 ranks, synch-SGD": 3.72,
+    "ucf101 weak scaling, 8 ranks, eager (majority)": 4.71,
+}
+
+
+@dataclass
+class ScalingRow:
+    """One scaling measurement."""
+
+    name: str
+    world_size: int
+    mode: str
+    speedup: float
+    paper_speedup: Optional[float]
+
+
+@dataclass
+class ScalingResult:
+    rows: List[ScalingRow]
+
+
+def _per_rank_durations(
+    steps: int,
+    world_size: int,
+    compute_seconds: float,
+    delayed_ranks: int,
+    delay_seconds: float,
+    seed: int,
+) -> np.ndarray:
+    """Per-step, per-rank durations with a random delayed subset per step."""
+    rng = seeded_rng(seed)
+    durations = np.full((steps, world_size), compute_seconds, dtype=np.float64)
+    for t in range(steps):
+        if delayed_ranks:
+            chosen = rng.choice(world_size, size=delayed_ranks, replace=False)
+            durations[t, chosen] += delay_seconds
+    return durations
+
+
+def _projected_speedup(
+    mode: str,
+    world_size: int,
+    parallel_compute_seconds: float,
+    serial_compute_seconds: float,
+    delayed_ranks: int,
+    delay_seconds: float,
+    gradient_bytes: int,
+    steps: int = 200,
+    seed: int = 0,
+) -> float:
+    """Speedup of a P-rank run over the single-node baseline.
+
+    ``parallel_compute_seconds`` is the per-step compute of one rank in the
+    distributed run; ``serial_compute_seconds`` is the per-step compute of
+    the single-node baseline (equal for weak scaling, P times larger for
+    strong scaling).
+    """
+    durations = _per_rank_durations(
+        steps, world_size, parallel_compute_seconds, delayed_ranks, delay_seconds, seed
+    )
+    projection = project_training_time(
+        StepTimeline(durations),
+        mode=mode,
+        gradient_bytes=gradient_bytes,
+        params=DEFAULT_NETWORK,
+        seed=seed,
+    )
+    serial_time = steps * serial_compute_seconds
+    return serial_time / projection.total_time
+
+
+def run(steps: int = 200, seed: int = 0) -> ScalingResult:
+    """Reproduce the paper's scaling headlines via the timing projection."""
+    rows: List[ScalingRow] = []
+
+    # --- Hyperplane regression, strong scaling on 8 ranks (Section 6.2.1).
+    # Single node: 0.64 steps/s at batch 2,048 -> 1.5625 s/step; each of
+    # the 8 ranks then computes 1/8 of the batch.
+    serial = 1.0 / 0.64
+    rows.append(
+        ScalingRow(
+            name="hyperplane strong scaling, 8 ranks, eager (solo, 400 ms)",
+            world_size=8,
+            mode="solo",
+            speedup=_projected_speedup(
+                "solo", 8, serial / 8, serial, delayed_ranks=1,
+                delay_seconds=0.4, gradient_bytes=8_193 * 4, steps=steps, seed=seed,
+            ),
+            paper_speedup=PAPER_SCALING[
+                "hyperplane strong scaling, 8 ranks, eager (solo, 400 ms)"
+            ],
+        )
+    )
+    rows.append(
+        ScalingRow(
+            name="hyperplane strong scaling, 8 ranks, synch-SGD (400 ms)",
+            world_size=8,
+            mode="sync",
+            speedup=_projected_speedup(
+                "sync", 8, serial / 8, serial, delayed_ranks=1,
+                delay_seconds=0.4, gradient_bytes=8_193 * 4, steps=steps, seed=seed,
+            ),
+            paper_speedup=None,
+        )
+    )
+
+    # --- ResNet-50, weak scaling on 64 ranks (Section 6.2.2).
+    # Single node: 1.56 steps/s at batch 128 -> 0.641 s/step; weak scaling
+    # keeps the per-rank batch at 128, so per-rank compute stays 0.641 s.
+    resnet_step = 1.0 / 1.56
+    rows.append(
+        ScalingRow(
+            name="resnet50 weak scaling, 64 ranks, eager (solo, 460 ms)",
+            world_size=64,
+            mode="solo",
+            speedup=64
+            * _projected_speedup(
+                "solo", 64, resnet_step, resnet_step, delayed_ranks=4,
+                delay_seconds=0.46, gradient_bytes=25_559_081 * 4, steps=steps, seed=seed,
+            ),
+            paper_speedup=PAPER_SCALING[
+                "resnet50 weak scaling, 64 ranks, eager (solo, 460 ms)"
+            ],
+        )
+    )
+
+    # The UCF101 weak-scaling numbers (3.72x for synch-SGD, 4.71x for
+    # majority) are driven by the *inherent* content imbalance rather than
+    # by injected delays; they are produced by
+    # :func:`run_with_inherent_imbalance` instead of a fixed-cost model.
+    return ScalingResult(rows=rows)
+
+
+def run_with_inherent_imbalance(
+    steps: int = 200, world_size: int = 8, seed: int = 0
+) -> ScalingResult:
+    """UCF101-style weak scaling with *content-driven* per-rank costs.
+
+    Instead of a fixed per-step cost, each rank's step cost is drawn from
+    the Fig. 2b batch-runtime distribution (independent per rank), which is
+    what actually separates synch-SGD from the eager variants on the video
+    workload.
+    """
+    from repro.data.ucf101 import sample_video_lengths
+    from repro.imbalance.cost_model import lstm_ucf101_cost_model
+
+    rng = seeded_rng(seed)
+    cost_model = lstm_ucf101_cost_model(batch_size=16)
+    lengths = sample_video_lengths(4096, seed=rng)
+    rows: List[ScalingRow] = []
+    durations = np.empty((steps, world_size))
+    for t in range(steps):
+        for r in range(world_size):
+            batch = rng.choice(lengths, size=16, replace=False)
+            durations[t, r] = cost_model.cost_from_size(float(np.sort(batch).sum()))
+    serial_step = float(durations.mean())
+    for mode, label in (("sync", "synch-SGD"), ("solo", "eager (solo)"),
+                        ("majority", "eager (majority)")):
+        projection = project_training_time(
+            StepTimeline(durations),
+            mode=mode,
+            gradient_bytes=34_663_525 * 4,
+            seed=seed,
+        )
+        rows.append(
+            ScalingRow(
+                name=f"ucf101 weak scaling (inherent imbalance), {label}",
+                world_size=world_size,
+                mode=mode,
+                speedup=world_size * (steps * serial_step) / projection.total_time,
+                paper_speedup=PAPER_SCALING.get(f"ucf101 weak scaling, 8 ranks, {label}"),
+            )
+        )
+    return ScalingResult(rows=rows)
+
+
+def report(result: ScalingResult) -> str:
+    rows = [
+        (
+            r.name,
+            r.world_size,
+            round(r.speedup, 2),
+            r.paper_speedup if r.paper_speedup is not None else "-",
+        )
+        for r in result.rows
+    ]
+    return format_table(
+        ["scenario", "ranks", "measured speedup", "paper speedup"],
+        rows,
+        title="Strong/weak scaling projections vs single GPU node",
+    )

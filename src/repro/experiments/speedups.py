@@ -1,0 +1,120 @@
+"""Headline speedups quoted in the paper's abstract and Section 6.
+
+This harness aggregates the training experiments (Figs. 10-13) into a
+single speedup summary comparing eager-SGD against the synchronous
+baselines, mirroring the abstract's claim of a "1.27x speedup over
+state-of-the-art synchronous SGD without losing accuracy" (majority
+allreduce on UCF101) and the per-experiment numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments import fig10_hyperplane, fig12_cifar_severe, fig13_ucf101_lstm
+from repro.experiments.report import format_table
+
+
+@dataclass
+class SpeedupRow:
+    """One headline comparison (measured vs paper)."""
+
+    experiment: str
+    variant: str
+    measured: float
+    paper: float
+    accuracy_measured: float
+    accuracy_paper: float
+
+
+@dataclass
+class SpeedupSummary:
+    rows: List[SpeedupRow] = field(default_factory=list)
+
+
+def run(scale: str = "tiny", seed: int = 0) -> SpeedupSummary:
+    """Run the training experiments at the requested scale and aggregate.
+
+    ``scale="tiny"`` keeps the aggregate run inside a couple of minutes on
+    CPU threads and is what the benchmark harness uses; larger scales
+    trade time for closer-to-paper behaviour.
+    """
+    summary = SpeedupSummary()
+
+    # Fig. 10: solo vs Deep500 for each injected delay.
+    fig10 = fig10_hyperplane.run(scale=scale, seed=seed)
+    for delay, speedup in fig10_hyperplane.speedups_per_delay(fig10).items():
+        name = f"eager-SGD-{int(delay)} (solo)"
+        paper = fig10_hyperplane.PAPER_SPEEDUPS.get(name, float("nan"))
+        eager = fig10.comparison.results[name]
+        sync = fig10.comparison.results[f"synch-SGD-{int(delay)} (Deep500)"]
+        summary.rows.append(
+            SpeedupRow(
+                experiment="Fig. 10 hyperplane",
+                variant=name,
+                measured=round(speedup, 2),
+                paper=paper,
+                accuracy_measured=round(eager.final_epoch.eval_loss, 3),
+                accuracy_paper=fig10_hyperplane.PAPER_FINAL_LOSS,
+            )
+        )
+        del sync
+
+    # Fig. 12: majority vs Horovod under severe imbalance.
+    fig12 = fig12_cifar_severe.run(scale=scale, seed=seed)
+    summary.rows.append(
+        SpeedupRow(
+            experiment="Fig. 12 CIFAR severe",
+            variant="eager-SGD (majority)",
+            measured=round(fig12.comparison.speedup_over("eager-SGD (majority)"), 2),
+            paper=fig12_cifar_severe.PAPER_MAJORITY_SPEEDUP,
+            accuracy_measured=round(
+                fig12.comparison.results["eager-SGD (majority)"].final_epoch.eval_top1, 3
+            ),
+            accuracy_paper=fig12_cifar_severe.PAPER_FINAL_TOP1["eager-SGD (majority)"],
+        )
+    )
+
+    # Fig. 13: solo and majority vs Horovod on the video workload.
+    fig13 = fig13_ucf101_lstm.run(scale=scale, seed=seed)
+    for variant, paper_speedup in fig13_ucf101_lstm.PAPER_SPEEDUPS.items():
+        summary.rows.append(
+            SpeedupRow(
+                experiment="Fig. 13 UCF101 LSTM",
+                variant=variant,
+                measured=round(fig13.comparison.speedup_over(variant), 2),
+                paper=paper_speedup,
+                accuracy_measured=round(
+                    fig13.comparison.results[variant].final_epoch.eval_top1, 3
+                ),
+                accuracy_paper=fig13_ucf101_lstm.PAPER_TEST_ACCURACY[variant]["top1"],
+            )
+        )
+    return summary
+
+
+def report(summary: SpeedupSummary) -> str:
+    rows = [
+        (
+            r.experiment,
+            r.variant,
+            r.measured,
+            r.paper,
+            r.accuracy_measured,
+            r.accuracy_paper,
+        )
+        for r in summary.rows
+    ]
+    return format_table(
+        [
+            "experiment",
+            "variant",
+            "speedup (measured)",
+            "speedup (paper)",
+            "final metric (measured)",
+            "final metric (paper)",
+        ],
+        rows,
+        title="Headline speedups of eager-SGD over synchronous SGD",
+    )

@@ -1,0 +1,185 @@
+"""Shared machinery for the training-based experiments (Figs. 10-13).
+
+Each of those figures compares several SGD variants (synch-SGD flavours
+and eager-SGD with solo/majority allreduce) on one workload and reports
+throughput and/or accuracy as a function of training time.  This module
+provides the comparison runner and the report helpers so the per-figure
+modules only declare the workload and the variant list.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.loader import Dataset
+from repro.experiments.report import format_table
+from repro.imbalance.injection import DelayInjector
+from repro.training.config import TrainingConfig
+from repro.training.metrics import TrainingResult
+from repro.training.runner import LossFn, ModelFactory, train_distributed
+
+
+@dataclass
+class VariantSpec:
+    """One line of a figure: a named SGD variant plus config overrides."""
+
+    #: Label used in reports (e.g. ``"synch-SGD-300 (Deep500)"``).
+    name: str
+    #: Exchange mode: ``sync`` / ``solo`` / ``majority`` / ``quorum``.
+    mode: str
+    #: Synchronous style when ``mode == "sync"``.
+    sync_style: str = "deep500"
+    #: Delay injector override (``None`` keeps the base config's injector).
+    delay_injector: Optional[DelayInjector] = None
+    #: Quorum size for quorum mode.
+    quorum: Optional[int] = None
+    #: Arbitrary additional config overrides.
+    overrides: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class ComparisonResult:
+    """Results of all variants of one figure."""
+
+    workload: str
+    results: Dict[str, TrainingResult]
+    baseline: str
+
+    def speedup_over(self, name: str, baseline: Optional[str] = None) -> float:
+        """Speedup of ``name`` over the baseline in projected training time."""
+        base = self.results[baseline or self.baseline]
+        other = self.results[name]
+        if other.total_sim_time <= 0:
+            return float("inf")
+        return base.total_sim_time / other.total_sim_time
+
+    def summary_rows(self) -> List[Tuple]:
+        rows = []
+        for name, result in self.results.items():
+            row = result.summary_row()
+            rows.append(
+                (
+                    name,
+                    row["total_sim_time_s"],
+                    row["throughput_steps_per_s"],
+                    row["final_eval_loss"],
+                    row["final_eval_top1"],
+                    row["final_eval_top5"],
+                    row["mean_num_active"],
+                    round(self.speedup_over(name), 2),
+                )
+            )
+        return rows
+
+
+def run_comparison(
+    workload: str,
+    model_factory: ModelFactory,
+    train_dataset: Dataset,
+    loss_fn: LossFn,
+    base_config: TrainingConfig,
+    variants: Sequence[VariantSpec],
+    eval_dataset: Optional[Dataset] = None,
+    classification: bool = True,
+    baseline: Optional[str] = None,
+) -> ComparisonResult:
+    """Run every variant and collect the results.
+
+    The baseline (for speedup computation) defaults to the first variant.
+    """
+    if not variants:
+        raise ValueError("at least one variant is required")
+    results: Dict[str, TrainingResult] = {}
+    for spec in variants:
+        config = copy.deepcopy(base_config)
+        config.mode = spec.mode
+        config.sync_style = spec.sync_style
+        if spec.delay_injector is not None:
+            config.delay_injector = spec.delay_injector
+        if spec.quorum is not None:
+            config.quorum = spec.quorum
+        for key, value in spec.overrides.items():
+            if not hasattr(config, key):
+                raise AttributeError(f"TrainingConfig has no field {key!r}")
+            setattr(config, key, value)
+        config.validate()
+        results[spec.name] = train_distributed(
+            model_factory,
+            train_dataset,
+            loss_fn,
+            config,
+            eval_dataset=eval_dataset,
+            classification=classification,
+        )
+    return ComparisonResult(
+        workload=workload,
+        results=results,
+        baseline=baseline or variants[0].name,
+    )
+
+
+# ---------------------------------------------------------------------------
+# report helpers
+# ---------------------------------------------------------------------------
+def comparison_table(comparison: ComparisonResult, title: str) -> str:
+    """The per-variant summary table printed by every training figure."""
+    return format_table(
+        [
+            "variant",
+            "train time (s, projected)",
+            "throughput (steps/s)",
+            "final eval loss",
+            "final top-1",
+            "final top-5",
+            "mean active ranks",
+            f"speedup vs {comparison.baseline}",
+        ],
+        comparison.summary_rows(),
+        title=title,
+    )
+
+
+def metric_vs_time_table(
+    comparison: ComparisonResult,
+    metric: str = "eval_top1",
+    max_points: int = 12,
+    title: str = "metric vs projected training time",
+) -> str:
+    """Per-variant series of (projected time, metric) at epoch boundaries."""
+    rows = []
+    for name, result in comparison.results.items():
+        series = result.accuracy_vs_time(metric)
+        n = len(series)
+        if n == 0:
+            continue
+        if n > max_points:
+            idx = [int(round(i * (n - 1) / (max_points - 1))) for i in range(max_points)]
+        else:
+            idx = range(n)
+        for i in idx:
+            t, v = series[i]
+            rows.append((name, i, round(t, 2), round(v, 4)))
+    return format_table(["variant", "epoch", "time (s)", metric], rows, title=title)
+
+
+def speedup_summary(
+    comparison: ComparisonResult,
+    expected: Dict[str, float],
+    baseline: Optional[str] = None,
+) -> str:
+    """Compare measured speedups against the paper's quoted numbers."""
+    rows = []
+    for name, paper_value in expected.items():
+        if name not in comparison.results:
+            continue
+        measured = comparison.speedup_over(name, baseline)
+        rows.append((name, round(measured, 2), paper_value))
+    return format_table(
+        ["variant", "measured speedup", "paper speedup"],
+        rows,
+        title=f"Speedups over {baseline or comparison.baseline}",
+    )

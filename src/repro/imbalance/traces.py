@@ -1,0 +1,102 @@
+"""Recording and summarising per-rank, per-step workload traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.utils.stats import DistributionSummary, Histogram, summarize
+
+
+@dataclass
+class TraceSummary:
+    """Summary of a runtime trace, as quoted in Section 2 of the paper."""
+
+    summary: DistributionSummary
+    histogram_centers: np.ndarray
+    histogram_counts: np.ndarray
+
+    def __str__(self) -> str:
+        return str(self.summary)
+
+
+class StepTrace:
+    """Per-rank, per-step simulated durations of a training run.
+
+    The trace is the interchange format between the training runner (which
+    records how long each rank's local work took at each step) and the
+    timing projector (:mod:`repro.simtime.training_model`), and it is what
+    the workload-characterisation experiments (Figs. 2b/3/4) summarise.
+    """
+
+    def __init__(self, world_size: int) -> None:
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = int(world_size)
+        self._steps: List[np.ndarray] = []
+        self._partial: Dict[int, Dict[int, float]] = {}
+
+    # ------------------------------------------------------------ record
+    def record(self, step: int, rank: int, duration: float) -> None:
+        """Record the duration of ``rank``'s local work at ``step``."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range")
+        self._partial.setdefault(step, {})[rank] = float(duration)
+
+    def record_step(self, durations: np.ndarray) -> None:
+        """Record a whole step at once (one duration per rank)."""
+        arr = np.asarray(durations, dtype=np.float64)
+        if arr.shape != (self.world_size,):
+            raise ValueError(
+                f"expected {self.world_size} durations, got shape {arr.shape}"
+            )
+        self._steps.append(arr.copy())
+
+    def _flush_partial(self) -> None:
+        for step in sorted(self._partial):
+            ranks = self._partial[step]
+            if len(ranks) == self.world_size:
+                row = np.array([ranks[r] for r in range(self.world_size)])
+                self._steps.append(row)
+        self._partial.clear()
+
+    # ------------------------------------------------------------- query
+    def as_matrix(self) -> np.ndarray:
+        """Return the trace as an array of shape ``(steps, world_size)``."""
+        self._flush_partial()
+        if not self._steps:
+            return np.zeros((0, self.world_size))
+        return np.stack(self._steps, axis=0)
+
+    @property
+    def num_steps(self) -> int:
+        return self.as_matrix().shape[0]
+
+    def all_durations(self) -> np.ndarray:
+        """Flattened per-batch durations across all ranks and steps."""
+        return self.as_matrix().reshape(-1)
+
+    def imbalance_ratio(self) -> float:
+        """Mean over steps of (slowest rank / mean rank) — 1.0 is balanced."""
+        matrix = self.as_matrix()
+        if matrix.size == 0:
+            return 1.0
+        means = matrix.mean(axis=1)
+        means = np.where(means > 0, means, 1.0)
+        return float((matrix.max(axis=1) / means).mean())
+
+    def summarize(self, histogram_bin_ms: float = 100.0) -> TraceSummary:
+        """Summary statistics + histogram (in milliseconds, like Figs. 2-4)."""
+        durations_ms = self.all_durations() * 1000.0
+        hist = Histogram(bin_width=histogram_bin_ms)
+        hist.extend(durations_ms)
+        centers, counts = hist.as_series()
+        return TraceSummary(
+            summary=summarize(durations_ms),
+            histogram_centers=centers,
+            histogram_counts=counts,
+        )

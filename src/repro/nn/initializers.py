@@ -1,0 +1,53 @@
+"""Weight initialisers."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, seeded_rng
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialiser (biases, batch-norm shifts)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-ones initialiser (batch-norm scales)."""
+    return np.ones(shape, dtype=np.float64)
+
+
+def normal(shape: Tuple[int, ...], std: float = 0.01, seed: SeedLike = None) -> np.ndarray:
+    """Gaussian initialiser with the given standard deviation."""
+    rng = seeded_rng(seed)
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], fan_in: int, fan_out: int, seed: SeedLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialiser."""
+    rng = seeded_rng(seed)
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Tuple[int, ...], fan_in: int, seed: SeedLike = None) -> np.ndarray:
+    """He initialiser, appropriate for ReLU networks (used by ResNets)."""
+    rng = seeded_rng(seed)
+    std = math.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def orthogonal(shape: Tuple[int, int], gain: float = 1.0, seed: SeedLike = None) -> np.ndarray:
+    """Orthogonal initialiser (recurrent weight matrices of the LSTM)."""
+    rng = seeded_rng(seed)
+    rows, cols = shape
+    a = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, _ = np.linalg.qr(a)  # q has orthonormal columns, shape (max, min)
+    if rows >= cols:
+        out = q[:rows, :cols]
+    else:
+        out = q[:cols, :rows].T
+    return gain * out

@@ -1,0 +1,154 @@
+"""Self-attention and a Transformer encoder block.
+
+The paper's language-processing workload (Section 2.2) is a Transformer
+trained on WMT16; its per-batch cost grows with the sentence length, which
+is the second source of inherent load imbalance.  The tiny encoder block
+here exercises that code path: multi-head scaled-dot-product self-attention
+with optional padding masks, a position-wise feed-forward network and
+pre-norm residual connections.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.layers.linear import Dense
+from repro.nn.layers.norm import LayerNorm
+from repro.nn.module import Module
+from repro.utils.rng import SeedLike, seeded_rng
+
+
+def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head scaled dot-product self-attention.
+
+    Input/output shape ``(batch, seq, dim)``.  An optional boolean padding
+    mask of shape ``(batch, seq)`` marks valid positions; attention scores
+    toward padded positions are set to ``-inf`` before the softmax.
+    """
+
+    def __init__(self, dim: int, num_heads: int = 4, seed: SeedLike = None) -> None:
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError(f"dim {dim} must be divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        rng = seeded_rng(seed)
+        self.wq = Dense(dim, dim, seed=rng)
+        self.wk = Dense(dim, dim, seed=rng)
+        self.wv = Dense(dim, dim, seed=rng)
+        self.wo = Dense(dim, dim, seed=rng)
+        self._cache = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        b, s, _ = x.shape
+        return x.reshape(b, s, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        b, h, s, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, s, h * d)
+
+    def forward(
+        self, x: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3 or x.shape[2] != self.dim:
+            raise ValueError(f"expected input (B, S, {self.dim}), got {x.shape}")
+        q = self._split_heads(self.wq(x))
+        k = self._split_heads(self.wk(x))
+        v = self._split_heads(self.wv(x))
+        scale = 1.0 / math.sqrt(self.head_dim)
+        scores = np.einsum("bhqd,bhkd->bhqk", q, k) * scale
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            scores = np.where(mask[:, None, None, :], scores, -1e30)
+        attn = _softmax(scores, axis=-1)
+        context = np.einsum("bhqk,bhkd->bhqd", attn, v)
+        merged = self._merge_heads(context)
+        out = self.wo(merged)
+        self._cache = (q, k, v, attn, scale, x.shape)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("attention backward called before forward")
+        q, k, v, attn, scale, input_shape = self._cache
+        g_merged = self.wo.backward(np.asarray(grad_output, dtype=np.float64))
+        b, s, _ = input_shape
+        g_context = g_merged.reshape(b, s, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+        g_attn = np.einsum("bhqd,bhkd->bhqk", g_context, v)
+        g_v = np.einsum("bhqk,bhqd->bhkd", attn, g_context)
+        # Softmax backward per row.
+        dot = (g_attn * attn).sum(axis=-1, keepdims=True)
+        g_scores = attn * (g_attn - dot)
+        g_scores = g_scores * scale
+        g_q = np.einsum("bhqk,bhkd->bhqd", g_scores, k)
+        g_k = np.einsum("bhqk,bhqd->bhkd", g_scores, q)
+        grad = self.wq.backward(self._merge_heads(g_q))
+        grad = grad + self.wk.backward(self._merge_heads(g_k))
+        grad = grad + self.wv.backward(self._merge_heads(g_v))
+        return grad
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward network (Dense -> ReLU -> Dense)."""
+
+    def __init__(self, dim: int, hidden_dim: int, seed: SeedLike = None) -> None:
+        super().__init__()
+        rng = seeded_rng(seed)
+        self.fc1 = Dense(dim, hidden_dim, seed=rng)
+        self.fc2 = Dense(hidden_dim, dim, seed=rng)
+        self._mask = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        hidden = self.fc1(x)
+        self._mask = hidden > 0
+        return self.fc2(hidden * self._mask)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        g = self.fc2.backward(grad_output)
+        g = g * self._mask
+        return self.fc1.backward(g)
+
+
+class TransformerEncoderBlock(Module):
+    """Pre-norm Transformer encoder block.
+
+    ``y = x + MHSA(LN(x));  out = y + FFN(LN(y))``
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int = 4,
+        ffn_dim: Optional[int] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = seeded_rng(seed)
+        ffn_dim = ffn_dim or 4 * dim
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, num_heads, seed=rng)
+        self.norm2 = LayerNorm(dim)
+        self.ffn = FeedForward(dim, ffn_dim, seed=rng)
+
+    def forward(self, x: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        y = x + self.attn.forward(self.norm1(x), mask=mask)
+        out = y + self.ffn(self.norm2(y))
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        g = np.asarray(grad_output, dtype=np.float64)
+        g_y = g + self.norm2.backward(self.ffn.backward(g))
+        g_x = g_y + self.norm1.backward(self.attn.backward(g_y))
+        return g_x

@@ -1,0 +1,81 @@
+"""Composite modules: sequential chains and residual blocks."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Chains sub-modules; backward runs them in reverse order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._layer_names: List[str] = []
+        for i, layer in enumerate(layers):
+            name = f"layer{i}"
+            self.add_module(name, layer)
+            self._layer_names.append(name)
+
+    @property
+    def layers(self) -> List[Module]:
+        return [getattr(self, name) for name in self._layer_names]
+
+    def append(self, layer: Module) -> "Sequential":
+        name = f"layer{len(self._layer_names)}"
+        self.add_module(name, layer)
+        self._layer_names.append(name)
+        return self
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def __len__(self) -> int:
+        return len(self._layer_names)
+
+
+class Residual(Module):
+    """A residual block ``y = f(x) + shortcut(x)`` (Fig. 5 of the paper).
+
+    Parameters
+    ----------
+    body:
+        The residual function ``f``.
+    shortcut:
+        Optional projection applied to ``x`` on the skip path (used when
+        the body changes the number of channels or the spatial size);
+        identity when omitted.
+    """
+
+    def __init__(self, body: Module, shortcut: Module | None = None) -> None:
+        super().__init__()
+        self.body = body
+        self.has_shortcut = shortcut is not None
+        if shortcut is not None:
+            self.shortcut = shortcut
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        main = self.body(x)
+        skip = self.shortcut(x) if self.has_shortcut else x
+        if main.shape != skip.shape:
+            raise ValueError(
+                f"residual branch shapes differ: body {main.shape} vs skip {skip.shape}"
+            )
+        return main + skip
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_main = self.body.backward(grad_output)
+        grad_skip = (
+            self.shortcut.backward(grad_output) if self.has_shortcut else grad_output
+        )
+        return grad_main + grad_skip

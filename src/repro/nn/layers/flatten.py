@@ -1,0 +1,25 @@
+"""Flatten layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Flatten(Module):
+    """Flattens all dimensions after the batch dimension."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("Flatten.backward called before forward")
+        return np.asarray(grad_output, dtype=np.float64).reshape(self._input_shape)

@@ -1,0 +1,123 @@
+"""Base class for layers and models."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable array together with its gradient accumulator."""
+
+    __slots__ = ("data", "grad")
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Parameter(shape={self.data.shape})"
+
+
+class Module:
+    """Base class for every layer and model.
+
+    Subclasses register parameters with :meth:`add_parameter` and child
+    modules with :meth:`add_module` (or simply by assigning them to
+    attributes — assignment is intercepted), implement ``forward`` (which
+    must cache whatever the backward pass needs) and ``backward`` (which
+    must accumulate parameter gradients into ``param.grad`` and return the
+    gradient with respect to the layer input).
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    # ---------------------------------------------------------- registry
+    def __setattr__(self, name: str, value) -> None:
+        params = getattr(self, "_parameters", None)
+        modules = getattr(self, "_modules", None)
+        if params is None or modules is None:
+            raise AttributeError(
+                f"{type(self).__name__}: call super().__init__() before "
+                "assigning parameters or sub-modules"
+            )
+        if isinstance(value, Parameter):
+            params[name] = value
+            modules.pop(name, None)
+        elif isinstance(value, Module):
+            modules[name] = value
+            params.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def add_parameter(self, name: str, data: np.ndarray) -> Parameter:
+        param = Parameter(data)
+        setattr(self, name, param)
+        return param
+
+    def add_module(self, name: str, module: "Module") -> "Module":
+        setattr(self, name, module)
+        return module
+
+    # ------------------------------------------------------------ access
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(hierarchical_name, parameter)`` pairs, depth first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}/")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield (prefix.rstrip("/"), self)
+        for child_name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{child_name}/")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters (Table 1's "Parameters" column)."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------- modes
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout, batch norm)."""
+        object.__setattr__(self, "training", mode)
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # --------------------------------------------------------- interface
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"

@@ -1,0 +1,197 @@
+"""Optimizers and learning-rate schedules.
+
+The optimizer is the update rule ``U`` of Algorithm 1/2 in the paper: given
+the (globally averaged) gradients it produces the weight update.  The
+distributed layer (:mod:`repro.training`) always passes *already reduced*
+gradients, so these optimizers are purely local.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class LearningRateSchedule:
+    """Base class: maps a step index to a learning rate."""
+
+    def lr(self, step: int) -> float:
+        raise NotImplementedError
+
+    def __call__(self, step: int) -> float:
+        return self.lr(step)
+
+
+class ConstantLR(LearningRateSchedule):
+    """A constant learning rate."""
+
+    def __init__(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError("learning rate must be positive")
+        self.value = float(value)
+
+    def lr(self, step: int) -> float:
+        return self.value
+
+
+class StepDecayLR(LearningRateSchedule):
+    """Piecewise-constant decay: multiply by ``factor`` at each milestone."""
+
+    def __init__(self, base: float, milestones: Iterable[int], factor: float = 0.1) -> None:
+        if base <= 0:
+            raise ValueError("base learning rate must be positive")
+        self.base = float(base)
+        self.milestones = sorted(int(m) for m in milestones)
+        self.factor = float(factor)
+
+    def lr(self, step: int) -> float:
+        drops = sum(1 for m in self.milestones if step >= m)
+        return self.base * (self.factor**drops)
+
+
+class WarmupLR(LearningRateSchedule):
+    """Linear warmup followed by another schedule (large-batch recipes)."""
+
+    def __init__(self, target: LearningRateSchedule, warmup_steps: int) -> None:
+        if warmup_steps < 0:
+            raise ValueError("warmup_steps must be non-negative")
+        self.target = target
+        self.warmup_steps = int(warmup_steps)
+
+    def lr(self, step: int) -> float:
+        base = self.target.lr(step)
+        if self.warmup_steps == 0 or step >= self.warmup_steps:
+            return base
+        return base * (step + 1) / self.warmup_steps
+
+
+def _as_schedule(lr) -> LearningRateSchedule:
+    if isinstance(lr, LearningRateSchedule):
+        return lr
+    return ConstantLR(float(lr))
+
+
+class Optimizer:
+    """Base optimizer operating on a module's parameters."""
+
+    def __init__(self, module: Module, lr) -> None:
+        self.module = module
+        self.schedule = _as_schedule(lr)
+        self.step_count = 0
+
+    @property
+    def parameters(self) -> List[Parameter]:
+        return self.module.parameters()
+
+    def zero_grad(self) -> None:
+        self.module.zero_grad()
+
+    def current_lr(self) -> float:
+        return self.schedule.lr(self.step_count)
+
+    def step(self) -> None:
+        """Apply one update using the gradients stored in the parameters."""
+        lr = self.current_lr()
+        self._apply(lr)
+        self.step_count += 1
+
+    def _apply(self, lr: float) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional weight decay."""
+
+    def __init__(self, module: Module, lr, weight_decay: float = 0.0) -> None:
+        super().__init__(module, lr)
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.weight_decay = weight_decay
+
+    def _apply(self, lr: float) -> None:
+        for param in self.parameters:
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            param.data -= lr * grad
+
+
+class MomentumSGD(Optimizer):
+    """SGD with (optionally Nesterov) momentum — the paper's update rule."""
+
+    def __init__(
+        self,
+        module: Module,
+        lr,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(module, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def _apply(self, lr: float) -> None:
+        for param in self.parameters:
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            vel = self._velocity.get(id(param))
+            if vel is None:
+                vel = np.zeros_like(param.data)
+            vel = self.momentum * vel + grad
+            self._velocity[id(param)] = vel
+            update = grad + self.momentum * vel if self.nesterov else vel
+            param.data -= lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer."""
+
+    def __init__(
+        self,
+        module: Module,
+        lr,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(module, lr)
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def _apply(self, lr: float) -> None:
+        t = self.step_count + 1
+        for param in self.parameters:
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m = self._m.get(id(param))
+            v = self._v.get(id(param))
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad**2
+            self._m[id(param)] = m
+            self._v[id(param)] = v
+            m_hat = m / (1 - self.beta1**t)
+            v_hat = v / (1 - self.beta2**t)
+            param.data -= lr * m_hat / (np.sqrt(v_hat) + self.eps)

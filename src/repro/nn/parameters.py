@@ -1,0 +1,84 @@
+"""Flattening parameters and gradients to a single vector and back.
+
+Distributed data-parallel SGD reduces the gradient of *every* parameter in
+one (or a few fused) allreduce operations; the partial collectives of this
+reproduction likewise operate on one flat ``float64`` vector per step.
+These helpers define a stable parameter ordering (sorted hierarchical
+names), pack/unpack the vectors and provide the parameter count reported
+in Table 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def _ordered_named_parameters(module: Module) -> List[Tuple[str, "np.ndarray"]]:
+    named = sorted(module.named_parameters(), key=lambda kv: kv[0])
+    names = [n for n, _ in named]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(f"duplicate parameter names: {dupes}")
+    return named
+
+
+def parameter_count(module: Module) -> int:
+    """Number of scalar trainable parameters (Table 1's Parameters column)."""
+    return module.num_parameters()
+
+
+def flatten_parameters(module: Module) -> np.ndarray:
+    """Concatenate all parameters into one 1-D vector (stable order)."""
+    named = _ordered_named_parameters(module)
+    if not named:
+        return np.zeros(0)
+    return np.concatenate([p.data.reshape(-1) for _, p in named])
+
+
+def flatten_gradients(module: Module) -> np.ndarray:
+    """Concatenate all parameter gradients into one 1-D vector."""
+    named = _ordered_named_parameters(module)
+    if not named:
+        return np.zeros(0)
+    return np.concatenate([p.grad.reshape(-1) for _, p in named])
+
+
+def unflatten_parameters(module: Module, flat: np.ndarray) -> Dict[str, np.ndarray]:
+    """Split a flat vector back into per-parameter arrays (no assignment)."""
+    flat = np.asarray(flat, dtype=np.float64).reshape(-1)
+    named = _ordered_named_parameters(module)
+    total = sum(p.size for _, p in named)
+    if flat.size != total:
+        raise ValueError(
+            f"flat vector has {flat.size} elements but the module has {total} parameters"
+        )
+    out: Dict[str, np.ndarray] = {}
+    offset = 0
+    for name, param in named:
+        n = param.size
+        out[name] = flat[offset : offset + n].reshape(param.data.shape)
+        offset += n
+    return out
+
+
+def assign_flat_parameters(module: Module, flat: np.ndarray) -> None:
+    """Overwrite the module's parameters from a flat vector (model sync)."""
+    pieces = unflatten_parameters(module, flat)
+    for name, param in _ordered_named_parameters(module):
+        param.data[...] = pieces[name]
+
+
+def assign_flat_gradients(module: Module, flat: np.ndarray) -> None:
+    """Overwrite the module's parameter gradients from a flat vector.
+
+    Used after the distributed gradient exchange: the (partial) allreduce
+    returns one flat averaged-gradient vector which is scattered back into
+    ``param.grad`` before the optimizer step.
+    """
+    pieces = unflatten_parameters(module, flat)
+    for name, param in _ordered_named_parameters(module):
+        param.grad[...] = pieces[name]

@@ -1,0 +1,44 @@
+"""Schedule engine: DAGs of communication/computation operations.
+
+A *schedule* (Section 4.1.1 of the paper) is a directed acyclic graph
+whose vertices are operations — point-to-point sends and receives, simple
+computations on buffers, and NOPs — and whose edges are happens-before
+dependencies.  Operations may depend on several others with *and* or *or*
+logic, are *consumable* (execute at most once even when multiple
+dependency paths trigger them), and a schedule may be *persistent*,
+replicating itself transparently after each execution so that the same
+partial collective can run many times without application intervention.
+
+The engine here is transport-agnostic: it executes a schedule against any
+:class:`repro.comm.Communicator`.  The collective builders in
+:mod:`repro.collectives.schedules` produce the activation and allreduce
+schedules used by the partial collectives.
+"""
+
+from repro.schedule.ops import (
+    Operation,
+    SendOp,
+    RecvOp,
+    ComputeOp,
+    NopOp,
+    TriggerOp,
+    DepMode,
+    OpState,
+)
+from repro.schedule.graph import Schedule, ScheduleValidationError
+from repro.schedule.executor import ScheduleExecutor, PersistentScheduleRunner
+
+__all__ = [
+    "Operation",
+    "SendOp",
+    "RecvOp",
+    "ComputeOp",
+    "NopOp",
+    "TriggerOp",
+    "DepMode",
+    "OpState",
+    "Schedule",
+    "ScheduleValidationError",
+    "ScheduleExecutor",
+    "PersistentScheduleRunner",
+]

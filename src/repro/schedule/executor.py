@@ -1,0 +1,225 @@
+"""Execution engine for schedules.
+
+The executor progresses a schedule against a
+:class:`repro.comm.Communicator`: operations whose dependencies are
+satisfied are executed; ready receives are matched against the rank's
+mailbox by polling, so that several receives can be outstanding at once
+and complete in whatever order the matching messages arrive (the *or*
+dependency pattern of Fig. 6 relies on this).
+
+Two drivers are provided:
+
+* :class:`ScheduleExecutor` — one execution of one schedule, run either on
+  the application thread (``run``) or incrementally (``step``) by an
+  auxiliary progress thread (Section 4.3, *asynchronous execution by
+  library offloading*).
+* :class:`PersistentScheduleRunner` — re-creates the schedule after every
+  execution so the same collective can be executed repeatedly without
+  application intervention (Section 4.1.1, *persistent schedules*).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.comm.communicator import Communicator
+from repro.schedule.graph import Schedule
+from repro.schedule.ops import (
+    ComputeOp,
+    NopOp,
+    Operation,
+    OpState,
+    RecvOp,
+    SendOp,
+    TriggerOp,
+)
+
+
+class ScheduleExecutionError(RuntimeError):
+    """The schedule could not make progress (deadlock or timeout)."""
+
+
+class ScheduleExecutor:
+    """Executes one schedule instance over a communicator.
+
+    Parameters
+    ----------
+    comm:
+        Communicator carrying the schedule's sends and receives.
+    schedule:
+        The schedule to execute.  It is validated on construction.
+    poll_interval:
+        Sleep between polling rounds when no progress is possible yet.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        schedule: Schedule,
+        poll_interval: float = 1e-4,
+    ) -> None:
+        schedule.validate()
+        self.comm = comm
+        self.schedule = schedule
+        self.poll_interval = float(poll_interval)
+        #: Number of operations executed by this executor.
+        self.executed_ops = 0
+
+    # ------------------------------------------------------------- step
+    def _execute_local(self, op: Operation) -> None:
+        """Run a send/compute/NOP operation (anything but a receive)."""
+        buffers = self.schedule.buffers
+        if isinstance(op, SendOp):
+            self.comm.send(op.payload(buffers), op.dest, tag=op.tag)
+        elif isinstance(op, (ComputeOp, NopOp, TriggerOp)):
+            op.execute(buffers)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected local op type: {type(op).__name__}")
+        op.state = OpState.DONE
+        self.executed_ops += 1
+
+    def _try_recv(self, op: RecvOp) -> bool:
+        """Poll the mailbox for the message matching a ready receive."""
+        msg = self.comm.poll(source=op.source, tag=op.tag)
+        if msg is None:
+            return False
+        op.store(self.schedule.buffers, msg)
+        op.state = OpState.DONE
+        self.executed_ops += 1
+        return True
+
+    def step(self) -> bool:
+        """Execute every currently-ready operation once.
+
+        Returns ``True`` if at least one operation completed.  Newly
+        enabled operations are picked up within the same call (the loop
+        repeats until a fixed point), so a single ``step`` drains all work
+        that does not require waiting for a message.
+        """
+        progressed_any = False
+        while True:
+            progressed = False
+            for name, op in list(self.schedule.ops.items()):
+                if not self.schedule.is_ready(name):
+                    continue
+                if isinstance(op, RecvOp):
+                    if self._try_recv(op):
+                        progressed = True
+                else:
+                    self._execute_local(op)
+                    progressed = True
+            progressed_any = progressed_any or progressed
+            if not progressed:
+                return progressed_any
+
+    # -------------------------------------------------------------- run
+    def run(
+        self,
+        until: Optional[Iterable[str]] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> Schedule:
+        """Execute until the target operations (or the whole schedule) complete.
+
+        Parameters
+        ----------
+        until:
+            Names of operations whose completion terminates execution.
+            ``None`` means "all operations".  Partial collectives pass the
+            final NOP here: operations that never fire (e.g. the external
+            activation receives of the initiator) are then abandoned via
+            :meth:`abandon_pending`.
+        timeout:
+            Overall wall-clock limit in seconds.
+        """
+        targets = list(until) if until is not None else None
+        if targets:
+            unknown = [t for t in targets if t not in self.schedule.ops]
+            if unknown:
+                raise ScheduleExecutionError(f"unknown target ops: {unknown}")
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        while not self.schedule.done(targets):
+            progressed = self.step()
+            if self.schedule.done(targets):
+                break
+            if not progressed:
+                if not self._has_pending_recv():
+                    raise ScheduleExecutionError(
+                        f"schedule {self.schedule.name!r} is stuck: no ready "
+                        "operations and no receive to wait for"
+                    )
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise ScheduleExecutionError(
+                        f"schedule {self.schedule.name!r} timed out after {timeout}s; "
+                        f"pending ops: {[o.name for o in self.schedule.pending_ops()]}"
+                    )
+                time.sleep(self.poll_interval)
+        return self.schedule
+
+    def _has_pending_recv(self) -> bool:
+        return any(
+            isinstance(op, RecvOp) and self.schedule.is_ready(name)
+            for name, op in self.schedule.ops.items()
+        )
+
+    def abandon_pending(self) -> List[str]:
+        """Mark all still-pending operations as skipped (consumed).
+
+        Used after a partial collective completes: operations that did not
+        fire in this execution (for instance the activation receives on
+        the initiator) must not fire later, because the next execution of
+        the persistent schedule starts from a fresh copy.
+        """
+        skipped = []
+        for op in self.schedule.ops.values():
+            if op.state is OpState.PENDING:
+                op.state = OpState.SKIPPED
+                skipped.append(op.name)
+        return skipped
+
+
+class PersistentScheduleRunner:
+    """Repeatedly executes a schedule, re-creating it after each run.
+
+    Parameters
+    ----------
+    comm:
+        Communicator used by every execution.
+    schedule_factory:
+        Callable ``(execution_index) -> Schedule`` building the schedule
+        for a given execution.  Building per execution (rather than
+        deep-copying a template) lets tags be namespaced per round, which
+        keeps concurrent asynchronous executions of the same collective
+        from stealing each other's messages.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        schedule_factory: Callable[[int], Schedule],
+        poll_interval: float = 1e-4,
+    ) -> None:
+        self.comm = comm
+        self.schedule_factory = schedule_factory
+        self.poll_interval = poll_interval
+        self.executions = 0
+        #: Buffers persisting across executions (latest result wins).
+        self.persistent_buffers: Dict[str, object] = {}
+
+    def execute(
+        self,
+        until: Optional[Iterable[str]] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> Schedule:
+        """Run the next execution of the persistent schedule."""
+        schedule = self.schedule_factory(self.executions)
+        # Share the persistent buffers: the receive buffer always contains
+        # the value of the latest execution (Section 4.1.1).
+        for key, value in self.persistent_buffers.items():
+            schedule.buffers.setdefault(key, value)
+        executor = ScheduleExecutor(self.comm, schedule, poll_interval=self.poll_interval)
+        executor.run(until=until, timeout=timeout)
+        executor.abandon_pending()
+        self.persistent_buffers.update(schedule.buffers)
+        self.executions += 1
+        return schedule

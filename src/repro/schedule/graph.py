@@ -1,0 +1,190 @@
+"""Schedule graphs: operations + happens-before dependencies + buffers."""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.schedule.ops import (
+    ComputeOp,
+    DepMode,
+    NopOp,
+    Operation,
+    OpState,
+    RecvOp,
+    SendOp,
+    TriggerOp,
+)
+
+
+class ScheduleValidationError(ValueError):
+    """The schedule is structurally invalid (cycle, missing op, ...)."""
+
+
+class Schedule:
+    """A DAG of operations executed by one rank.
+
+    A schedule also owns a dictionary of named *buffers* shared by its
+    operations: send buffers, receive buffers and intermediates of the
+    reduction computation.  Buffers are plain Python/NumPy values.
+
+    Parameters
+    ----------
+    name:
+        Human-readable schedule name (e.g. ``"solo-allreduce[rank=3]"``).
+    persistent:
+        Whether the schedule transparently re-creates itself after being
+        executed (Section 4.1.1, *persistent schedules*).  The re-creation
+        itself is performed by
+        :class:`repro.schedule.executor.PersistentScheduleRunner`.
+    """
+
+    def __init__(self, name: str = "schedule", persistent: bool = False) -> None:
+        self.name = name
+        self.persistent = persistent
+        self.ops: Dict[str, Operation] = {}
+        self.buffers: Dict[str, Any] = {}
+        self._graph = nx.DiGraph()
+
+    # ------------------------------------------------------------ build
+    def add(self, op: Operation, after: Iterable[str] = ()) -> Operation:
+        """Add ``op`` to the schedule, depending on the ops named in ``after``."""
+        if op.name in self.ops:
+            raise ScheduleValidationError(f"duplicate operation name {op.name!r}")
+        self.ops[op.name] = op
+        self._graph.add_node(op.name)
+        for dep in after:
+            self.add_dependency(dep, op.name)
+        return op
+
+    def add_dependency(self, before: str, after: str) -> None:
+        """Declare that ``after`` happens after ``before``."""
+        if after not in self.ops:
+            raise ScheduleValidationError(f"unknown operation {after!r}")
+        if before not in self.ops:
+            raise ScheduleValidationError(f"unknown operation {before!r}")
+        self._graph.add_edge(before, after)
+        self.ops[after].dependencies.append(before)
+
+    # convenience constructors -----------------------------------------
+    def nop(self, name: str, after: Iterable[str] = (), dep_mode: DepMode = DepMode.AND,
+            on_fire: Optional[Callable[[Dict[str, Any]], None]] = None) -> NopOp:
+        return self.add(NopOp(name, dep_mode=dep_mode, on_fire=on_fire), after)  # type: ignore[return-value]
+
+    def compute(self, name: str, fn: Callable[[Dict[str, Any]], None],
+                after: Iterable[str] = (), dep_mode: DepMode = DepMode.AND) -> ComputeOp:
+        return self.add(ComputeOp(name, fn, dep_mode=dep_mode), after)  # type: ignore[return-value]
+
+    def send(self, name: str, dest: int, tag: int, buffer: Optional[str] = None,
+             payload_fn: Optional[Callable[[Dict[str, Any]], Any]] = None,
+             after: Iterable[str] = (), dep_mode: DepMode = DepMode.AND) -> SendOp:
+        return self.add(
+            SendOp(name, dest, tag, buffer=buffer, payload_fn=payload_fn, dep_mode=dep_mode),
+            after,
+        )  # type: ignore[return-value]
+
+    def recv(self, name: str, source: int, tag: int, buffer: str,
+             combine: Optional[Callable[[Any, Any], Any]] = None,
+             after: Iterable[str] = (), dep_mode: DepMode = DepMode.AND) -> RecvOp:
+        return self.add(
+            RecvOp(name, source, tag, buffer, combine=combine, dep_mode=dep_mode), after
+        )  # type: ignore[return-value]
+
+    def set_buffer(self, name: str, value: Any) -> None:
+        """Set (or overwrite) a named buffer."""
+        self.buffers[name] = value
+
+    def get_buffer(self, name: str, default: Any = None) -> Any:
+        return self.buffers.get(name, default)
+
+    # --------------------------------------------------------- validate
+    def validate(self) -> None:
+        """Check the schedule is a DAG with consistent dependencies."""
+        if not nx.is_directed_acyclic_graph(self._graph):
+            cycle = nx.find_cycle(self._graph)
+            raise ScheduleValidationError(f"schedule {self.name!r} has a cycle: {cycle}")
+        for op in self.ops.values():
+            for dep in op.dependencies:
+                if dep not in self.ops:
+                    raise ScheduleValidationError(
+                        f"operation {op.name!r} depends on unknown op {dep!r}"
+                    )
+
+    # ----------------------------------------------------------- queries
+    def dependencies_of(self, name: str) -> List[str]:
+        return list(self._graph.predecessors(name))
+
+    def dependents_of(self, name: str) -> List[str]:
+        return list(self._graph.successors(name))
+
+    def roots(self) -> List[str]:
+        """Operations with no dependencies (executable immediately)."""
+        return [n for n in self._graph.nodes if self._graph.in_degree(n) == 0]
+
+    def topological_order(self) -> List[str]:
+        self.validate()
+        return list(nx.topological_sort(self._graph))
+
+    def is_ready(self, name: str) -> bool:
+        """Whether the operation's dependencies are satisfied."""
+        op = self.ops[name]
+        if op.consumed:
+            return False
+        if isinstance(op, TriggerOp) and not op.triggered:
+            return False
+        deps = self.dependencies_of(name)
+        if not deps:
+            return True
+        states = [self.ops[d].state for d in deps]
+        if op.dep_mode is DepMode.OR:
+            return any(s is OpState.DONE for s in states)
+        return all(s is OpState.DONE for s in states)
+
+    def pending_ops(self) -> List[Operation]:
+        return [op for op in self.ops.values() if op.state is OpState.PENDING]
+
+    def done(self, targets: Optional[Iterable[str]] = None) -> bool:
+        """Whether the schedule (or the given target ops) has completed."""
+        if targets is None:
+            return all(op.consumed for op in self.ops.values())
+        return all(self.ops[t].state is OpState.DONE for t in targets)
+
+    # -------------------------------------------------------- persistence
+    def fresh_copy(self) -> "Schedule":
+        """Return a pristine copy of this schedule (for persistent re-execution).
+
+        Operation objects are deep-copied with their state reset; buffers
+        are *not* copied — persistent collectives deliberately reuse their
+        send/receive buffers so that the latest execution's result
+        overwrites the previous one (Section 4.1.1).
+        """
+        clone = Schedule(self.name, persistent=self.persistent)
+        clone.buffers = self.buffers  # shared on purpose
+        for name, op in self.ops.items():
+            op_copy = copy.copy(op)
+            op_copy.dependencies = []
+            op_copy.reset()
+            clone.ops[name] = op_copy
+            clone._graph.add_node(name)
+        for before, after in self._graph.edges:
+            clone._graph.add_edge(before, after)
+            clone.ops[after].dependencies.append(before)
+        return clone
+
+    def reset(self) -> None:
+        """Reset all operation states in place (cheaper than a fresh copy)."""
+        for op in self.ops.values():
+            op.reset()
+
+    # --------------------------------------------------------------- misc
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.ops
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Schedule({self.name!r}, ops={len(self.ops)}, persistent={self.persistent})"

@@ -1,0 +1,226 @@
+"""Operations composing a schedule.
+
+Four operation kinds are defined, mirroring Section 4.1.1 of the paper:
+
+* point-to-point communications: :class:`SendOp` and :class:`RecvOp`;
+* :class:`ComputeOp`: simple computations between arrays held in the
+  schedule's named buffers;
+* :class:`NopOp`: completes immediately, used only to build dependencies
+  (e.g. the "activation" NOP of Fig. 6).
+
+Operations are *consumable*: once executed they cannot execute again,
+which is how a schedule behaves correctly when several initiators trigger
+the same collective concurrently.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+
+class DepMode(enum.Enum):
+    """How an operation's dependencies combine."""
+
+    #: The operation becomes ready when *all* dependencies completed.
+    AND = "and"
+    #: The operation becomes ready when *any* dependency completed
+    #: (dashed-border operations in Fig. 6 of the paper).
+    OR = "or"
+
+
+class OpState(enum.Enum):
+    """Lifecycle of an operation inside one schedule execution."""
+
+    PENDING = "pending"
+    DONE = "done"
+    #: The operation was skipped: its dependencies can no longer be
+    #: satisfied in this execution (e.g. the activation receive of the
+    #: initiator itself).  Skipped operations count as "consumed".
+    SKIPPED = "skipped"
+
+
+class Operation:
+    """Base class for schedule operations.
+
+    Parameters
+    ----------
+    name:
+        Unique name within the schedule.
+    dep_mode:
+        AND/OR combination of the operation's dependencies.
+    """
+
+    def __init__(self, name: str, dep_mode: DepMode = DepMode.AND) -> None:
+        if not name:
+            raise ValueError("operation name must be non-empty")
+        self.name = name
+        self.dep_mode = dep_mode
+        self.state = OpState.PENDING
+        #: Names of operations this one depends on (filled by the Schedule).
+        self.dependencies: List[str] = []
+
+    # -- protocol used by the executor ---------------------------------
+    def reset(self) -> None:
+        """Return the operation to its pristine state (for persistence)."""
+        self.state = OpState.PENDING
+
+    @property
+    def consumed(self) -> bool:
+        return self.state is not OpState.PENDING
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.describe()}[{self.state.value}]"
+
+
+class TriggerOp(Operation):
+    """An operation fired explicitly by the application.
+
+    It models *internal activation* (the process reaching the collective
+    call, NOP ``N0`` in Fig. 6): the operation has no dependencies but is
+    not ready until :meth:`trigger` is called.  If the collective is
+    externally activated instead, the trigger op is simply never fired and
+    is abandoned at the end of the execution.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name, DepMode.AND)
+        self.triggered = False
+
+    def trigger(self) -> None:
+        self.triggered = True
+
+    def reset(self) -> None:
+        super().reset()
+        self.triggered = False
+
+    def execute(self, buffers: Dict[str, Any]) -> None:
+        if not self.triggered:
+            raise RuntimeError(f"TriggerOp {self.name} executed before being triggered")
+
+
+class NopOp(Operation):
+    """No-operation: completes immediately; used to build dependencies."""
+
+    def __init__(self, name: str, dep_mode: DepMode = DepMode.AND,
+                 on_fire: Optional[Callable[[Dict[str, Any]], None]] = None) -> None:
+        super().__init__(name, dep_mode)
+        #: Optional callback invoked when the NOP fires (used for
+        #: signalling, e.g. "the collective result is ready").
+        self.on_fire = on_fire
+
+    def execute(self, buffers: Dict[str, Any]) -> None:
+        if self.on_fire is not None:
+            self.on_fire(buffers)
+
+
+class ComputeOp(Operation):
+    """A computation between buffers, e.g. an element-wise reduction step.
+
+    Parameters
+    ----------
+    fn:
+        Callable receiving the schedule's buffer dictionary; it mutates
+        buffers in place and/or stores new entries.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Dict[str, Any]], None],
+        dep_mode: DepMode = DepMode.AND,
+    ) -> None:
+        super().__init__(name, dep_mode)
+        self.fn = fn
+
+    def execute(self, buffers: Dict[str, Any]) -> None:
+        self.fn(buffers)
+
+
+class SendOp(Operation):
+    """Send the contents of a buffer (or a computed payload) to a peer.
+
+    Parameters
+    ----------
+    dest:
+        Destination rank.
+    tag:
+        Message tag.
+    buffer:
+        Name of the schedule buffer whose *current* value is sent, or
+        ``None`` when ``payload_fn`` is given.
+    payload_fn:
+        Callable producing the payload at fire time from the buffer dict.
+        Deferring payload construction to fire time matters for partial
+        collectives: the value sent must be whatever the buffer holds when
+        the dependency fires, not when the schedule was built.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dest: int,
+        tag: int,
+        buffer: Optional[str] = None,
+        payload_fn: Optional[Callable[[Dict[str, Any]], Any]] = None,
+        dep_mode: DepMode = DepMode.AND,
+    ) -> None:
+        super().__init__(name, dep_mode)
+        if (buffer is None) == (payload_fn is None):
+            raise ValueError("SendOp requires exactly one of buffer or payload_fn")
+        self.dest = int(dest)
+        self.tag = int(tag)
+        self.buffer = buffer
+        self.payload_fn = payload_fn
+
+    def payload(self, buffers: Dict[str, Any]) -> Any:
+        if self.payload_fn is not None:
+            return self.payload_fn(buffers)
+        if self.buffer not in buffers:
+            raise KeyError(f"SendOp {self.name}: buffer {self.buffer!r} not found")
+        value = buffers[self.buffer]
+        return value.copy() if isinstance(value, np.ndarray) else value
+
+
+class RecvOp(Operation):
+    """Receive a message and store its payload into a buffer.
+
+    Parameters
+    ----------
+    source:
+        Source rank (or :data:`repro.comm.ANY_SOURCE`).
+    tag:
+        Message tag (or :data:`repro.comm.ANY_TAG`).
+    buffer:
+        Name of the schedule buffer to store the received payload into.
+    combine:
+        Optional binary function ``(existing, received) -> new`` applied
+        when the buffer already exists — used to implement reduction steps
+        (e.g. ``existing + received`` in a recursive-doubling exchange).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        source: int,
+        tag: int,
+        buffer: str,
+        combine: Optional[Callable[[Any, Any], Any]] = None,
+        dep_mode: DepMode = DepMode.AND,
+    ) -> None:
+        super().__init__(name, dep_mode)
+        self.source = int(source)
+        self.tag = int(tag)
+        self.buffer = buffer
+        self.combine = combine
+
+    def store(self, buffers: Dict[str, Any], payload: Any) -> None:
+        if self.combine is not None and self.buffer in buffers:
+            buffers[self.buffer] = self.combine(buffers[self.buffer], payload)
+        else:
+            buffers[self.buffer] = payload

@@ -1,0 +1,69 @@
+"""Discrete-event simulation and analytic cost models.
+
+The paper's latency microbenchmark (Fig. 9) and its large-scale runs (64
+GPU nodes on Piz Daint) need a network substrate that we do not have in a
+single-process reproduction.  This package provides two complementary
+substitutes:
+
+* an **analytic LogGP-style cost model** (:mod:`repro.simtime.network`,
+  :mod:`repro.simtime.collective_model`) for point-to-point messages and
+  for the collective algorithms (recursive doubling, ring, binomial
+  broadcast, plus the activation + reduction structure of solo/majority
+  allreduce);
+* a small **discrete-event engine** (:mod:`repro.simtime.engine`) on which
+  the collectives are simulated message by message
+  (:mod:`repro.simtime.collective_sim`), validating the analytic model;
+* a **training-time projector** (:mod:`repro.simtime.training_model`) that
+  converts per-rank per-step compute times into end-to-end training time
+  under synchronous SGD, solo, majority and quorum eager-SGD — this is
+  what produces the paper-scale time axes of Figures 10-13.
+"""
+
+from repro.simtime.network import LogGPParams, DEFAULT_NETWORK, message_time
+from repro.simtime.engine import Event, EventQueue, Simulator, SimProcess
+from repro.simtime.collective_model import (
+    allreduce_time,
+    broadcast_time,
+    activation_time,
+    solo_allreduce_latencies,
+    majority_allreduce_latencies,
+    synchronous_allreduce_latencies,
+    CollectiveLatencyResult,
+)
+from repro.simtime.collective_sim import simulate_partial_allreduce
+from repro.simtime.skew import (
+    linear_skew,
+    random_linear_skew,
+    constant_arrivals,
+    lognormal_noise,
+)
+from repro.simtime.training_model import (
+    StepTimeline,
+    project_training_time,
+    TrainingProjection,
+)
+
+__all__ = [
+    "LogGPParams",
+    "DEFAULT_NETWORK",
+    "message_time",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "SimProcess",
+    "allreduce_time",
+    "broadcast_time",
+    "activation_time",
+    "solo_allreduce_latencies",
+    "majority_allreduce_latencies",
+    "synchronous_allreduce_latencies",
+    "CollectiveLatencyResult",
+    "simulate_partial_allreduce",
+    "linear_skew",
+    "random_linear_skew",
+    "constant_arrivals",
+    "lognormal_noise",
+    "StepTimeline",
+    "project_training_time",
+    "TrainingProjection",
+]

@@ -1,0 +1,185 @@
+"""Message-level simulation of partial and synchronous allreduce.
+
+This module re-implements the collective protocols on top of the
+discrete-event engine (:mod:`repro.simtime.engine`), message by message,
+and serves two purposes:
+
+* it validates the closed-form latency model of
+  :mod:`repro.simtime.collective_model` (tests assert that the two agree
+  within a tolerance);
+* it lets the microbenchmark be driven at message granularity when the
+  analytic model's assumptions (e.g. no congestion between rounds) are to
+  be checked.
+
+The protocols mirror the thread-backed implementation of
+:mod:`repro.collectives.partial`: an activation dissemination broadcast
+(solo: earliest arrival initiates; majority: the designated rank
+initiates) followed by a recursive-doubling reduction performed by the
+always-available progress threads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.simtime.collective_model import ACTIVATION_MESSAGE_BYTES, RESULT_CHECK_OVERHEAD
+from repro.simtime.engine import Simulator
+from repro.simtime.network import DEFAULT_NETWORK, LogGPParams
+from repro.utils.rng import SeedLike, seeded_rng
+
+
+@dataclass(frozen=True)
+class SimulatedCollectiveResult:
+    """Outcome of one simulated collective invocation."""
+
+    #: Time at which each rank's progress thread finished the reduction.
+    completion_times: np.ndarray
+    #: Time at which each rank's progress thread was activated.
+    activation_times: np.ndarray
+    #: Per-rank latency as measured by the microbenchmark (from the rank's
+    #: own arrival until it holds the result).
+    latencies: np.ndarray
+    #: Number of ranks whose application thread had arrived by the time
+    #: their progress thread swapped out the send buffer.
+    num_active: int
+    #: Rank that initiated the collective (-1 for synchronous).
+    initiator: int
+    #: Total number of messages exchanged.
+    messages: int
+
+
+def _check_power_of_two(size: int) -> int:
+    if size < 1 or size & (size - 1):
+        raise ValueError(
+            f"the message-level simulation supports power-of-two sizes only, got {size}"
+        )
+    return int(math.log2(size)) if size > 1 else 0
+
+
+def simulate_partial_allreduce(
+    arrivals: Sequence[float],
+    nbytes: int,
+    mode: str = "solo",
+    params: LogGPParams = DEFAULT_NETWORK,
+    seed: SeedLike = None,
+    initiator: Optional[int] = None,
+) -> SimulatedCollectiveResult:
+    """Simulate one allreduce invocation at message granularity.
+
+    Parameters
+    ----------
+    arrivals:
+        Per-rank arrival times (seconds) of the *application* thread at
+        the collective call.
+    nbytes:
+        Size of each rank's contribution in bytes.
+    mode:
+        ``"solo"``, ``"majority"``, ``"quorum:<Q>"`` or ``"sync"``.
+    initiator:
+        Designated initiator for majority mode (drawn from ``seed`` when
+        omitted).
+    """
+    arr = np.asarray(arrivals, dtype=np.float64)
+    size = arr.size
+    num_rounds = _check_power_of_two(size)
+    depth = max(1, num_rounds) if size > 1 else 0
+
+    if mode == "solo":
+        init_rank = int(np.argmin(arr))
+    elif mode == "majority":
+        if initiator is None:
+            rng = seeded_rng(seed)
+            initiator = int(rng.integers(0, size))
+        init_rank = int(initiator)
+    elif mode.startswith("quorum"):
+        quorum = int(mode.split(":", 1)[1]) if ":" in mode else max(1, size // 2)
+        order = np.argsort(arr, kind="stable")
+        init_rank = int(order[quorum - 1])
+    elif mode == "sync":
+        init_rank = -1
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+
+    sim = Simulator(params)
+    activation_times = np.zeros(size)
+    completion_times = np.zeros(size)
+
+    def make_process(pid: int):
+        def proc(simulator: Simulator, _pid: int):
+            pending: List = []
+
+            # ---------------- activation phase ----------------
+            if mode == "sync":
+                yield ("wait", float(arr[pid]))
+            elif pid == init_rank:
+                yield ("wait", float(arr[pid]))
+                for j in range(depth):
+                    dest = (pid + (1 << j)) % size
+                    if dest != pid:
+                        yield ("send", dest, ("act", j), ACTIVATION_MESSAGE_BYTES)
+            else:
+                # Wait for the first activation message and forward it.
+                while True:
+                    msg = yield ("recv",)
+                    if msg[0] == "act":
+                        j_in = msg[1]
+                        break
+                    pending.append(msg)
+                for j in range(j_in + 1, depth):
+                    dest = (pid + (1 << j)) % size
+                    if dest != pid:
+                        yield ("send", dest, ("act", j), ACTIVATION_MESSAGE_BYTES)
+            activation_times[pid] = simulator.now
+
+            # ---------------- reduction phase ----------------
+            for k in range(num_rounds):
+                partner = pid ^ (1 << k)
+                yield ("send", partner, ("red", k, pid), nbytes)
+                # Consume the matching round-k reduction message; buffer
+                # reduction messages from faster partners that are already
+                # in a later round, drop duplicate activations.
+                found = False
+                for i, msg in enumerate(pending):
+                    if msg[0] == "red" and msg[1] == k:
+                        pending.pop(i)
+                        found = True
+                        break
+                while not found:
+                    msg = yield ("recv",)
+                    if msg[0] == "red" and msg[1] == k:
+                        found = True
+                    elif msg[0] != "act":
+                        pending.append(msg)
+                yield ("wait", nbytes * params.gamma)
+            completion_times[pid] = simulator.now
+
+        return proc
+
+    for pid in range(size):
+        sim.add_process(pid, make_process(pid))
+    sim.run()
+
+    if mode == "sync":
+        latencies = completion_times - arr
+        num_active = size
+    else:
+        # A rank arriving after its progress thread completed the round
+        # only pays the cost of checking the receive buffer.
+        latencies = np.where(
+            arr <= completion_times,
+            completion_times - arr,
+            RESULT_CHECK_OVERHEAD,
+        )
+        num_active = int(np.sum(arr <= activation_times))
+    return SimulatedCollectiveResult(
+        completion_times=completion_times,
+        activation_times=activation_times,
+        latencies=latencies,
+        num_active=num_active,
+        initiator=init_rank,
+        messages=sim.messages_sent,
+    )

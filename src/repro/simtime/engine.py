@@ -1,0 +1,185 @@
+"""A small discrete-event simulation engine.
+
+Processes are generator coroutines that ``yield`` simulation commands:
+
+* ``("wait", dt)`` — advance the process's local time by ``dt`` seconds;
+* ``("send", dest, payload, nbytes)`` — deliver a message to process
+  ``dest`` after the network delay given by the engine's cost model;
+* ``("recv",)`` — block until a message is available, which is then sent
+  back into the generator as the value of the ``yield`` expression.
+
+The engine is deterministic: events at equal times are ordered by their
+insertion sequence number.  It is intentionally minimal — just enough to
+simulate collective algorithms message-by-message for the latency
+microbenchmark — but fully generic, and reused by the collective
+simulator and by tests that validate the analytic cost model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
+
+from repro.simtime.network import DEFAULT_NETWORK, LogGPParams, message_time
+
+SimCommand = Tuple
+SimGenerator = Generator[SimCommand, Any, None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback in the event queue."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """Priority queue of events ordered by (time, insertion sequence)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: Callable[[], None]) -> Event:
+        if time < 0:
+            raise ValueError(f"cannot schedule an event at negative time {time}")
+        event = Event(time, next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class SimProcess:
+    """Bookkeeping for one simulated process (rank)."""
+
+    def __init__(self, pid: int, generator: SimGenerator) -> None:
+        self.pid = pid
+        self.generator = generator
+        self.inbox: Deque[Any] = deque()
+        self.waiting_for_message = False
+        self.finished = False
+        self.finish_time: Optional[float] = None
+        self.local_time = 0.0
+
+
+class Simulator:
+    """Runs a set of simulated processes to completion.
+
+    Parameters
+    ----------
+    network:
+        Cost model used for ``send`` commands.
+    """
+
+    def __init__(self, network: LogGPParams = DEFAULT_NETWORK) -> None:
+        self.network = network
+        self.queue = EventQueue()
+        self.processes: Dict[int, SimProcess] = {}
+        self.now = 0.0
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------- build
+    def add_process(
+        self,
+        pid: int,
+        factory: Callable[["Simulator", int], SimGenerator],
+        start_time: float = 0.0,
+    ) -> SimProcess:
+        """Register a process; its generator starts at ``start_time``."""
+        if pid in self.processes:
+            raise ValueError(f"duplicate process id {pid}")
+        proc = SimProcess(pid, factory(self, pid))
+        self.processes[pid] = proc
+        self.queue.push(start_time, lambda: self._resume(proc, None))
+        return proc
+
+    # --------------------------------------------------------------- run
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the queue empties (or ``until`` is reached)."""
+        while self.queue:
+            event = self.queue.pop()
+            if until is not None and event.time > until:
+                self.now = until
+                return self.now
+            self.now = event.time
+            event.callback()
+        return self.now
+
+    # ---------------------------------------------------------- plumbing
+    def _resume(self, proc: SimProcess, value: Any) -> None:
+        if proc.finished:
+            return
+        proc.local_time = self.now
+        try:
+            command = proc.generator.send(value)
+        except StopIteration:
+            proc.finished = True
+            proc.finish_time = self.now
+            return
+        self._dispatch(proc, command)
+
+    def _dispatch(self, proc: SimProcess, command: SimCommand) -> None:
+        kind = command[0]
+        if kind == "wait":
+            _, dt = command
+            if dt < 0:
+                raise ValueError(f"process {proc.pid}: negative wait {dt}")
+            self.queue.push(self.now + dt, lambda: self._resume(proc, None))
+        elif kind == "send":
+            _, dest, payload, nbytes = command
+            self._send(proc, dest, payload, nbytes)
+            # Sending is asynchronous: the sender resumes immediately
+            # after the injection overhead alpha.
+            self.queue.push(
+                self.now + self.network.alpha, lambda: self._resume(proc, None)
+            )
+        elif kind == "recv":
+            self._recv(proc)
+        else:
+            raise ValueError(f"process {proc.pid}: unknown command {command!r}")
+
+    def _send(self, proc: SimProcess, dest: int, payload: Any, nbytes: int) -> None:
+        if dest not in self.processes:
+            raise ValueError(f"process {proc.pid}: unknown destination {dest}")
+        self.messages_sent += 1
+        target = self.processes[dest]
+        arrival = self.now + message_time(nbytes, self.network)
+
+        def deliver() -> None:
+            target.inbox.append(payload)
+            if target.waiting_for_message:
+                target.waiting_for_message = False
+                msg = target.inbox.popleft()
+                self._resume(target, msg)
+
+        self.queue.push(arrival, deliver)
+
+    def _recv(self, proc: SimProcess) -> None:
+        if proc.inbox:
+            msg = proc.inbox.popleft()
+            # Consume the message immediately (zero-time local dequeue).
+            self.queue.push(self.now, lambda: self._resume(proc, msg))
+        else:
+            proc.waiting_for_message = True
+
+    # ------------------------------------------------------------- query
+    def finish_times(self) -> Dict[int, float]:
+        """Completion time of every finished process."""
+        return {
+            pid: proc.finish_time
+            for pid, proc in self.processes.items()
+            if proc.finish_time is not None
+        }

@@ -1,0 +1,51 @@
+"""LogGP-style network cost model.
+
+The model follows the classic LogGP parametrisation: a message of ``n``
+bytes between two ranks costs ``alpha + n * beta`` seconds, where
+``alpha`` captures latency plus per-message overhead and ``beta`` is the
+inverse bandwidth.  Reduction arithmetic contributes ``gamma`` seconds per
+reduced byte.  The defaults approximate the Cray Aries interconnect of Piz
+Daint used in the paper (a few microseconds of latency, ~10 GB/s per-node
+effective bandwidth), which is sufficient to reproduce the *shape* of the
+latency figures; absolute values are not the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LogGPParams:
+    """Network and reduction cost parameters (seconds and seconds/byte)."""
+
+    #: Per-message latency + overhead (seconds).
+    alpha: float = 2.0e-6
+    #: Inverse bandwidth (seconds per byte).
+    beta: float = 1.0e-10
+    #: Reduction compute cost (seconds per byte of reduced data).
+    gamma: float = 2.5e-11
+    #: Fixed software overhead of entering a collective (seconds).
+    collective_overhead: float = 5.0e-6
+
+    def validate(self) -> None:
+        if self.alpha < 0 or self.beta < 0 or self.gamma < 0 or self.collective_overhead < 0:
+            raise ValueError("network parameters must be non-negative")
+
+
+#: Default parameters used by the microbenchmark and the projections.
+DEFAULT_NETWORK = LogGPParams()
+
+
+def message_time(nbytes: int, params: LogGPParams = DEFAULT_NETWORK) -> float:
+    """Time to move one ``nbytes`` message between two ranks."""
+    if nbytes < 0:
+        raise ValueError(f"message size must be non-negative, got {nbytes}")
+    return params.alpha + nbytes * params.beta
+
+
+def reduction_time(nbytes: int, params: LogGPParams = DEFAULT_NETWORK) -> float:
+    """Time to combine ``nbytes`` of data with a reduction operator."""
+    if nbytes < 0:
+        raise ValueError(f"reduction size must be non-negative, got {nbytes}")
+    return nbytes * params.gamma

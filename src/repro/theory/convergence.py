@@ -1,0 +1,138 @@
+"""Convergence bounds of eager-SGD (Theorem 5.2 of the paper).
+
+The theorem states that, for an ``L``-smooth lower-bounded objective with
+unbiased gradients of bounded second moment ``M^2``, eager-SGD with quorum
+size ``Q`` (out of ``P`` processes) and staleness bound ``tau`` reaches an
+iterate with squared gradient norm at most ``epsilon`` after
+``T = Theta((f(w0) - m) / (epsilon * alpha))`` iterations, provided the
+learning rate ``alpha`` is at most
+
+    min( sqrt(eps * P / (12 * L * tau * M * (P - Q))),
+         eps * P / (4 * L^3 * tau * M * (P - Q)),
+         eps / (12 * M^2 * L) ).
+
+The third term is the classic non-convex SGD learning-rate cap; the first
+two shrink as the staleness ``tau`` and the number of missing contributions
+``P - Q`` grow — the quantitative version of "more stragglers and staler
+gradients demand a smaller learning rate and more iterations".  When
+``Q = P`` (a fully synchronous allreduce) the first two terms are vacuous
+and the bound reduces to the standard one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ConvergenceAssumptions:
+    """Constants of Assumptions 1 and 2 plus the system parameters.
+
+    Attributes
+    ----------
+    smoothness:
+        ``L`` — the gradient Lipschitz constant.
+    second_moment:
+        ``M`` — bound on ``sqrt(E[||G||^2])``.
+    loss_gap:
+        ``f(w_0) - m`` — initial suboptimality (lower bound ``m``).
+    num_processes:
+        ``P``.
+    quorum:
+        ``Q`` — minimum number of fresh contributions per round
+        (``P`` for synchronous SGD, ``>= P/2`` in expectation for majority,
+        ``>= 1`` for solo).
+    staleness_bound:
+        ``tau`` — maximum number of consecutive rounds an update can be
+        rejected before being included.
+    """
+
+    smoothness: float
+    second_moment: float
+    loss_gap: float
+    num_processes: int
+    quorum: int
+    staleness_bound: int
+
+    def validate(self) -> None:
+        if self.smoothness <= 0 or self.second_moment <= 0:
+            raise ValueError("smoothness L and second moment M must be positive")
+        if self.loss_gap < 0:
+            raise ValueError("loss gap f(w0) - m must be non-negative")
+        if self.num_processes < 1:
+            raise ValueError("P must be >= 1")
+        if not 1 <= self.quorum <= self.num_processes:
+            raise ValueError(f"Q must be in [1, P]={self.num_processes}, got {self.quorum}")
+        if self.staleness_bound < 1:
+            raise ValueError("staleness bound tau must be >= 1")
+
+
+def max_learning_rate(assumptions: ConvergenceAssumptions, epsilon: float) -> float:
+    """Largest learning rate allowed by Theorem 5.2 for accuracy ``epsilon``."""
+    assumptions.validate()
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    L = assumptions.smoothness
+    M = assumptions.second_moment
+    P = assumptions.num_processes
+    Q = assumptions.quorum
+    tau = assumptions.staleness_bound
+    missing = P - Q
+    terms = [epsilon / (12.0 * M * M * L)]
+    if missing > 0:
+        terms.append(math.sqrt(epsilon * P / (12.0 * L * tau * M * missing)))
+        terms.append(epsilon * P / (4.0 * (L**3) * tau * M * missing))
+    return min(terms)
+
+
+def iterations_to_convergence(
+    assumptions: ConvergenceAssumptions,
+    epsilon: float,
+    learning_rate: Optional[float] = None,
+) -> int:
+    """Iterations ``T = (f(w0) - m) / (epsilon * alpha)`` of Theorem 5.2.
+
+    When ``learning_rate`` is omitted, the theorem's maximal admissible
+    learning rate is used (giving the smallest guaranteed ``T``).
+    """
+    if learning_rate is None:
+        learning_rate = max_learning_rate(assumptions, epsilon)
+    if learning_rate <= 0:
+        raise ValueError("learning_rate must be positive")
+    alpha_max = max_learning_rate(assumptions, epsilon)
+    if learning_rate > alpha_max:
+        raise ValueError(
+            f"learning rate {learning_rate:g} exceeds the bound {alpha_max:g} "
+            "of Theorem 5.2 for these assumptions"
+        )
+    if assumptions.loss_gap == 0:
+        return 1
+    return max(1, math.ceil(assumptions.loss_gap / (epsilon * learning_rate)))
+
+
+def iteration_lower_bound(assumptions: ConvergenceAssumptions, epsilon: float) -> float:
+    """The paper's discussion bound ``T >= Theta((f(w0)-m) tau (P-Q) / (P eps^2))``.
+
+    Shows the linear degradation with the staleness ``tau`` and with the
+    number of missed gradients per round ``P - Q``; returns 0 for fully
+    synchronous SGD (``Q = P``).
+    """
+    assumptions.validate()
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    missing = assumptions.num_processes - assumptions.quorum
+    return (
+        assumptions.loss_gap
+        * assumptions.staleness_bound
+        * missing
+        / (assumptions.num_processes * epsilon**2)
+    )
+
+
+def has_converged(gradient_norms: Sequence[float], epsilon: float) -> bool:
+    """Theorem 5.2's success criterion: some iterate has ``||grad||^2 <= eps``."""
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    return any(float(g) ** 2 <= epsilon for g in gradient_norms)

@@ -1,0 +1,51 @@
+"""Distributed training: synchronous SGD baselines and eager-SGD.
+
+This package assembles the substrates into the paper's training systems:
+
+* :class:`~repro.training.exchange.SynchronousExchange` — the synch-SGD
+  baselines: Deep500-style ordered per-bucket allreduce and Horovod-style
+  negotiation + fused allreduce;
+* :class:`~repro.training.exchange.PartialExchange` — eager-SGD's gradient
+  exchange built on solo/majority/quorum allreduce;
+* :class:`~repro.training.distributed_sgd.DistributedSGD` — Algorithm 2:
+  local forward/backward, partial (or full) allreduce of the flat
+  gradient, optimizer update, plus staleness/quorum bookkeeping;
+* :func:`~repro.training.runner.train_distributed` — the SPMD runner that
+  executes one training job over a thread world and returns metrics,
+  workload traces and paper-scale time projections.
+"""
+
+from repro.training.config import TrainingConfig
+from repro.training.exchange import (
+    ExchangeResult,
+    GradientExchange,
+    SingleProcessExchange,
+    SynchronousExchange,
+    PartialExchange,
+    build_exchange,
+)
+from repro.training.distributed_sgd import DistributedSGD, StepStats
+from repro.training.model_sync import synchronize_model, model_hash
+from repro.training.metrics import EpochRecord, RankSummary, TrainingResult
+from repro.training.runner import train_distributed
+from repro.training.evaluation import evaluate_model, distributed_evaluate
+
+__all__ = [
+    "TrainingConfig",
+    "ExchangeResult",
+    "GradientExchange",
+    "SingleProcessExchange",
+    "SynchronousExchange",
+    "PartialExchange",
+    "build_exchange",
+    "DistributedSGD",
+    "StepStats",
+    "synchronize_model",
+    "model_hash",
+    "EpochRecord",
+    "RankSummary",
+    "TrainingResult",
+    "train_distributed",
+    "evaluate_model",
+    "distributed_evaluate",
+]

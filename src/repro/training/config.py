@@ -1,0 +1,151 @@
+"""Training configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.imbalance.cost_model import CostModel
+from repro.imbalance.injection import DelayInjector, NoDelay
+
+#: Gradient-exchange modes accepted by the runner.
+VALID_MODES = ("sync", "solo", "majority", "quorum")
+#: Synchronous baselines (Section 3 of the paper).
+VALID_SYNC_STYLES = ("deep500", "horovod")
+#: Local optimizers.
+VALID_OPTIMIZERS = ("sgd", "momentum", "adam")
+
+
+@dataclass
+class TrainingConfig:
+    """Configuration of one distributed training job.
+
+    Attributes
+    ----------
+    world_size:
+        Number of ranks (the paper uses 8, 32 or 64).
+    epochs:
+        Number of passes over the training set.
+    global_batch_size:
+        Total batch size across ranks (Table 1's batch size column).
+    mode:
+        ``"sync"`` for the synch-SGD baselines, ``"solo"`` / ``"majority"``
+        / ``"quorum"`` for eager-SGD with the corresponding partial
+        collective.
+    sync_style:
+        For ``mode="sync"``: ``"deep500"`` (ordered per-bucket allreduce)
+        or ``"horovod"`` (negotiation + fused allreduce).
+    allreduce_algorithm:
+        Algorithm used by the synchronous allreduce and the periodic model
+        synchronisation.
+    quorum:
+        Required number of fresh contributions for ``mode="quorum"``.
+    learning_rate, optimizer, momentum, weight_decay:
+        Local update rule (the ``U`` of Algorithm 2).
+    model_sync_period_epochs:
+        Eager-SGD periodically synchronises the replicas to remove the
+        divergence introduced by overwritten receive buffers (Section 5);
+        the paper synchronises "every tens of epochs".  ``None`` disables
+        the periodic synchronisation.
+    time_scale:
+        Fraction of the *simulated* per-step duration (compute cost +
+        injected delay) that is actually slept by each rank thread.
+        Non-zero values create genuine asynchrony between threads so that
+        the partial collectives see realistic arrival orders; the
+        projected time axes always use the unscaled simulated durations.
+    delay_injector, cost_model:
+        The load-imbalance model (system-induced and inherent).
+    gradient_clip:
+        Optional L2 clip applied to the local gradient before the exchange.
+    seed:
+        Base seed: model initialisation (identical on every rank), data
+        shuffling, initiator designation.
+    eval_batch_size:
+        Batch size used during evaluation passes.
+    collect_gradient_norms:
+        Record the post-exchange gradient norm each step (used by the
+        convergence-criterion checks of Section 5.1).
+    """
+
+    world_size: int = 4
+    epochs: int = 2
+    global_batch_size: int = 64
+    mode: str = "sync"
+    sync_style: str = "deep500"
+    allreduce_algorithm: str = "recursive_doubling"
+    quorum: Optional[int] = None
+    learning_rate: float = 0.05
+    optimizer: str = "sgd"
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    model_sync_period_epochs: Optional[int] = 10
+    time_scale: float = 0.0
+    delay_injector: DelayInjector = field(default_factory=NoDelay)
+    cost_model: Optional[CostModel] = None
+    gradient_clip: Optional[float] = None
+    seed: int = 0
+    eval_batch_size: int = 256
+    collect_gradient_norms: bool = False
+    fusion_buckets: int = 1
+    #: Paper-faithful single receive buffer for partial collectives: a
+    #: lagging rank only sees the latest completed round (Section 5).
+    #: Disable for exact per-round results (ablation).
+    overwrite_recvbuff: bool = True
+    #: Use independent per-rank length-bucketed input pipelines ("videos
+    #: with similar lengths are grouped into buckets", Section 2.1); this
+    #: is what makes the inherent imbalance of variable-length workloads
+    #: visible across ranks.  Requires a dataset with example sizes.
+    bucket_by_length: bool = False
+
+    def validate(self) -> None:
+        if self.world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.global_batch_size < self.world_size:
+            raise ValueError("global_batch_size must be >= world_size")
+        if self.mode not in VALID_MODES:
+            raise ValueError(f"mode must be one of {VALID_MODES}, got {self.mode!r}")
+        if self.sync_style not in VALID_SYNC_STYLES:
+            raise ValueError(
+                f"sync_style must be one of {VALID_SYNC_STYLES}, got {self.sync_style!r}"
+            )
+        if self.optimizer not in VALID_OPTIMIZERS:
+            raise ValueError(
+                f"optimizer must be one of {VALID_OPTIMIZERS}, got {self.optimizer!r}"
+            )
+        if self.mode == "quorum":
+            if self.quorum is None or not 1 <= self.quorum <= self.world_size:
+                raise ValueError(
+                    f"quorum mode requires 1 <= quorum <= {self.world_size}, got {self.quorum}"
+                )
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.time_scale < 0:
+            raise ValueError("time_scale must be non-negative")
+        if self.model_sync_period_epochs is not None and self.model_sync_period_epochs < 1:
+            raise ValueError("model_sync_period_epochs must be >= 1 or None")
+        if self.fusion_buckets < 1:
+            raise ValueError("fusion_buckets must be >= 1")
+
+    @property
+    def local_batch_size(self) -> int:
+        return self.global_batch_size // self.world_size
+
+    @property
+    def is_eager(self) -> bool:
+        """Whether the configuration runs eager-SGD (any partial collective)."""
+        return self.mode in ("solo", "majority", "quorum")
+
+    def describe(self) -> str:
+        """One-line description used in experiment reports."""
+        if self.mode == "sync":
+            variant = f"synch-SGD ({self.sync_style})"
+        else:
+            variant = f"eager-SGD ({self.mode})"
+            if self.mode == "quorum":
+                variant = f"eager-SGD (quorum={self.quorum})"
+        return (
+            f"{variant}, P={self.world_size}, batch={self.global_batch_size}, "
+            f"epochs={self.epochs}, imbalance={self.delay_injector.describe()}"
+        )

@@ -1,0 +1,226 @@
+"""Gradient exchanges: synchronous baselines and partial collectives.
+
+A *gradient exchange* turns each rank's local gradient vector into the
+globally combined gradient used by the optimizer.  Three implementations
+cover the systems compared in the paper's evaluation:
+
+* :class:`SingleProcessExchange` — no communication (P = 1 baseline runs);
+* :class:`SynchronousExchange` — synch-SGD.  Two styles are modelled:
+  ``"deep500"`` executes the per-bucket allreduces in a fixed order
+  (control dependencies in the DAG, Fig. 5), while ``"horovod"`` first
+  runs a small negotiation round (achieving consensus on which tensors are
+  ready, as Horovod's coordinator does) and then a fused allreduce;
+* :class:`PartialExchange` — eager-SGD's exchange over solo / majority /
+  quorum allreduce, including the stale-gradient accumulation semantics
+  (handled inside :class:`repro.collectives.partial.PartialAllreduce`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.comm.communicator import Communicator
+from repro.collectives.partial import PartialAllreduce, PartialMode, make_partial_allreduce
+from repro.collectives.sync import allgather, allreduce
+
+
+@dataclass(frozen=True)
+class ExchangeResult:
+    """Outcome of one gradient exchange on one rank."""
+
+    #: The combined (averaged) gradient to apply locally.
+    gradient: np.ndarray
+    #: Whether this rank's freshly computed gradient was part of the
+    #: combination (always true for synchronous exchanges).
+    included: bool
+    #: Number of ranks that contributed fresh gradients.
+    num_active: int
+    #: Seconds spent inside the exchange call (synchronisation wait).
+    wait_time: float
+
+
+class GradientExchange:
+    """Base class for gradient exchanges."""
+
+    name = "base"
+
+    def exchange(self, flat_gradient: np.ndarray) -> ExchangeResult:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any background resources (progress threads)."""
+
+    def __enter__(self) -> "GradientExchange":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SingleProcessExchange(GradientExchange):
+    """Identity exchange for single-process runs."""
+
+    name = "single"
+
+    def exchange(self, flat_gradient: np.ndarray) -> ExchangeResult:
+        return ExchangeResult(
+            gradient=np.asarray(flat_gradient, dtype=np.float64),
+            included=True,
+            num_active=1,
+            wait_time=0.0,
+        )
+
+
+class SynchronousExchange(GradientExchange):
+    """Synchronous allreduce of the gradient (synch-SGD).
+
+    Parameters
+    ----------
+    comm:
+        Application-channel communicator of this rank.
+    style:
+        ``"deep500"`` or ``"horovod"`` (see module docstring).
+    algorithm:
+        Allreduce algorithm (recursive doubling / ring / Rabenseifner).
+    fusion_buckets:
+        Number of buckets the gradient is split into.  ``1`` models a
+        fully fused allreduce; larger values model per-layer reductions
+        executed in a fixed order.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        style: str = "deep500",
+        algorithm: str = "recursive_doubling",
+        fusion_buckets: int = 1,
+    ) -> None:
+        if style not in ("deep500", "horovod"):
+            raise ValueError(f"unknown synchronous style {style!r}")
+        if fusion_buckets < 1:
+            raise ValueError("fusion_buckets must be >= 1")
+        self.comm = comm
+        self.style = style
+        self.algorithm = algorithm
+        self.fusion_buckets = fusion_buckets
+        self.name = f"sync-{style}"
+        self._step = 0
+
+    def exchange(self, flat_gradient: np.ndarray) -> ExchangeResult:
+        start = time.perf_counter()
+        flat = np.asarray(flat_gradient, dtype=np.float64)
+        if self.style == "horovod":
+            # Negotiation: the coordinator-based consensus on which tensors
+            # are ready is modelled by a small allgather of readiness
+            # tokens; it synchronises all ranks before the fused reduction.
+            allgather(self.comm, ("ready", self._step, self.comm.rank))
+        pieces: List[np.ndarray] = np.array_split(flat, self.fusion_buckets)
+        reduced: List[np.ndarray] = []
+        for piece in pieces:
+            if piece.size == 0:
+                reduced.append(piece)
+                continue
+            reduced.append(
+                allreduce(
+                    self.comm,
+                    piece,
+                    algorithm=self.algorithm,
+                    average=True,
+                )
+            )
+        self._step += 1
+        gradient = np.concatenate(reduced) if reduced else flat
+        return ExchangeResult(
+            gradient=gradient,
+            included=True,
+            num_active=self.comm.size,
+            wait_time=time.perf_counter() - start,
+        )
+
+
+class PartialExchange(GradientExchange):
+    """Eager-SGD exchange over a partial allreduce.
+
+    Parameters
+    ----------
+    comm:
+        Any communicator of this rank (the partial allreduce derives its
+        own library/activation channels from it).
+    num_parameters:
+        Length of the flat gradient vector.
+    mode:
+        ``"solo"``, ``"majority"`` or ``"quorum"``.
+    quorum:
+        Arrivals required in quorum mode.
+    seed:
+        Shared seed for the initiator designation (must match on all ranks).
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        num_parameters: int,
+        mode: str = "solo",
+        quorum: Optional[int] = None,
+        seed: int = 12345,
+        overwrite_recvbuff: bool = True,
+    ) -> None:
+        if num_parameters < 1:
+            raise ValueError("num_parameters must be >= 1")
+        kwargs = {}
+        if PartialMode(mode) is PartialMode.QUORUM:
+            kwargs["quorum"] = quorum
+        self.partial: PartialAllreduce = make_partial_allreduce(
+            comm,
+            (num_parameters,),
+            mode,
+            average=True,
+            seed=seed,
+            overwrite_recvbuff=overwrite_recvbuff,
+            **kwargs,
+        )
+        self.name = f"eager-{PartialMode(mode).value}"
+
+    def exchange(self, flat_gradient: np.ndarray) -> ExchangeResult:
+        result = self.partial.reduce(np.asarray(flat_gradient, dtype=np.float64))
+        return ExchangeResult(
+            gradient=result.data,
+            included=result.included,
+            num_active=result.num_active,
+            wait_time=result.wait_time,
+        )
+
+    def close(self) -> None:
+        self.partial.close()
+
+
+def build_exchange(
+    comm: Optional[Communicator],
+    num_parameters: int,
+    mode: str,
+    sync_style: str = "deep500",
+    algorithm: str = "recursive_doubling",
+    fusion_buckets: int = 1,
+    quorum: Optional[int] = None,
+    seed: int = 12345,
+    overwrite_recvbuff: bool = True,
+) -> GradientExchange:
+    """Build the exchange matching a :class:`repro.training.TrainingConfig`."""
+    if comm is None or comm.size == 1:
+        return SingleProcessExchange()
+    if mode == "sync":
+        return SynchronousExchange(
+            comm, style=sync_style, algorithm=algorithm, fusion_buckets=fusion_buckets
+        )
+    return PartialExchange(
+        comm,
+        num_parameters,
+        mode=mode,
+        quorum=quorum,
+        seed=seed,
+        overwrite_recvbuff=overwrite_recvbuff,
+    )

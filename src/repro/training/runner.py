@@ -1,0 +1,332 @@
+"""SPMD training runner over the thread world.
+
+:func:`train_distributed` is the user-facing entry point of the training
+side of the library: it takes a model factory, a dataset, a loss and a
+:class:`~repro.training.config.TrainingConfig`, spawns one thread per
+rank, runs the configured SGD variant and returns a
+:class:`~repro.training.metrics.TrainingResult` containing per-epoch
+metrics, the per-rank workload trace and a paper-scale timing projection.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.communicator import Communicator
+from repro.comm.world import run_world
+from repro.collectives.sync import allreduce
+from repro.data.loader import Dataset, ShardedLoader
+from repro.nn.module import Module
+from repro.nn.optim import Adam, MomentumSGD, Optimizer, SGD
+from repro.simtime.network import DEFAULT_NETWORK
+from repro.simtime.training_model import StepTimeline, project_training_time
+from repro.training.config import TrainingConfig
+from repro.training.distributed_sgd import DistributedSGD
+from repro.training.evaluation import distributed_evaluate
+from repro.training.exchange import build_exchange
+from repro.training.metrics import EpochRecord, RankSummary, TrainingResult
+from repro.training.model_sync import model_hash, synchronize_model
+
+ModelFactory = Callable[[], Module]
+LossFn = Callable[[np.ndarray, np.ndarray], Tuple[float, np.ndarray]]
+
+
+@dataclass
+class _RankOutput:
+    """Raw data returned by each rank thread."""
+
+    rank: int
+    epoch_records: List[EpochRecord]
+    step_durations: List[float]
+    max_staleness: int
+    mean_staleness: float
+    inclusion_rate: float
+    mean_num_active: float
+    min_num_active: int
+    final_model_hash: str
+    gradient_norms: List[float] = field(default_factory=list)
+
+
+def _build_optimizer(model: Module, config: TrainingConfig) -> Optimizer:
+    if config.optimizer == "sgd":
+        return SGD(model, config.learning_rate, weight_decay=config.weight_decay)
+    if config.optimizer == "momentum":
+        return MomentumSGD(
+            model,
+            config.learning_rate,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+    return Adam(model, config.learning_rate, weight_decay=config.weight_decay)
+
+
+def _nan_to(value: float, fallback: float = 0.0) -> float:
+    return fallback if value is None or math.isnan(value) else float(value)
+
+
+def _rank_main(
+    comm: Communicator,
+    model_factory: ModelFactory,
+    train_dataset: Dataset,
+    eval_dataset: Optional[Dataset],
+    loss_fn: LossFn,
+    config: TrainingConfig,
+    classification: bool,
+) -> _RankOutput:
+    config.validate()
+    rank = comm.rank
+    model = model_factory()
+    optimizer = _build_optimizer(model, config)
+    exchange = build_exchange(
+        comm,
+        max(1, model.num_parameters()),
+        config.mode,
+        sync_style=config.sync_style,
+        algorithm=config.allreduce_algorithm,
+        fusion_buckets=config.fusion_buckets,
+        quorum=config.quorum,
+        seed=config.seed + 777,
+        overwrite_recvbuff=config.overwrite_recvbuff,
+    )
+    sgd = DistributedSGD(
+        model,
+        optimizer,
+        exchange,
+        loss_fn,
+        world_size=config.world_size,
+        gradient_clip=config.gradient_clip,
+        classification=classification,
+        collect_gradient_norms=config.collect_gradient_norms,
+    )
+    loader = ShardedLoader(
+        train_dataset,
+        config.global_batch_size,
+        rank=rank,
+        world_size=config.world_size,
+        seed=config.seed,
+        bucket_by_length=config.bucket_by_length,
+    )
+
+    epoch_records: List[EpochRecord] = []
+    step_durations: List[float] = []
+    gradient_norms: List[float] = []
+    global_step = 0
+
+    try:
+        for epoch in range(config.epochs):
+            epoch_start = time.perf_counter()
+            losses: List[float] = []
+            top1s: List[float] = []
+            top5s: List[float] = []
+            naps: List[float] = []
+            for batch in loader.epoch_batches(epoch):
+                delay = config.delay_injector.delay_for_rank(
+                    global_step, rank, config.world_size
+                )
+                sim_compute: Optional[float] = None
+                if config.cost_model is not None:
+                    sim_compute = config.cost_model.batch_cost(batch)
+                sleep = 0.0
+                if config.time_scale > 0:
+                    sleep = config.time_scale * ((sim_compute or 0.0) + delay)
+                stats = sgd.step(batch, pre_exchange_sleep=sleep)
+                local_work = sim_compute if sim_compute is not None else stats.compute_time
+                step_durations.append(local_work + delay)
+                losses.append(stats.loss)
+                top1s.append(_nan_to(stats.top1))
+                top5s.append(_nan_to(stats.top5))
+                naps.append(stats.num_active)
+                if config.collect_gradient_norms:
+                    gradient_norms.append(stats.gradient_norm)
+                global_step += 1
+
+            # ---- epoch-level metrics, identical on every rank ----
+            local_summary = np.array(
+                [float(np.mean(losses)), float(np.mean(top1s)), float(np.mean(top5s))]
+            )
+            if comm.size > 1:
+                train_summary = allreduce(
+                    comm, local_summary, algorithm=config.allreduce_algorithm, average=True
+                )
+            else:
+                train_summary = local_summary
+            if eval_dataset is not None:
+                eval_metrics = distributed_evaluate(
+                    comm,
+                    model,
+                    eval_dataset,
+                    loss_fn,
+                    batch_size=config.eval_batch_size,
+                    classification=classification,
+                    algorithm=config.allreduce_algorithm,
+                )
+            else:
+                eval_metrics = {"loss": float("nan"), "top1": float("nan"), "top5": float("nan")}
+
+            # ---- periodic model synchronisation (eager-SGD, Section 5) ----
+            if (
+                config.is_eager
+                and config.model_sync_period_epochs
+                and (epoch + 1) % config.model_sync_period_epochs == 0
+            ):
+                synchronize_model(comm, model, algorithm=config.allreduce_algorithm)
+
+            epoch_records.append(
+                EpochRecord(
+                    epoch=epoch,
+                    train_loss=float(train_summary[0]),
+                    train_top1=float(train_summary[1]),
+                    train_top5=float(train_summary[2]),
+                    eval_loss=_nan_to(eval_metrics["loss"], float("nan")),
+                    eval_top1=_nan_to(eval_metrics["top1"]),
+                    eval_top5=_nan_to(eval_metrics["top5"]),
+                    mean_num_active=float(np.mean(naps)) if naps else 0.0,
+                    inclusion_rate=sgd.staleness.inclusion_rate,
+                    wall_time=time.perf_counter() - epoch_start,
+                )
+            )
+    finally:
+        sgd.close()
+
+    return _RankOutput(
+        rank=rank,
+        epoch_records=epoch_records,
+        step_durations=step_durations,
+        max_staleness=sgd.staleness.max_staleness,
+        mean_staleness=sgd.staleness.mean_staleness,
+        inclusion_rate=sgd.staleness.inclusion_rate,
+        mean_num_active=sgd.quorum.mean_quorum,
+        min_num_active=sgd.quorum.min_quorum,
+        final_model_hash=model_hash(model),
+        gradient_norms=gradient_norms,
+    )
+
+
+def train_distributed(
+    model_factory: ModelFactory,
+    train_dataset: Dataset,
+    loss_fn: LossFn,
+    config: TrainingConfig,
+    eval_dataset: Optional[Dataset] = None,
+    classification: bool = True,
+    gradient_bytes_per_parameter: int = 4,
+    run_timeout: float = 1800.0,
+) -> TrainingResult:
+    """Run one distributed training job and return its results.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable building the model.  It must be
+        deterministic (fixed seed) so that every rank starts from the same
+        replica, as data-parallel SGD requires.
+    train_dataset, eval_dataset:
+        Shared datasets; the runner shards the training set across ranks.
+    loss_fn:
+        ``(outputs, targets) -> (loss, grad)``.
+    config:
+        The training configuration (mode, imbalance model, ...).
+    classification:
+        Whether top-1/top-5 accuracy should be computed.
+    gradient_bytes_per_parameter:
+        Used by the timing projection: the paper's models communicate fp32
+        gradients, i.e. 4 bytes per parameter.
+    run_timeout:
+        Wall-clock limit for the whole run (converted into a hard error
+        rather than a hang if something deadlocks).
+    """
+    config.validate()
+    start = time.perf_counter()
+    probe_model = model_factory()
+    num_parameters = probe_model.num_parameters()
+
+    if config.world_size == 1:
+        outputs = [
+            _rank_main(
+                _single_process_comm(),
+                model_factory,
+                train_dataset,
+                eval_dataset,
+                loss_fn,
+                config,
+                classification,
+            )
+        ]
+    else:
+        outputs = run_world(
+            config.world_size,
+            _rank_main,
+            model_factory,
+            train_dataset,
+            eval_dataset,
+            loss_fn,
+            config,
+            classification,
+            timeout=run_timeout,
+        )
+    wall_time = time.perf_counter() - start
+
+    # ---- assemble the per-rank traces into a (steps, ranks) matrix ----
+    durations = np.stack([np.asarray(out.step_durations) for out in outputs], axis=1)
+    steps_per_epoch = durations.shape[0] // config.epochs if config.epochs else 0
+
+    projection = None
+    if durations.size:
+        sync_period_steps = None
+        if config.is_eager and config.model_sync_period_epochs:
+            sync_period_steps = config.model_sync_period_epochs * steps_per_epoch
+        projection = project_training_time(
+            StepTimeline(durations),
+            mode=config.mode,
+            gradient_bytes=num_parameters * gradient_bytes_per_parameter,
+            params=DEFAULT_NETWORK,
+            algorithm=config.allreduce_algorithm,
+            seed=config.seed + 777,
+            quorum=config.quorum,
+            model_sync_period=sync_period_steps,
+        )
+
+    # ---- fill the projected epoch-boundary times into the records ----
+    records = outputs[0].epoch_records
+    if projection is not None and steps_per_epoch > 0:
+        for record in records:
+            end_step = min(
+                (record.epoch + 1) * steps_per_epoch - 1,
+                len(projection.step_completion_times) - 1,
+            )
+            record.sim_time = float(projection.step_completion_times[end_step])
+
+    summaries = [
+        RankSummary(
+            rank=out.rank,
+            max_staleness=out.max_staleness,
+            mean_staleness=out.mean_staleness,
+            inclusion_rate=out.inclusion_rate,
+            mean_num_active=out.mean_num_active,
+            min_num_active=out.min_num_active,
+            final_model_hash=out.final_model_hash,
+        )
+        for out in outputs
+    ]
+    return TrainingResult(
+        mode=config.mode,
+        description=config.describe(),
+        epochs=records,
+        step_durations=durations,
+        projection=projection,
+        rank_summaries=summaries,
+        wall_time=wall_time,
+        gradient_norms=outputs[0].gradient_norms,
+    )
+
+
+def _single_process_comm() -> Communicator:
+    """A world-of-one communicator for single-process baselines."""
+    from repro.comm.router import Router
+
+    return Communicator(Router(1), 0)

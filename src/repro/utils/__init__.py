@@ -1,0 +1,22 @@
+"""Shared utilities: deterministic RNG handling, timers and statistics."""
+
+from repro.utils.rng import seeded_rng, spawn_rngs, rank_seed
+from repro.utils.timer import Timer, VirtualClock
+from repro.utils.stats import (
+    RunningStat,
+    Histogram,
+    summarize,
+    DistributionSummary,
+)
+
+__all__ = [
+    "seeded_rng",
+    "spawn_rngs",
+    "rank_seed",
+    "Timer",
+    "VirtualClock",
+    "RunningStat",
+    "Histogram",
+    "summarize",
+    "DistributionSummary",
+]

@@ -1,0 +1,91 @@
+"""Wall-clock and virtual-clock timers.
+
+The training runner measures real elapsed time with :class:`Timer`; the
+discrete-event simulator and the throughput projections use
+:class:`VirtualClock`, which advances only when told to, so that
+"injected" delays (hundreds of milliseconds in the paper) do not have to
+be slept for in real time during tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class Timer:
+    """A simple cumulative wall-clock timer.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: Optional[float] = None
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        delta = time.perf_counter() - self._start
+        self.elapsed += delta
+        self._start = None
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class VirtualClock:
+    """A monotonically advancing virtual clock measured in seconds.
+
+    The clock never reads the system time; callers advance it explicitly.
+    It is used to attribute *simulated* compute and delay costs to a
+    training run without sleeping.
+    """
+
+    now: float = 0.0
+    _history: List[float] = field(default_factory=list)
+
+    def advance(self, dt: float) -> float:
+        """Advance the clock by ``dt`` seconds (must be non-negative)."""
+        if dt < 0:
+            raise ValueError(f"cannot advance a clock by a negative amount: {dt}")
+        self.now += dt
+        return self.now
+
+    def advance_to(self, t: float) -> float:
+        """Advance the clock to absolute time ``t`` (no-op if in the past)."""
+        if t > self.now:
+            self.now = t
+        return self.now
+
+    def checkpoint(self) -> None:
+        """Record the current time for later inspection."""
+        self._history.append(self.now)
+
+    @property
+    def checkpoints(self) -> List[float]:
+        return list(self._history)
+
+    def reset(self) -> None:
+        self.now = 0.0
+        self._history.clear()

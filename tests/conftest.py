@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.parameters import (
+    assign_flat_parameters,
+    flatten_gradients,
+    flatten_parameters,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def numerical_gradient_check(
+    model,
+    inputs,
+    targets,
+    loss_fn,
+    rng: np.random.Generator,
+    num_checks: int = 6,
+    eps: float = 1e-5,
+    tol: float = 5e-4,
+) -> float:
+    """Compare analytic parameter gradients against finite differences.
+
+    Returns the maximum relative error over the sampled coordinates and
+    asserts it is below ``tol``.
+    """
+    outputs = model.forward(inputs)
+    _, grad = loss_fn(outputs, targets)
+    model.zero_grad()
+    model.backward(grad)
+    analytic = flatten_gradients(model)
+    flat = flatten_parameters(model)
+    indices = rng.choice(flat.size, size=min(num_checks, flat.size), replace=False)
+    worst = 0.0
+    for i in indices:
+        original = flat[i]
+        flat[i] = original + eps
+        assign_flat_parameters(model, flat)
+        loss_plus = loss_fn(model.forward(inputs), targets)[0]
+        flat[i] = original - eps
+        assign_flat_parameters(model, flat)
+        loss_minus = loss_fn(model.forward(inputs), targets)[0]
+        flat[i] = original
+        assign_flat_parameters(model, flat)
+        numeric = (loss_plus - loss_minus) / (2 * eps)
+        denom = max(1e-8, abs(numeric) + abs(analytic[i]))
+        worst = max(worst, abs(numeric - analytic[i]) / denom)
+    assert worst < tol, f"gradient check failed: relative error {worst:.3e}"
+    return worst

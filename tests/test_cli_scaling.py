@@ -1,0 +1,62 @@
+"""Tests for the command-line interface and the scaling projections."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.experiments import scaling
+
+
+class TestScalingExperiment:
+    def test_injected_imbalance_projections(self):
+        result = scaling.run(steps=120, seed=0)
+        by_name = {r.name: r for r in result.rows}
+        solo = by_name["hyperplane strong scaling, 8 ranks, eager (solo, 400 ms)"]
+        sync = by_name["hyperplane strong scaling, 8 ranks, synch-SGD (400 ms)"]
+        assert solo.speedup > sync.speedup > 1.0
+        assert solo.speedup <= 8.0
+        resnet = by_name["resnet50 weak scaling, 64 ranks, eager (solo, 460 ms)"]
+        assert 30 < resnet.speedup <= 64
+        assert "scaling" in scaling.report(result).lower()
+
+    def test_inherent_imbalance_ordering(self):
+        result = scaling.run_with_inherent_imbalance(steps=60, seed=0)
+        speeds = {r.mode: r.speedup for r in result.rows}
+        assert speeds["solo"] >= speeds["majority"] >= speeds["sync"]
+        assert all(0 < s <= 8.0 + 1e-9 for s in speeds.values())
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_fig9_command(self, capsys):
+        assert main(["fig9", "--world-size", "16", "--iterations", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 9" in out and "Solo" in out
+
+    def test_fig2_command(self, capsys):
+        assert main(["fig2", "--num-videos", "2000"]) == 0
+        assert "Fig. 2a" in capsys.readouterr().out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1", "--scale", "paper"]) == 0
+        assert "8,193" in capsys.readouterr().out
+
+    def test_scaling_command(self, capsys):
+        assert main(["scaling", "--steps", "60"]) == 0
+        assert "weak scaling" in capsys.readouterr().out
+
+    def test_fig10_tiny_command(self, capsys):
+        assert main(["fig10", "--scale", "tiny"]) == 0
+        assert "Fig. 10" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["does-not-exist"])

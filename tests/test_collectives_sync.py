@@ -1,0 +1,114 @@
+"""Tests for the synchronous collectives (allreduce, broadcast, reduce)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import run_world
+from repro.collectives import (
+    ALLREDUCE_ALGORITHMS,
+    allgather,
+    allreduce,
+    broadcast,
+    reduce_to_root,
+)
+
+
+def _allreduce_worker(comm, algorithm, op, elements):
+    data = np.arange(elements, dtype=np.float64) + comm.rank
+    return allreduce(comm, data, op=op, algorithm=algorithm)
+
+
+class TestAllreduceAlgorithms:
+    @pytest.mark.parametrize("algorithm", sorted(ALLREDUCE_ALGORITHMS))
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8])
+    def test_sum_matches_numpy(self, algorithm, size):
+        elements = 17
+        results = run_world(size, _allreduce_worker, algorithm, "sum", elements)
+        expected = sum(np.arange(elements) + r for r in range(size))
+        for r in results:
+            assert np.allclose(r, expected)
+
+    @pytest.mark.parametrize("algorithm", sorted(ALLREDUCE_ALGORITHMS))
+    def test_max_reduction(self, algorithm):
+        results = run_world(
+            4, lambda comm: allreduce(comm, np.array([comm.rank, -comm.rank]),
+                                      op="max", algorithm=algorithm)
+        )
+        for r in results:
+            assert np.allclose(r, [3, 0])
+
+    def test_average(self):
+        results = run_world(
+            4, lambda comm: allreduce(comm, np.full(3, comm.rank + 1.0), average=True)
+        )
+        for r in results:
+            assert np.allclose(r, 2.5)
+
+    def test_unknown_algorithm(self):
+        from repro.comm import ThreadWorld
+
+        with ThreadWorld(1) as world:
+            with pytest.raises(ValueError):
+                allreduce(world.communicator(0), np.ones(2), algorithm="bogus")
+
+    def test_back_to_back_collectives_do_not_interfere(self):
+        def worker(comm):
+            first = allreduce(comm, np.array([float(comm.rank)]))
+            second = allreduce(comm, np.array([float(comm.rank * 10)]))
+            return float(first[0]), float(second[0])
+
+        for first, second in run_world(4, worker):
+            assert first == 6.0
+            assert second == 60.0
+
+    @given(
+        size=st.integers(min_value=1, max_value=6),
+        elements=st.integers(min_value=1, max_value=40),
+        algorithm=st.sampled_from(sorted(ALLREDUCE_ALGORITHMS)),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_sum_invariant(self, size, elements, algorithm):
+        results = run_world(size, _allreduce_worker, algorithm, "sum", elements)
+        expected = sum(np.arange(elements) + r for r in range(size))
+        for r in results:
+            assert np.allclose(r, expected)
+
+
+class TestBroadcastReduceAllgather:
+    @pytest.mark.parametrize("size,root", [(1, 0), (2, 1), (5, 3), (8, 7)])
+    def test_broadcast(self, size, root):
+        def worker(comm):
+            value = {"payload": 42} if comm.rank == root else None
+            return broadcast(comm, value, root=root)
+
+        results = run_world(size, worker)
+        assert all(r == {"payload": 42} for r in results)
+
+    @pytest.mark.parametrize("size,root", [(1, 0), (3, 0), (4, 2), (7, 6)])
+    def test_reduce_to_root(self, size, root):
+        def worker(comm):
+            return reduce_to_root(comm, np.full(4, comm.rank + 1.0), root=root)
+
+        results = run_world(size, worker)
+        expected = sum(range(1, size + 1))
+        for rank, r in enumerate(results):
+            if rank == root:
+                assert np.allclose(r, expected)
+            else:
+                assert r is None
+
+    @pytest.mark.parametrize("size", [1, 2, 5, 8])
+    def test_allgather(self, size):
+        results = run_world(size, lambda comm: allgather(comm, comm.rank * 2))
+        for r in results:
+            assert r == [2 * i for i in range(size)]
+
+    def test_preserves_shape(self):
+        results = run_world(
+            4, lambda comm: allreduce(comm, np.ones((3, 5)) * comm.rank, algorithm="ring")
+        )
+        for r in results:
+            assert r.shape == (3, 5)
+            assert np.allclose(r, 6)

@@ -1,0 +1,195 @@
+"""Tests for the schedule engine (ops, graphs, executor, persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import ThreadWorld, run_world
+from repro.schedule import (
+    ComputeOp,
+    DepMode,
+    NopOp,
+    OpState,
+    PersistentScheduleRunner,
+    RecvOp,
+    Schedule,
+    ScheduleExecutor,
+    ScheduleValidationError,
+    SendOp,
+    TriggerOp,
+)
+from repro.schedule.executor import ScheduleExecutionError
+
+
+class TestOps:
+    def test_duplicate_name_rejected(self):
+        sched = Schedule("s")
+        sched.nop("a")
+        with pytest.raises(ScheduleValidationError):
+            sched.nop("a")
+
+    def test_sendop_requires_exactly_one_payload_source(self):
+        with pytest.raises(ValueError):
+            SendOp("s", dest=0, tag=0)
+        with pytest.raises(ValueError):
+            SendOp("s", dest=0, tag=0, buffer="b", payload_fn=lambda b: 1)
+
+    def test_recvop_combine(self):
+        op = RecvOp("r", source=0, tag=0, buffer="acc", combine=lambda a, b: a + b)
+        buffers = {"acc": np.array([1.0])}
+        op.store(buffers, np.array([2.0]))
+        assert np.allclose(buffers["acc"], 3.0)
+
+    def test_trigger_op_requires_trigger(self):
+        op = TriggerOp("t")
+        with pytest.raises(RuntimeError):
+            op.execute({})
+        op.trigger()
+        op.execute({})
+        op.reset()
+        assert not op.triggered
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            NopOp("")
+
+
+class TestScheduleGraph:
+    def test_cycle_detection(self):
+        sched = Schedule("cyclic")
+        sched.nop("a")
+        sched.nop("b", after=["a"])
+        sched.add_dependency("b", "a")
+        with pytest.raises(ScheduleValidationError):
+            sched.validate()
+
+    def test_unknown_dependency(self):
+        sched = Schedule("s")
+        sched.nop("a")
+        with pytest.raises(ScheduleValidationError):
+            sched.add_dependency("missing", "a")
+
+    def test_roots_and_topological_order(self):
+        sched = Schedule("s")
+        sched.nop("a")
+        sched.nop("b", after=["a"])
+        sched.nop("c", after=["a"])
+        sched.nop("d", after=["b", "c"])
+        assert sched.roots() == ["a"]
+        order = sched.topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+
+    def test_or_dependency_readiness(self):
+        sched = Schedule("s")
+        a = sched.nop("a")
+        sched.nop("b")
+        sched.nop("c", after=["a", "b"], dep_mode=DepMode.OR)
+        assert not sched.is_ready("c")
+        a.state = OpState.DONE
+        assert sched.is_ready("c")
+
+    def test_and_dependency_readiness(self):
+        sched = Schedule("s")
+        a = sched.nop("a")
+        b = sched.nop("b")
+        sched.nop("c", after=["a", "b"])
+        a.state = OpState.DONE
+        assert not sched.is_ready("c")
+        b.state = OpState.DONE
+        assert sched.is_ready("c")
+
+    def test_fresh_copy_shares_buffers_resets_state(self):
+        sched = Schedule("s", persistent=True)
+        sched.nop("a")
+        sched.set_buffer("recv", np.zeros(2))
+        sched.ops["a"].state = OpState.DONE
+        clone = sched.fresh_copy()
+        assert clone.ops["a"].state is OpState.PENDING
+        assert clone.buffers is sched.buffers
+        assert "a" in clone and len(clone) == 1
+
+
+class TestExecutor:
+    def test_local_ops_execute_in_dependency_order(self):
+        world = ThreadWorld(1)
+        comm = world.communicator(0)
+        sched = Schedule("local")
+        trace = []
+        sched.compute("first", lambda b: trace.append("first"))
+        sched.compute("second", lambda b: trace.append("second"), after=["first"])
+        ScheduleExecutor(comm, sched).run(timeout=5)
+        assert trace == ["first", "second"]
+
+    def test_send_recv_between_ranks(self):
+        def worker(comm):
+            sched = Schedule(f"p{comm.rank}")
+            if comm.rank == 0:
+                sched.set_buffer("data", np.arange(4.0))
+                sched.send("s", dest=1, tag=11, buffer="data")
+            else:
+                sched.recv("r", source=0, tag=11, buffer="incoming")
+            ScheduleExecutor(comm, sched).run(timeout=10)
+            return sched.get_buffer("incoming")
+
+        results = run_world(2, worker)
+        assert np.allclose(results[1], np.arange(4.0))
+
+    def test_stuck_schedule_raises(self):
+        world = ThreadWorld(1)
+        comm = world.communicator(0)
+        sched = Schedule("stuck")
+        sched.add(TriggerOp("never"))
+        sched.nop("after", after=["never"])
+        with pytest.raises(ScheduleExecutionError):
+            ScheduleExecutor(comm, sched).run(timeout=1)
+
+    def test_run_until_and_abandon(self):
+        world = ThreadWorld(1)
+        comm = world.communicator(0)
+        sched = Schedule("partial")
+        sched.nop("goal")
+        sched.recv("never_arrives", source=0, tag=5, buffer="x")
+        executor = ScheduleExecutor(comm, sched)
+        executor.run(until=["goal"], timeout=5)
+        skipped = executor.abandon_pending()
+        assert "never_arrives" in skipped
+        assert sched.ops["never_arrives"].state is OpState.SKIPPED
+
+    def test_unknown_target_rejected(self):
+        world = ThreadWorld(1)
+        comm = world.communicator(0)
+        sched = Schedule("s")
+        sched.nop("a")
+        with pytest.raises(ScheduleExecutionError):
+            ScheduleExecutor(comm, sched).run(until=["nope"], timeout=1)
+
+    def test_consumable_ops_run_once(self):
+        world = ThreadWorld(1)
+        comm = world.communicator(0)
+        sched = Schedule("consume")
+        count = []
+        sched.compute("c", lambda b: count.append(1))
+        executor = ScheduleExecutor(comm, sched)
+        executor.step()
+        executor.step()
+        assert len(count) == 1
+
+
+class TestPersistentRunner:
+    def test_multiple_executions_reuse_buffers(self):
+        world = ThreadWorld(1)
+        comm = world.communicator(0)
+
+        def factory(execution_index):
+            sched = Schedule("persist", persistent=True)
+            sched.compute(
+                "write",
+                lambda buffers, i=execution_index: buffers.__setitem__("recv", i),
+            )
+            return sched
+
+        runner = PersistentScheduleRunner(comm, factory)
+        runner.execute(timeout=5)
+        runner.execute(timeout=5)
+        assert runner.executions == 2
+        # The persistent receive buffer holds the latest execution's value.
+        assert runner.persistent_buffers["recv"] == 1

@@ -1,0 +1,288 @@
+"""Tests for the discrete-event engine and the analytic latency models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simtime import (
+    DEFAULT_NETWORK,
+    EventQueue,
+    LogGPParams,
+    Simulator,
+    StepTimeline,
+    activation_time,
+    allreduce_time,
+    broadcast_time,
+    constant_arrivals,
+    linear_skew,
+    lognormal_noise,
+    majority_allreduce_latencies,
+    message_time,
+    project_training_time,
+    random_linear_skew,
+    simulate_partial_allreduce,
+    solo_allreduce_latencies,
+    synchronous_allreduce_latencies,
+)
+from repro.simtime.collective_model import quorum_allreduce_latencies
+from repro.simtime.skew import delayed_subset
+
+
+class TestNetworkModel:
+    def test_message_time_monotone_in_size(self):
+        assert message_time(1024) > message_time(64) > 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            message_time(-1)
+
+    def test_allreduce_time_grows_with_size_and_ranks(self):
+        small = allreduce_time(64, 8)
+        large = allreduce_time(4 * 1024 * 1024, 8)
+        more_ranks = allreduce_time(64, 64)
+        assert large > small
+        assert more_ranks > small
+
+    def test_algorithms_differ_for_large_messages(self):
+        nbytes = 16 * 1024 * 1024
+        rd = allreduce_time(nbytes, 32, "recursive_doubling")
+        ring = allreduce_time(nbytes, 32, "ring")
+        # Ring is bandwidth-optimal: cheaper than recursive doubling for
+        # large payloads.
+        assert ring < rd
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            allreduce_time(64, 8, "bogus")
+
+    def test_broadcast_and_activation(self):
+        assert broadcast_time(16, 1) == 0.0
+        assert activation_time(32) > activation_time(2) > 0
+
+
+class TestEngine:
+    def test_event_queue_ordering(self):
+        q = EventQueue()
+        order = []
+        q.push(2.0, lambda: order.append("late"))
+        q.push(1.0, lambda: order.append("early"))
+        q.push(1.0, lambda: order.append("early2"))
+        while q:
+            q.pop().callback()
+        assert order == ["early", "early2", "late"]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_wait_and_send_recv(self):
+        sim = Simulator()
+        log = {}
+
+        def sender(simulator, pid):
+            yield ("wait", 0.5)
+            yield ("send", 1, "hello", 100)
+            log["sender_done"] = simulator.now
+
+        def receiver(simulator, pid):
+            msg = yield ("recv",)
+            log["received"] = (msg, simulator.now)
+
+        sim.add_process(0, sender)
+        sim.add_process(1, receiver)
+        sim.run()
+        msg, t = log["received"]
+        assert msg == "hello"
+        assert t >= 0.5
+        assert sim.messages_sent == 1
+
+    def test_unknown_command(self):
+        sim = Simulator()
+
+        def bad(simulator, pid):
+            yield ("fly",)
+
+        sim.add_process(0, bad)
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_finish_times(self):
+        sim = Simulator()
+
+        def proc(simulator, pid):
+            yield ("wait", 0.1 * (pid + 1))
+
+        for pid in range(3):
+            sim.add_process(pid, proc)
+        sim.run()
+        times = sim.finish_times()
+        assert times[0] < times[1] < times[2]
+
+
+class TestSkew:
+    def test_linear_skew(self):
+        arr = linear_skew(4, 2.0)
+        assert np.allclose(arr, [0.0, 0.002, 0.004, 0.006])
+
+    def test_random_linear_skew_is_permutation(self):
+        arr = random_linear_skew(8, 1.0, seed=3)
+        assert np.allclose(sorted(arr), linear_skew(8, 1.0))
+
+    def test_constant_and_lognormal(self):
+        assert np.allclose(constant_arrivals(3, 5.0), 0.005)
+        noise = lognormal_noise(1000, median_ms=100.0, sigma=0.2, seed=1)
+        assert 0.08 < np.median(noise) < 0.12
+
+    def test_delayed_subset(self):
+        arr = delayed_subset(10, 3, 200.0, seed=0)
+        assert np.sum(arr > 0.1) == 3
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            linear_skew(0)
+        with pytest.raises(ValueError):
+            delayed_subset(4, 5, 10.0)
+
+
+class TestCollectiveLatencyModel:
+    def test_ordering_solo_majority_sync(self):
+        arrivals = linear_skew(32, 1.0)
+        sync = synchronous_allreduce_latencies(arrivals, 4096)
+        solo = solo_allreduce_latencies(arrivals, 4096)
+        maj = majority_allreduce_latencies(arrivals, 4096, initiator=16)
+        assert solo.average_latency < maj.average_latency < sync.average_latency
+
+    def test_nap_expectations(self):
+        arrivals = linear_skew(32, 1.0)
+        solo = solo_allreduce_latencies(arrivals, 64)
+        assert solo.num_active <= 2
+        majs = [
+            majority_allreduce_latencies(arrivals, 64, initiator=i).num_active
+            for i in range(32)
+        ]
+        assert 14 <= np.mean(majs) <= 18
+
+    def test_quorum_interpolates(self):
+        arrivals = linear_skew(16, 1.0)
+        q1 = quorum_allreduce_latencies(arrivals, 64, quorum=1)
+        q8 = quorum_allreduce_latencies(arrivals, 64, quorum=8)
+        q16 = quorum_allreduce_latencies(arrivals, 64, quorum=16)
+        assert q1.average_latency <= q8.average_latency <= q16.average_latency
+        assert q1.num_active <= q8.num_active <= q16.num_active
+
+    def test_sync_latency_is_completion_minus_arrival(self):
+        arrivals = np.array([0.0, 0.01])
+        res = synchronous_allreduce_latencies(arrivals, 64)
+        assert res.latencies[0] > res.latencies[1]
+
+    def test_invalid_arrivals(self):
+        with pytest.raises(ValueError):
+            synchronous_allreduce_latencies([], 64)
+        with pytest.raises(ValueError):
+            solo_allreduce_latencies([-1.0, 0.0], 64)
+
+    @given(
+        size=st.sampled_from([2, 4, 8, 16, 32]),
+        step_ms=st.floats(min_value=0.1, max_value=10.0),
+        nbytes=st.sampled_from([64, 4096, 262144]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_solo_never_much_slower_than_sync(self, size, step_ms, nbytes):
+        # Solo allreduce can only lose by its fixed overheads (activation
+        # broadcast + result check); under any skew it never loses more.
+        from repro.simtime.collective_model import RESULT_CHECK_OVERHEAD
+
+        arrivals = linear_skew(size, step_ms)
+        sync = synchronous_allreduce_latencies(arrivals, nbytes)
+        solo = solo_allreduce_latencies(arrivals, nbytes)
+        overhead = activation_time(size) + RESULT_CHECK_OVERHEAD
+        assert solo.average_latency <= sync.average_latency + overhead + 1e-12
+
+
+class TestCollectiveSimulation:
+    def test_simulation_matches_analytic_model_sync(self):
+        arrivals = linear_skew(16, 1.0)
+        sim = simulate_partial_allreduce(arrivals, 4096, "sync")
+        ana = synchronous_allreduce_latencies(arrivals, 4096)
+        assert sim.latencies.mean() == pytest.approx(ana.average_latency, rel=0.15)
+
+    def test_simulation_matches_analytic_model_solo(self):
+        arrivals = linear_skew(16, 1.0)
+        sim = simulate_partial_allreduce(arrivals, 4096, "solo")
+        ana = solo_allreduce_latencies(arrivals, 4096)
+        assert sim.num_active == ana.num_active == 1
+        # Late ranks pay only the check overhead in both models.
+        assert sim.latencies.mean() == pytest.approx(ana.average_latency, rel=0.5)
+
+    def test_majority_designated_initiator(self):
+        arrivals = linear_skew(8, 1.0)
+        sim = simulate_partial_allreduce(arrivals, 1024, "majority", initiator=4)
+        assert sim.initiator == 4
+        assert sim.num_active >= 5  # ranks 0..4 arrived before the initiator
+
+    def test_quorum_mode_string(self):
+        arrivals = linear_skew(8, 1.0)
+        sim = simulate_partial_allreduce(arrivals, 1024, "quorum:4")
+        assert sim.num_active >= 4
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_partial_allreduce(linear_skew(6, 1.0), 64, "solo")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_partial_allreduce(linear_skew(4, 1.0), 64, "bogus")
+
+
+class TestTrainingProjection:
+    def _timeline(self, seed=0, steps=50, ranks=8, straggler=None):
+        rng = np.random.default_rng(seed)
+        durations = np.abs(rng.normal(0.4, 0.05, size=(steps, ranks)))
+        if straggler is not None:
+            durations[:, straggler] += 0.4
+        return StepTimeline(durations)
+
+    def test_sync_slower_than_solo_under_imbalance(self):
+        tl = self._timeline(straggler=3)
+        sync = project_training_time(tl, "sync", gradient_bytes=1 << 20)
+        solo = project_training_time(tl, "solo", gradient_bytes=1 << 20)
+        majority = project_training_time(tl, "majority", gradient_bytes=1 << 20, seed=1)
+        assert solo.total_time < majority.total_time < sync.total_time
+        assert solo.throughput > sync.throughput
+
+    def test_nap_per_mode(self):
+        tl = self._timeline()
+        sync = project_training_time(tl, "sync")
+        solo = project_training_time(tl, "solo")
+        assert np.all(sync.num_active_per_step == 8)
+        assert np.all(solo.num_active_per_step >= 1)
+
+    def test_quorum_requires_valid_value(self):
+        tl = self._timeline()
+        with pytest.raises(ValueError):
+            project_training_time(tl, "quorum", quorum=99)
+        proj = project_training_time(tl, "quorum", quorum=4)
+        assert np.all(proj.num_active_per_step >= 1)
+
+    def test_model_sync_period_adds_time(self):
+        tl = self._timeline()
+        without = project_training_time(tl, "solo", gradient_bytes=1 << 22)
+        with_sync = project_training_time(
+            tl, "solo", gradient_bytes=1 << 22, model_sync_period=5
+        )
+        assert with_sync.total_time > without.total_time
+
+    def test_step_completion_monotone(self):
+        tl = self._timeline()
+        proj = project_training_time(tl, "majority", seed=2)
+        diffs = np.diff(proj.step_completion_times)
+        assert np.all(diffs >= -1e-12)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            StepTimeline(np.zeros((3,)))
+        with pytest.raises(ValueError):
+            StepTimeline(-np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            project_training_time(self._timeline(), "bogus")

@@ -1,0 +1,107 @@
+"""Tests for the communication topologies used by the collectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.topology import (
+    bcast_order,
+    binomial_tree_children,
+    binomial_tree_level,
+    binomial_tree_parent,
+    hypercube_neighbors,
+    is_power_of_two,
+    largest_power_of_two_leq,
+    recursive_doubling_rounds,
+    ring_neighbors,
+    tree_depth,
+)
+
+
+class TestBinomialTree:
+    def test_root_children_power_of_two(self):
+        assert binomial_tree_children(0, 8, root=0) == [1, 2, 4]
+
+    def test_parent_child_consistency(self):
+        for size in (1, 2, 3, 5, 8, 13, 16, 32):
+            for root in (0, size // 2, size - 1):
+                for rank in range(size):
+                    for child in binomial_tree_children(rank, size, root):
+                        assert binomial_tree_parent(child, size, root) == rank
+
+    def test_every_rank_reached_exactly_once(self):
+        for size in (1, 2, 3, 7, 8, 12, 16, 33):
+            for root in (0, size - 1):
+                edges = bcast_order(size, root)
+                receivers = [dst for _, dst in edges]
+                assert len(receivers) == size - 1
+                assert len(set(receivers)) == size - 1
+                assert root not in receivers
+
+    def test_level_counts_hops(self):
+        assert binomial_tree_level(0, 8) == 0
+        assert binomial_tree_level(7, 8) == 3  # 7 = 0b111
+        assert binomial_tree_level(4, 8) == 1
+
+    def test_depth(self):
+        assert tree_depth(1) == 0
+        assert tree_depth(2) == 1
+        assert tree_depth(8) == 3
+        assert tree_depth(9) == 4
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            binomial_tree_children(5, 4)
+        with pytest.raises(ValueError):
+            binomial_tree_parent(0, 0)
+
+    @given(
+        size=st.integers(min_value=1, max_value=64),
+        root=st.integers(min_value=0, max_value=63),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_broadcast_covers_world(self, size, root):
+        root = root % size
+        edges = bcast_order(size, root)
+        reached = {root} | {dst for _, dst in edges}
+        assert reached == set(range(size))
+        # Senders must already be reached before they forward.
+        seen = {root}
+        for src, dst in edges:
+            assert src in seen
+            seen.add(dst)
+
+
+class TestRecursiveDoubling:
+    def test_partners_power_of_two(self):
+        assert recursive_doubling_rounds(0, 8) == [1, 2, 4]
+        assert recursive_doubling_rounds(5, 8) == [4, 7, 1]
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            recursive_doubling_rounds(0, 6)
+
+    def test_partnership_is_symmetric(self):
+        size = 16
+        for k in range(4):
+            for rank in range(size):
+                partner = recursive_doubling_rounds(rank, size)[k]
+                assert recursive_doubling_rounds(partner, size)[k] == rank
+
+    def test_hypercube_alias(self):
+        assert hypercube_neighbors(3, 8) == recursive_doubling_rounds(3, 8)
+
+
+class TestMisc:
+    def test_ring_neighbors(self):
+        assert ring_neighbors(0, 4) == (3, 1)
+        assert ring_neighbors(3, 4) == (2, 0)
+
+    def test_power_of_two_helpers(self):
+        assert is_power_of_two(1) and is_power_of_two(64)
+        assert not is_power_of_two(0) and not is_power_of_two(12)
+        assert largest_power_of_two_leq(1) == 1
+        assert largest_power_of_two_leq(9) == 8
+        with pytest.raises(ValueError):
+            largest_power_of_two_leq(0)

@@ -1,0 +1,312 @@
+"""Tests for the distributed-training layer (exchanges, SGD step, runner)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import ThreadWorld, run_world
+from repro.data import HyperplaneDataset, cifar10_like
+from repro.data.loader import Batch
+from repro.imbalance import FixedCostModel, RandomSubsetDelay, RotatingSkewDelay
+from repro.nn import MomentumSGD, SGD
+from repro.nn.losses import MSELoss, SoftmaxCrossEntropyLoss
+from repro.nn.models import HyperplaneMLP, MLPClassifier
+from repro.nn.parameters import flatten_parameters
+from repro.training import (
+    DistributedSGD,
+    PartialExchange,
+    SingleProcessExchange,
+    SynchronousExchange,
+    TrainingConfig,
+    build_exchange,
+    distributed_evaluate,
+    evaluate_model,
+    model_hash,
+    synchronize_model,
+    train_distributed,
+)
+
+
+class TestConfig:
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(world_size=0).validate()
+        with pytest.raises(ValueError):
+            TrainingConfig(mode="bogus").validate()
+        with pytest.raises(ValueError):
+            TrainingConfig(mode="quorum", quorum=None).validate()
+        with pytest.raises(ValueError):
+            TrainingConfig(global_batch_size=2, world_size=4).validate()
+        with pytest.raises(ValueError):
+            TrainingConfig(sync_style="mpi").validate()
+        with pytest.raises(ValueError):
+            TrainingConfig(optimizer="lbfgs").validate()
+
+    def test_local_batch_and_describe(self):
+        cfg = TrainingConfig(world_size=4, global_batch_size=64, mode="majority")
+        cfg.validate()
+        assert cfg.local_batch_size == 16
+        assert cfg.is_eager
+        assert "eager-SGD (majority)" in cfg.describe()
+        sync = TrainingConfig(mode="sync", sync_style="horovod")
+        assert "horovod" in sync.describe()
+        assert not sync.is_eager
+
+
+class TestExchanges:
+    def test_single_process_exchange(self):
+        ex = SingleProcessExchange()
+        result = ex.exchange(np.arange(4.0))
+        assert np.allclose(result.gradient, np.arange(4.0))
+        assert result.included and result.num_active == 1
+
+    @pytest.mark.parametrize("style", ["deep500", "horovod"])
+    @pytest.mark.parametrize("buckets", [1, 3])
+    def test_synchronous_exchange_averages(self, style, buckets):
+        def worker(comm):
+            ex = SynchronousExchange(comm, style=style, fusion_buckets=buckets)
+            result = ex.exchange(np.full(10, comm.rank + 1.0))
+            return result.gradient
+
+        results = run_world(4, worker)
+        for grad in results:
+            assert np.allclose(grad, 2.5)
+
+    def test_partial_exchange_solo(self):
+        def worker(comm):
+            ex = PartialExchange(comm, num_parameters=6, mode="solo", seed=3)
+            grads = [ex.exchange(np.full(6, comm.rank + 1.0)) for _ in range(3)]
+            ex.close()
+            return grads
+
+        results = run_world(4, worker)
+        for rank_result in results:
+            for res in rank_result:
+                assert res.gradient.shape == (6,)
+                assert 1 <= res.num_active <= 4
+
+    def test_build_exchange_dispatch(self):
+        with ThreadWorld(2) as world:
+            comm = world.communicator(0)
+            assert isinstance(build_exchange(None, 4, "sync"), SingleProcessExchange)
+            assert isinstance(build_exchange(comm, 4, "sync"), SynchronousExchange)
+            partial = build_exchange(comm, 4, "solo")
+            assert isinstance(partial, PartialExchange)
+            partial.close()
+
+    def test_invalid_style_and_buckets(self):
+        with ThreadWorld(2) as world:
+            comm = world.communicator(0)
+            with pytest.raises(ValueError):
+                SynchronousExchange(comm, style="nccl")
+            with pytest.raises(ValueError):
+                SynchronousExchange(comm, fusion_buckets=0)
+
+
+class TestDistributedSGDStep:
+    def _make_sgd(self, world_size=1):
+        model = MLPClassifier(6, (8,), 3, seed=0)
+        optimizer = SGD(model, 0.1)
+        sgd = DistributedSGD(
+            model,
+            optimizer,
+            SingleProcessExchange(),
+            SoftmaxCrossEntropyLoss(),
+            world_size=world_size,
+            collect_gradient_norms=True,
+        )
+        return model, sgd
+
+    def _batch(self, rng, n=16):
+        x = rng.normal(size=(n, 6))
+        y = rng.integers(0, 3, n)
+        return Batch(inputs=x, targets=y, indices=np.arange(n))
+
+    def test_step_updates_parameters_and_reduces_loss(self, rng):
+        model, sgd = self._make_sgd()
+        batch = self._batch(rng)
+        before = flatten_parameters(model).copy()
+        losses = [sgd.step(batch).loss for _ in range(20)]
+        assert not np.allclose(before, flatten_parameters(model))
+        assert losses[-1] < losses[0]
+
+    def test_step_stats_fields(self, rng):
+        _, sgd = self._make_sgd()
+        stats = sgd.step(self._batch(rng))
+        assert stats.compute_time > 0
+        assert stats.included
+        assert stats.num_active == 1
+        assert 0.0 <= stats.top1 <= 1.0
+        assert stats.gradient_norm > 0
+
+    def test_gradient_clipping(self, rng):
+        model = HyperplaneMLP(6, seed=0)
+        sgd = DistributedSGD(
+            model,
+            SGD(model, 0.01),
+            SingleProcessExchange(),
+            MSELoss(),
+            gradient_clip=0.001,
+            classification=False,
+            collect_gradient_norms=True,
+        )
+        x = rng.normal(size=(8, 6)) * 100
+        y = rng.normal(size=(8, 1)) * 100
+        stats = sgd.step(Batch(inputs=x, targets=y, indices=np.arange(8)))
+        assert stats.gradient_norm <= 0.001 + 1e-9
+
+
+class TestModelSyncAndEvaluation:
+    def test_synchronize_model_averages_replicas(self):
+        def worker(comm):
+            model = MLPClassifier(4, (4,), 2, seed=0)
+            # Perturb each replica differently, then synchronise.
+            for param in model.parameters():
+                param.data += comm.rank
+            synchronize_model(comm, model)
+            return model_hash(model), float(flatten_parameters(model).mean())
+
+        results = run_world(4, worker)
+        hashes = {h for h, _ in results}
+        assert len(hashes) == 1
+
+    def test_model_hash_detects_differences(self):
+        a = MLPClassifier(4, (4,), 2, seed=0)
+        b = MLPClassifier(4, (4,), 2, seed=0)
+        assert model_hash(a) == model_hash(b)
+        b.parameters()[0].data += 1.0
+        assert model_hash(a) != model_hash(b)
+
+    def test_evaluate_model_metrics(self, rng):
+        ds = cifar10_like(num_examples=200, image_size=4, signal=5.0, seed=0)
+        model = MLPClassifier(3 * 4 * 4, (16,), 10, seed=0)
+        metrics = evaluate_model(model, ds, SoftmaxCrossEntropyLoss(), batch_size=64)
+        assert set(metrics) == {"loss", "top1", "top5", "count"}
+        assert metrics["count"] == 200
+        assert 0.0 <= metrics["top1"] <= metrics["top5"] <= 1.0
+
+    def test_distributed_evaluate_matches_single_process(self):
+        ds = cifar10_like(num_examples=128, image_size=4, signal=5.0, seed=0)
+        loss_fn = SoftmaxCrossEntropyLoss()
+
+        def worker(comm):
+            model = MLPClassifier(3 * 4 * 4, (16,), 10, seed=0)
+            return distributed_evaluate(comm, model, ds, loss_fn, batch_size=32)
+
+        results = run_world(4, worker)
+        single = evaluate_model(MLPClassifier(3 * 4 * 4, (16,), 10, seed=0), ds, loss_fn)
+        for metrics in results:
+            assert metrics["loss"] == pytest.approx(single["loss"], rel=1e-6)
+            assert metrics["top1"] == pytest.approx(single["top1"], abs=1e-9)
+
+
+class TestRunner:
+    def _dataset(self):
+        ds = cifar10_like(num_examples=256, image_size=4, signal=4.0, seed=0)
+        return ds.split(0.25, seed=0)
+
+    def _model_factory(self):
+        return lambda: MLPClassifier(3 * 4 * 4, (16,), 10, seed=11)
+
+    @pytest.mark.parametrize("mode", ["sync", "solo", "majority"])
+    def test_training_runs_and_learns(self, mode):
+        train, val = self._dataset()
+        config = TrainingConfig(
+            world_size=4,
+            epochs=2,
+            global_batch_size=64,
+            mode=mode,
+            quorum=2 if mode == "quorum" else None,
+            learning_rate=0.1,
+            optimizer="momentum",
+            seed=0,
+            model_sync_period_epochs=2,
+        )
+        result = train_distributed(
+            self._model_factory(), train, SoftmaxCrossEntropyLoss(), config,
+            eval_dataset=val,
+        )
+        assert len(result.epochs) == 2
+        assert result.epochs[-1].train_loss < result.epochs[0].train_loss
+        assert result.step_durations.shape[1] == 4
+        assert result.projection is not None
+        assert result.total_sim_time > 0
+        assert len(result.rank_summaries) == 4
+
+    def test_single_process_run(self):
+        train, val = self._dataset()
+        config = TrainingConfig(world_size=1, epochs=1, global_batch_size=32, mode="sync")
+        result = train_distributed(
+            self._model_factory(), train, SoftmaxCrossEntropyLoss(), config,
+            eval_dataset=val,
+        )
+        assert result.epochs[0].mean_num_active == 1.0
+
+    def test_eager_faster_than_sync_under_imbalance(self):
+        train, _ = self._dataset()
+        base = dict(
+            world_size=4,
+            epochs=2,
+            global_batch_size=64,
+            learning_rate=0.1,
+            cost_model=FixedCostModel(0.2),
+            delay_injector=RandomSubsetDelay(1, 400.0, seed=5),
+            seed=0,
+        )
+        sync = train_distributed(
+            self._model_factory(), train, SoftmaxCrossEntropyLoss(),
+            TrainingConfig(mode="sync", **base),
+        )
+        solo = train_distributed(
+            self._model_factory(), train, SoftmaxCrossEntropyLoss(),
+            TrainingConfig(mode="solo", **base),
+        )
+        assert solo.total_sim_time < sync.total_sim_time
+        assert solo.throughput > sync.throughput
+
+    def test_periodic_model_sync_keeps_replicas_identical(self):
+        train, _ = self._dataset()
+        config = TrainingConfig(
+            world_size=4,
+            epochs=2,
+            global_batch_size=64,
+            mode="solo",
+            time_scale=0.001,
+            delay_injector=RotatingSkewDelay(10.0, 80.0),
+            cost_model=FixedCostModel(0.05),
+            model_sync_period_epochs=1,  # sync at the end of every epoch
+            seed=0,
+        )
+        result = train_distributed(
+            self._model_factory(), train, SoftmaxCrossEntropyLoss(), config
+        )
+        hashes = {s.final_model_hash for s in result.rank_summaries}
+        assert len(hashes) == 1
+
+    def test_quorum_mode_respects_quorum(self):
+        train, _ = self._dataset()
+        config = TrainingConfig(
+            world_size=4,
+            epochs=1,
+            global_batch_size=64,
+            mode="quorum",
+            quorum=3,
+            seed=0,
+        )
+        result = train_distributed(
+            self._model_factory(), train, SoftmaxCrossEntropyLoss(), config
+        )
+        for summary in result.rank_summaries:
+            assert summary.min_num_active >= 3
+
+    def test_regression_task(self):
+        ds = HyperplaneDataset(num_examples=256, input_dim=16, noise_std=0.1, seed=0)
+        train, val = ds.split(0.25, seed=0)
+        config = TrainingConfig(
+            world_size=2, epochs=3, global_batch_size=64, mode="sync",
+            learning_rate=0.5, seed=0,
+        )
+        result = train_distributed(
+            lambda: HyperplaneMLP(16, seed=3), train, MSELoss(), config,
+            eval_dataset=val, classification=False,
+        )
+        assert result.epochs[-1].eval_loss < result.epochs[0].eval_loss
