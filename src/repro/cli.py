@@ -31,6 +31,7 @@ from repro.experiments import (
     fig11_imagenet,
     fig12_cifar_severe,
     fig13_ucf101_lstm,
+    fusion_pipeline,
     scaling,
     speedups,
     table1_networks,
@@ -49,6 +50,7 @@ EXPERIMENTS: Dict[str, str] = {
     "fig13": "LSTM/UCF101-like video classification: Horovod/solo/majority",
     "speedups": "headline speedup summary across the training figures",
     "scaling": "strong/weak scaling projections",
+    "fusion": "fused/chunked gradient-exchange pipeline vs. unfused baseline",
 }
 
 
@@ -105,6 +107,22 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("scaling", help=EXPERIMENTS["scaling"])
     p.add_argument("--steps", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fusion", help=EXPERIMENTS["fusion"])
+    p.add_argument(
+        "--world-sizes", type=str, default="4,8,16,32",
+        help="comma-separated world sizes for the analytic comparison",
+    )
+    p.add_argument("--gradient-mb", type=float, default=4.0,
+                   help="simulated gradient size in MB")
+    p.add_argument("--bucket-mb", type=str, default="1,4",
+                   help="comma-separated fusion-buffer sizes in MB")
+    p.add_argument("--pipeline-chunks", type=int, default=8,
+                   help="segments per collective round (chunk pipelining)")
+    p.add_argument(
+        "--functional", action="store_true",
+        help="also run the thread-backed exchange at reduced scale",
+    )
     return parser
 
 
@@ -155,6 +173,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(scaling.report(scaling.run(steps=args.steps, seed=args.seed)))
         print()
         print(scaling.report(scaling.run_with_inherent_imbalance(steps=args.steps, seed=args.seed)))
+    elif args.command == "fusion":
+        try:
+            world_sizes = [int(s) for s in args.world_sizes.split(",") if s.strip()]
+            bucket_mb = [float(s) for s in args.bucket_mb.split(",") if s.strip()]
+        except ValueError:
+            parser.error(
+                f"--world-sizes/--bucket-mb must be comma-separated numbers, "
+                f"got {args.world_sizes!r} / {args.bucket_mb!r}"
+            )
+        if not world_sizes or not bucket_mb:
+            parser.error("--world-sizes and --bucket-mb must not be empty")
+        if any(s < 1 for s in world_sizes) or any(b <= 0 for b in bucket_mb):
+            parser.error("--world-sizes entries must be >= 1 and --bucket-mb entries > 0")
+        if args.gradient_mb <= 0:
+            parser.error("--gradient-mb must be > 0")
+        if args.pipeline_chunks < 1:
+            parser.error("--pipeline-chunks must be >= 1")
+        result = fusion_pipeline.run(
+            world_sizes=world_sizes,
+            gradient_mb=args.gradient_mb,
+            bucket_mb=bucket_mb,
+            n_chunks=args.pipeline_chunks,
+        )
+        if args.functional:
+            result.functional_rows = fusion_pipeline.run_functional(
+                n_chunks=args.pipeline_chunks
+            )
+        print(fusion_pipeline.report(result))
     else:  # pragma: no cover - argparse already rejects unknown commands
         parser.error(f"unknown command {args.command!r}")
     return 0

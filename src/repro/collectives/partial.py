@@ -132,6 +132,17 @@ class PartialAllreduce:
         eager-SGD periodically re-synchronises the models.  Set to
         ``False`` for exact per-round results (an ablation of that design
         choice).
+    channel_suffix:
+        Suffix appended to the ``lib``/``activation`` channel names.  One
+        :class:`PartialAllreduce` per channel pair: the fused gradient
+        exchange opens a distinct suffix per fusion bucket so per-bucket
+        rounds can progress independently without tag cross-talk.
+    n_chunks:
+        Pipeline the background reduction in this many segments (see
+        :func:`repro.collectives.sync.allreduce_recursive_doubling`).
+        Only effective for elementwise-uniform ops (sum/avg): a composite
+        max/min/prod payload needs the arrival counter kept in one piece,
+        so those ops fall back to unsegmented rounds.
     """
 
     def __init__(
@@ -147,15 +158,21 @@ class PartialAllreduce:
         poll_interval: float = 2e-4,
         overwrite_recvbuff: bool = True,
         dtype=np.float64,
+        channel_suffix: str = "",
+        n_chunks: int = 1,
     ) -> None:
         self.mode = PartialMode(mode)
-        self.comm_lib = comm.dup(Channel.LIB)
-        self.comm_act = comm.dup(Channel.ACTIVATION)
+        self.comm_lib = comm.dup(Channel.LIB + channel_suffix)
+        self.comm_act = comm.dup(Channel.ACTIVATION + channel_suffix)
+        if n_chunks < 1:
+            raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+        self.n_chunks = int(n_chunks)
         self.rank = comm.rank
         self.size = comm.size
         self.shape = (shape,) if isinstance(shape, int) else tuple(shape)
         self.average = bool(average)
         self.op = get_op(op)
+        self._payload_op = self._make_payload_op(self.op)
         self.poll_interval = float(poll_interval)
         self.dtype = dtype
 
@@ -302,6 +319,41 @@ class PartialAllreduce:
             ) from self._failure
 
     # ------------------------------------------------------------------
+    # active-process counter encode/decode
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make_payload_op(data_op: ReduceOp) -> ReduceOp:
+        """Operator for the ``[data..., counter]`` reduction payload.
+
+        The data elements are combined with ``data_op`` while the trailing
+        arrival counter is always summed — a max/min/prod data op would
+        otherwise collapse the count of contributing processes to a
+        meaningless 0/1.
+        """
+        if data_op.fn is SUM.fn or data_op.name in ("sum", "avg"):
+            return data_op
+
+        def combine(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+            a = np.asarray(a)
+            b = np.asarray(b)
+            return np.concatenate(
+                [data_op.fn(a[:-1], b[:-1]), np.atleast_1d(a[-1] + b[-1])]
+            )
+
+        return ReduceOp(f"{data_op.name}+count", combine, data_op.identity)
+
+    def _decode_num_active(self, raw: float) -> int:
+        """Decode (and validate) the reduced arrival counter."""
+        num_active = int(round(raw))
+        if abs(raw - num_active) > 1e-6 or not 0 <= num_active <= self.size:
+            raise RuntimeError(
+                f"rank {self.rank}: corrupted active-process counter "
+                f"{raw!r} (world size {self.size}); the counter must reduce "
+                f"to an exact integer in [0, {self.size}]"
+            )
+        return num_active
+
+    # ------------------------------------------------------------------
     # progress thread
     # ------------------------------------------------------------------
     def _activation_tag(self, round_index: int) -> int:
@@ -355,11 +407,23 @@ class PartialAllreduce:
             fresh = self._last_arrival_round >= round_index
             self.stale_norm_history.append(float(np.linalg.norm(contribution)))
 
-        # Piggyback the number of active processes onto the reduction.
+        # Piggyback the number of active processes onto the reduction.  The
+        # counter element is always combined with SUM — even when the data
+        # op is max/min/prod — and is decoded *before* any averaging (the
+        # ``average`` division in :meth:`reduce` applies to the data part
+        # only), so the count stays an exact float64 integer: sums of ones
+        # are exact up to 2^53, far beyond any world size.
         payload = np.concatenate([contribution.reshape(-1), [1.0 if fresh else 0.0]])
-        reduced = allreduce_recursive_doubling(self.comm_lib, payload, op=self.op)
+        # Chunk pipelining slices the payload at arbitrary segment
+        # boundaries, which is only sound when the operator treats every
+        # element alike; the composite non-sum op addresses the counter
+        # as payload[-1] and therefore needs whole-payload rounds.
+        chunks = self.n_chunks if self._payload_op is self.op else 1
+        reduced = allreduce_recursive_doubling(
+            self.comm_lib, payload, op=self._payload_op, n_chunks=chunks
+        )
         result = np.asarray(reduced[:-1]).reshape(self.shape)
-        num_active = int(round(float(reduced[-1])))
+        num_active = self._decode_num_active(float(reduced[-1]))
         self.nap_history.append(num_active)
 
         with self._cond:

@@ -11,16 +11,49 @@ These implement the classic allreduce algorithms referenced by the paper
 * **Rabenseifner's algorithm** — recursive-halving reduce-scatter followed
   by recursive-doubling allgather.
 
-Every function is SPMD: all ranks of the communicator's world must call it
-with consistently shaped inputs.  Tags are namespaced by a per-communicator
-epoch counter so consecutive collectives can never steal each other's
-messages.
+Non-power-of-two worlds
+-----------------------
+All three allreduce algorithms handle arbitrary world sizes *natively*
+with the standard fold: the ``r = P - 2^k`` "extra" ranks (ranks
+``[2^k, P)``) fold their contribution into a partner in ``[0, r)``, the
+remaining power-of-two group runs the core algorithm, and the result is
+folded back out.  There is **no silent fallback** to a different
+algorithm — the algorithm named by the caller is the algorithm that runs,
+at every world size (the ring algorithm needs no fold at all).
+
+Chunk pipelining
+----------------
+``allreduce_ring`` and ``allreduce_recursive_doubling`` (and the
+Rabenseifner reduce-scatter phase) accept ``n_chunks``: each per-round
+payload is segmented into ``n_chunks`` messages so that the reduction of
+segment *k* overlaps the transmission of segment *k + 1* (sends are eager
+on this substrate, so all segments of a round are in flight while the
+receiver combines the earlier ones).  ``n_chunks=1`` reproduces the
+classic monolithic rounds bit-for-bit.
+
+Tag layout
+----------
+Tags are namespaced by a per-communicator epoch counter so consecutive
+collectives can never steal each other's messages.  Within one epoch the
+layout is ``(phase, round, chunk)`` with fixed strides::
+
+    tag = _SYNC_TAG_BASE
+        + epoch * _EPOCH_STRIDE          # one collective invocation
+        + phase * _PHASE_STRIDE          # algorithm phase (see _PHASE_*)
+        + round_index * _ROUND_STRIDE    # algorithm round, < _TAG_MAX_ROUNDS
+        + chunk                          # pipeline segment, < _TAG_MAX_CHUNKS
+
+``_TAG_MAX_ROUNDS = 2^17`` supports ring worlds beyond 100k ranks (a ring
+allreduce uses ``P - 1`` rounds per phase); the previous layout packed
+rounds into a 512-slot field and silently collided into the next phase's
+(and for high phases the next epoch's) tag space for ``P > 512``.
+:func:`_tag` now *raises* on any field overflow instead of wrapping.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -29,14 +62,37 @@ from repro.comm.reduce_ops import ReduceOp, get_op
 from repro.collectives.topology import (
     binomial_tree_children,
     binomial_tree_parent,
-    is_power_of_two,
     largest_power_of_two_leq,
 )
 
 #: Base of the tag space used by synchronous collectives.
 _SYNC_TAG_BASE = 2_000_000_000
-#: Tag stride reserved per collective invocation.
-_EPOCH_STRIDE = 8_192
+#: Pipeline segments addressable within one round.
+_TAG_MAX_CHUNKS = 4_096
+#: Rounds addressable within one phase (supports ring worlds to P = 2^17).
+_TAG_MAX_ROUNDS = 1 << 17
+#: Algorithm phases addressable within one epoch.
+_TAG_MAX_PHASES = 16
+
+#: Tag stride between consecutive rounds (one slot per pipeline chunk).
+_ROUND_STRIDE = _TAG_MAX_CHUNKS
+#: Tag stride between consecutive phases.
+_PHASE_STRIDE = _TAG_MAX_ROUNDS * _ROUND_STRIDE
+#: Tag stride reserved per collective invocation (epoch).
+_EPOCH_STRIDE = _TAG_MAX_PHASES * _PHASE_STRIDE
+
+# Phase identifiers (one namespace per algorithm phase; a collective may
+# use several, rounds are numbered independently inside each).
+_PHASE_BCAST = 0
+_PHASE_REDUCE = 1
+_PHASE_GATHER = 2
+_PHASE_RD = 3
+_PHASE_RING_RS = 4
+_PHASE_RING_AG = 5
+_PHASE_RABEN_RS = 6
+_PHASE_RABEN_AG = 7
+_PHASE_FOLD_IN = 8
+_PHASE_FOLD_OUT = 9
 
 
 def _next_epoch(comm: Communicator) -> int:
@@ -52,13 +108,186 @@ def _next_epoch(comm: Communicator) -> int:
     return next(counter)
 
 
-def _tag(epoch: int, phase: int, round_index: int) -> int:
-    return _SYNC_TAG_BASE + epoch * _EPOCH_STRIDE + phase * 512 + round_index
+def _tag(epoch: int, phase: int, round_index: int, chunk: int = 0) -> int:
+    """Tag of pipeline segment ``chunk`` of ``round_index`` in ``phase``.
+
+    Raises :class:`ValueError` when any field overflows its stride — an
+    overflow would alias another phase/epoch's messages (the tag-collision
+    bug this layout replaces), so it must never be silent.
+    """
+    if not 0 <= phase < _TAG_MAX_PHASES:
+        raise ValueError(f"collective phase {phase} outside [0, {_TAG_MAX_PHASES})")
+    if not 0 <= round_index < _TAG_MAX_ROUNDS:
+        raise ValueError(
+            f"collective round {round_index} outside [0, {_TAG_MAX_ROUNDS}); "
+            f"world size exceeds the tag layout's round capacity"
+        )
+    if not 0 <= chunk < _TAG_MAX_CHUNKS:
+        raise ValueError(f"pipeline chunk {chunk} outside [0, {_TAG_MAX_CHUNKS})")
+    return (
+        _SYNC_TAG_BASE
+        + epoch * _EPOCH_STRIDE
+        + phase * _PHASE_STRIDE
+        + round_index * _ROUND_STRIDE
+        + chunk
+    )
+
+
+def _validate_chunks(n_chunks: int) -> int:
+    n_chunks = int(n_chunks)
+    if not 1 <= n_chunks <= _TAG_MAX_CHUNKS:
+        raise ValueError(f"n_chunks must be in [1, {_TAG_MAX_CHUNKS}], got {n_chunks}")
+    return n_chunks
 
 
 def _as_float_array(data) -> np.ndarray:
     arr = np.asarray(data, dtype=np.float64)
     return np.array(arr, copy=True)
+
+
+# --------------------------------------------------------------------------
+# chunked segment helpers
+# --------------------------------------------------------------------------
+def _segment_bounds(length: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """Contiguous ``(lo, hi)`` bounds splitting ``length`` into ``n_chunks``.
+
+    Matches :func:`numpy.array_split` sizing (first ``length % n_chunks``
+    segments get one extra element); empty segments are allowed so sender
+    and receiver always agree on the segment count.
+    """
+    base, extra = divmod(length, n_chunks)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for i in range(n_chunks):
+        hi = lo + base + (1 if i < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def _send_segments(
+    comm: Communicator,
+    flat: np.ndarray,
+    lo: int,
+    hi: int,
+    dest: int,
+    epoch: int,
+    phase: int,
+    round_index: int,
+    n_chunks: int,
+) -> None:
+    """Send ``flat[lo:hi]`` to ``dest`` as ``n_chunks`` eager segments."""
+    for k, (slo, shi) in enumerate(_segment_bounds(hi - lo, n_chunks)):
+        comm.send(flat[lo + slo : lo + shi], dest, tag=_tag(epoch, phase, round_index, k))
+
+
+def _recv_segments(
+    comm: Communicator,
+    flat: np.ndarray,
+    lo: int,
+    hi: int,
+    source: int,
+    epoch: int,
+    phase: int,
+    round_index: int,
+    n_chunks: int,
+    timeout: Optional[float],
+    reduce_op: Optional[ReduceOp] = None,
+) -> None:
+    """Receive ``n_chunks`` segments into ``flat[lo:hi]``.
+
+    With ``reduce_op`` the incoming segment is combined into the local
+    data as soon as it arrives, so combining segment *k* overlaps the
+    (eager) transmission of segments ``> k``; without it the segment is
+    assigned (allgather phases).
+    """
+    for k, (slo, shi) in enumerate(_segment_bounds(hi - lo, n_chunks)):
+        incoming = comm.recv(
+            source=source, tag=_tag(epoch, phase, round_index, k), timeout=timeout
+        )
+        if shi <= slo:
+            continue
+        if reduce_op is None:
+            flat[lo + slo : lo + shi] = incoming
+        else:
+            flat[lo + slo : lo + shi] = reduce_op(flat[lo + slo : lo + shi], incoming)
+
+
+# --------------------------------------------------------------------------
+# non-power-of-two fold helpers
+# --------------------------------------------------------------------------
+def _fold_in(
+    comm: Communicator,
+    flat: np.ndarray,
+    epoch: int,
+    n_chunks: int,
+    reduce_op: ReduceOp,
+    timeout: Optional[float],
+) -> bool:
+    """Fold the extra ranks' contributions into the power-of-two group.
+
+    Returns whether this rank stays in the power-of-two group (ranks
+    ``[2^k, P)`` send their data to ``rank - 2^k`` and drop out until
+    :func:`_fold_out` hands the result back).
+    """
+    rank, size = comm.rank, comm.size
+    pof2 = largest_power_of_two_leq(size)
+    rem = size - pof2
+    if rem == 0:
+        return True
+    if rank >= pof2:
+        _send_segments(
+            comm, flat, 0, flat.size, rank - pof2, epoch, _PHASE_FOLD_IN, 0, n_chunks
+        )
+        return False
+    if rank < rem:
+        _recv_segments(
+            comm,
+            flat,
+            0,
+            flat.size,
+            rank + pof2,
+            epoch,
+            _PHASE_FOLD_IN,
+            0,
+            n_chunks,
+            timeout,
+            reduce_op=reduce_op,
+        )
+    return True
+
+
+def _fold_out(
+    comm: Communicator,
+    flat: np.ndarray,
+    epoch: int,
+    n_chunks: int,
+    in_group: bool,
+    timeout: Optional[float],
+) -> None:
+    """Hand the reduced result back to the folded-out extra ranks."""
+    rank, size = comm.rank, comm.size
+    pof2 = largest_power_of_two_leq(size)
+    rem = size - pof2
+    if rem == 0:
+        return
+    if in_group and rank < rem:
+        _send_segments(
+            comm, flat, 0, flat.size, rank + pof2, epoch, _PHASE_FOLD_OUT, 0, n_chunks
+        )
+    elif not in_group:
+        _recv_segments(
+            comm,
+            flat,
+            0,
+            flat.size,
+            rank - pof2,
+            epoch,
+            _PHASE_FOLD_OUT,
+            0,
+            n_chunks,
+            timeout,
+        )
 
 
 # --------------------------------------------------------------------------
@@ -68,7 +297,7 @@ def broadcast(comm: Communicator, data, root: int = 0, timeout: Optional[float] 
     """Binomial-tree broadcast of ``data`` from ``root`` to all ranks."""
     epoch = _next_epoch(comm)
     rank, size = comm.rank, comm.size
-    tag = _tag(epoch, 0, 0)
+    tag = _tag(epoch, _PHASE_BCAST, 0)
     if size == 1:
         return data
     if rank != root:
@@ -91,7 +320,7 @@ def reduce(
     reduce_op = get_op(op)
     rank, size = comm.rank, comm.size
     acc = _as_float_array(data)
-    tag = _tag(epoch, 1, 0)
+    tag = _tag(epoch, _PHASE_REDUCE, 0)
     if size == 1:
         return acc
     # Children in the *broadcast* tree are the senders in the reduction tree.
@@ -116,7 +345,7 @@ def allgather(comm: Communicator, data, timeout: Optional[float] = None) -> List
     succ = (rank + 1) % size
     pred = (rank - 1) % size
     for step in range(size - 1):
-        tag = _tag(epoch, 2, step)
+        tag = _tag(epoch, _PHASE_GATHER, step)
         send_idx = (rank - step) % size
         comm.send(items[send_idx], succ, tag=tag)
         recv_idx = (rank - step - 1) % size
@@ -132,6 +361,7 @@ def allreduce_recursive_doubling(
     data,
     op: ReduceOp | str = "sum",
     timeout: Optional[float] = None,
+    n_chunks: int = 1,
 ) -> np.ndarray:
     """Recursive-doubling allreduce (hypercube exchange).
 
@@ -139,51 +369,49 @@ def allreduce_recursive_doubling(
     ``r = P - 2^k`` "extra" ranks fold their contribution into a partner,
     the remaining power-of-two group runs recursive doubling, and the
     result is sent back to the folded ranks.
+
+    ``n_chunks > 1`` pipelines every pairwise exchange in that many
+    segments (reduction of segment *k* overlapping transmission of
+    segment *k + 1*).
     """
     epoch = _next_epoch(comm)
     reduce_op = get_op(op)
+    n_chunks = _validate_chunks(n_chunks)
     rank, size = comm.rank, comm.size
     acc = _as_float_array(data)
     if size == 1:
         return acc
+    flat = acc.reshape(-1)
 
     pof2 = largest_power_of_two_leq(size)
-    rem = size - pof2
+    in_group = _fold_in(comm, flat, epoch, n_chunks, reduce_op, timeout)
 
-    # --- fold-in: ranks [pof2, size) send to their partner in [0, rem)
-    fold_tag = _tag(epoch, 3, 0)
-    if rank >= pof2:
-        partner = rank - pof2
-        comm.send(acc, partner, tag=fold_tag)
-        in_group = False
-        group_rank = -1
-    else:
-        if rank < rem:
-            extra = comm.recv(source=rank + pof2, tag=fold_tag, timeout=timeout)
-            acc = reduce_op(acc, extra)
-        in_group = True
-        group_rank = rank
-
-    # --- recursive doubling within the power-of-two group
     if in_group:
         dist = 1
-        round_index = 1
+        round_index = 0
         while dist < pof2:
-            partner = group_rank ^ dist
-            tag = _tag(epoch, 3, round_index)
-            comm.send(acc, partner, tag=tag)
-            other = comm.recv(source=partner, tag=tag, timeout=timeout)
-            acc = reduce_op(acc, other)
+            partner = rank ^ dist
+            _send_segments(
+                comm, flat, 0, flat.size, partner, epoch, _PHASE_RD, round_index, n_chunks
+            )
+            _recv_segments(
+                comm,
+                flat,
+                0,
+                flat.size,
+                partner,
+                epoch,
+                _PHASE_RD,
+                round_index,
+                n_chunks,
+                timeout,
+                reduce_op=reduce_op,
+            )
             dist <<= 1
             round_index += 1
 
-    # --- fold-out: send the final result back to the extra ranks
-    out_tag = _tag(epoch, 3, 500)
-    if in_group and rank < rem:
-        comm.send(acc, rank + pof2, tag=out_tag)
-    elif not in_group:
-        acc = comm.recv(source=rank - pof2, tag=out_tag, timeout=timeout)
-    return np.asarray(acc)
+    _fold_out(comm, flat, epoch, n_chunks, in_group, timeout)
+    return flat.reshape(acc.shape)
 
 
 def allreduce_ring(
@@ -191,44 +419,70 @@ def allreduce_ring(
     data,
     op: ReduceOp | str = "sum",
     timeout: Optional[float] = None,
+    n_chunks: int = 1,
 ) -> np.ndarray:
     """Ring allreduce: reduce-scatter then allgather over ``P - 1`` steps each.
 
     The payload is chunked into ``P`` nearly equal pieces; each step sends
     one chunk to the successor and combines the chunk received from the
     predecessor.  This is the bandwidth-optimal algorithm used by Horovod /
-    baidu-allreduce for large gradients.
+    baidu-allreduce for large gradients.  Any world size is supported (the
+    ring needs no power-of-two structure).
+
+    ``n_chunks > 1`` additionally segments every per-step chunk so the
+    combine of segment *k* overlaps the transmission of segment *k + 1*
+    (the chunked-pipeline schedule used by the fused gradient exchange).
     """
     epoch = _next_epoch(comm)
     reduce_op = get_op(op)
+    n_chunks = _validate_chunks(n_chunks)
     rank, size = comm.rank, comm.size
     arr = _as_float_array(data)
     if size == 1:
         return arr
     flat = arr.reshape(-1)
-    chunks = np.array_split(np.arange(flat.size), size)
+    bounds = _segment_bounds(flat.size, size)
     succ = (rank + 1) % size
     pred = (rank - 1) % size
 
     # reduce-scatter
     for step in range(size - 1):
-        tag = _tag(epoch, 4, step)
         send_chunk = (rank - step) % size
         recv_chunk = (rank - step - 1) % size
-        comm.send(flat[chunks[send_chunk]], succ, tag=tag)
-        incoming = comm.recv(source=pred, tag=tag, timeout=timeout)
-        if len(chunks[recv_chunk]):
-            flat[chunks[recv_chunk]] = reduce_op(flat[chunks[recv_chunk]], incoming)
+        _send_segments(
+            comm, flat, *bounds[send_chunk], succ, epoch, _PHASE_RING_RS, step, n_chunks
+        )
+        _recv_segments(
+            comm,
+            flat,
+            *bounds[recv_chunk],
+            pred,
+            epoch,
+            _PHASE_RING_RS,
+            step,
+            n_chunks,
+            timeout,
+            reduce_op=reduce_op,
+        )
 
     # allgather
     for step in range(size - 1):
-        tag = _tag(epoch, 5, step)
         send_chunk = (rank - step + 1) % size
         recv_chunk = (rank - step) % size
-        comm.send(flat[chunks[send_chunk]], succ, tag=tag)
-        incoming = comm.recv(source=pred, tag=tag, timeout=timeout)
-        if len(chunks[recv_chunk]):
-            flat[chunks[recv_chunk]] = incoming
+        _send_segments(
+            comm, flat, *bounds[send_chunk], succ, epoch, _PHASE_RING_AG, step, n_chunks
+        )
+        _recv_segments(
+            comm,
+            flat,
+            *bounds[recv_chunk],
+            pred,
+            epoch,
+            _PHASE_RING_AG,
+            step,
+            n_chunks,
+            timeout,
+        )
     return flat.reshape(arr.shape)
 
 
@@ -237,62 +491,81 @@ def allreduce_rabenseifner(
     data,
     op: ReduceOp | str = "sum",
     timeout: Optional[float] = None,
+    n_chunks: int = 1,
 ) -> np.ndarray:
     """Rabenseifner's allreduce (recursive halving + recursive doubling).
 
-    Requires a power-of-two world size; other sizes transparently fall
-    back to :func:`allreduce_recursive_doubling`, matching the behaviour
-    of production MPI libraries which switch algorithms based on the
-    communicator size.
+    Non-power-of-two worlds are handled natively with the same fold-in /
+    fold-out pre- and post-steps as recursive doubling (the extra ranks
+    fold into the power-of-two group, which then runs the halving /
+    doubling core); there is **no** fallback to another algorithm, so the
+    caller always gets Rabenseifner's communication pattern.
+
+    ``n_chunks > 1`` pipelines the recursive-halving reduce-scatter
+    exchanges (the phase that carries reduction arithmetic) in that many
+    segments; the allgather retrace keeps one message per round.
     """
-    rank, size = comm.rank, comm.size
-    if not is_power_of_two(size) or size == 1:
-        return allreduce_recursive_doubling(comm, data, op=op, timeout=timeout)
     epoch = _next_epoch(comm)
     reduce_op = get_op(op)
+    n_chunks = _validate_chunks(n_chunks)
+    rank, size = comm.rank, comm.size
     arr = _as_float_array(data)
+    if size == 1:
+        return arr
     flat = arr.reshape(-1)
     n = flat.size
 
-    # Recursive-halving reduce-scatter.  Each rank keeps track of the
-    # index range [lo, hi) it is responsible for.
-    lo, hi = 0, n
-    dist = size // 2
-    round_index = 0
-    while dist >= 1:
-        partner = rank ^ dist
-        tag = _tag(epoch, 6, round_index)
-        mid = lo + (hi - lo) // 2
-        if rank < partner:
-            # Keep the lower half, send the upper half.
-            keep_lo, keep_hi = lo, mid
-            send_lo, send_hi = mid, hi
-        else:
-            keep_lo, keep_hi = mid, hi
-            send_lo, send_hi = lo, mid
-        comm.send(flat[send_lo:send_hi], partner, tag=tag)
-        incoming = comm.recv(source=partner, tag=tag, timeout=timeout)
-        if keep_hi > keep_lo:
-            flat[keep_lo:keep_hi] = reduce_op(flat[keep_lo:keep_hi], incoming)
-        lo, hi = keep_lo, keep_hi
-        dist //= 2
-        round_index += 1
+    pof2 = largest_power_of_two_leq(size)
+    in_group = _fold_in(comm, flat, epoch, n_chunks, reduce_op, timeout)
 
-    # Recursive-doubling allgather of the owned segments, retracing the
-    # halving steps in reverse order.
-    segments: List = []
-    seg_lo, seg_hi = lo, hi
-    dist = 1
-    while dist < size:
-        partner = rank ^ dist
-        tag = _tag(epoch, 7, round_index)
-        comm.send((seg_lo, seg_hi, flat[seg_lo:seg_hi].copy()), partner, tag=tag)
-        other_lo, other_hi, other_data = comm.recv(source=partner, tag=tag, timeout=timeout)
-        if other_hi > other_lo:
-            flat[other_lo:other_hi] = other_data
-        seg_lo, seg_hi = min(seg_lo, other_lo), max(seg_hi, other_hi)
-        dist *= 2
-        round_index += 1
+    if in_group:
+        # Recursive-halving reduce-scatter within the power-of-two group.
+        # Each rank keeps track of the index range [lo, hi) it owns.
+        lo, hi = 0, n
+        dist = pof2 // 2
+        round_index = 0
+        while dist >= 1:
+            partner = rank ^ dist
+            mid = lo + (hi - lo) // 2
+            if rank < partner:
+                # Keep the lower half, send the upper half.
+                keep_lo, keep_hi = lo, mid
+                send_lo, send_hi = mid, hi
+            else:
+                keep_lo, keep_hi = mid, hi
+                send_lo, send_hi = lo, mid
+            _send_segments(
+                comm, flat, send_lo, send_hi, partner, epoch,
+                _PHASE_RABEN_RS, round_index, n_chunks,
+            )
+            _recv_segments(
+                comm, flat, keep_lo, keep_hi, partner, epoch,
+                _PHASE_RABEN_RS, round_index, n_chunks, timeout,
+                reduce_op=reduce_op,
+            )
+            lo, hi = keep_lo, keep_hi
+            dist //= 2
+            round_index += 1
+
+        # Recursive-doubling allgather of the owned segments, retracing the
+        # halving steps in reverse order.
+        seg_lo, seg_hi = lo, hi
+        dist = 1
+        round_index = 0
+        while dist < pof2:
+            partner = rank ^ dist
+            tag = _tag(epoch, _PHASE_RABEN_AG, round_index)
+            comm.send((seg_lo, seg_hi, flat[seg_lo:seg_hi].copy()), partner, tag=tag)
+            other_lo, other_hi, other_data = comm.recv(
+                source=partner, tag=tag, timeout=timeout
+            )
+            if other_hi > other_lo:
+                flat[other_lo:other_hi] = other_data
+            seg_lo, seg_hi = min(seg_lo, other_lo), max(seg_hi, other_hi)
+            dist *= 2
+            round_index += 1
+
+    _fold_out(comm, flat, epoch, n_chunks, in_group, timeout)
     return flat.reshape(arr.shape)
 
 
@@ -311,6 +584,7 @@ def allreduce(
     algorithm: str = "recursive_doubling",
     average: bool = False,
     timeout: Optional[float] = None,
+    n_chunks: int = 1,
 ) -> np.ndarray:
     """Synchronous allreduce with a selectable algorithm.
 
@@ -319,6 +593,10 @@ def allreduce(
     average:
         If true, divide the reduced result by the world size (the form
         needed by data-parallel SGD, line 6 of Algorithm 2).
+    n_chunks:
+        Pipeline each communication round in this many segments so that
+        reduction overlaps transmission (see the module docstring);
+        ``1`` (default) runs the classic unsegmented rounds.
     """
     try:
         impl = ALLREDUCE_ALGORITHMS[algorithm]
@@ -327,7 +605,7 @@ def allreduce(
             f"unknown allreduce algorithm {algorithm!r}; "
             f"available: {sorted(ALLREDUCE_ALGORITHMS)}"
         ) from None
-    result = impl(comm, data, op=op, timeout=timeout)
+    result = impl(comm, data, op=op, timeout=timeout, n_chunks=n_chunks)
     if average:
         result = result / comm.size
     return result

@@ -62,17 +62,42 @@ class Router:
         self._lock = threading.Lock()
         self._message_count = 0
         self._byte_count = 0
+        self._closed = False
 
     # ------------------------------------------------------------- access
     def mailbox(self, rank: int, channel: str) -> Mailbox:
-        """Return the mailbox for ``(rank, channel)``."""
+        """Return the mailbox for ``(rank, channel)``.
+
+        Channels of the form ``"<known>.<suffix>"`` — a declared channel
+        name plus a dotted suffix — are created on first use (for every
+        rank of the world, so sender and receiver always agree on the
+        endpoint set).  Dynamic sub-channels let higher layers open
+        private lanes, e.g. one ``lib.bucketN``/``activation.bucketN``
+        pair per fusion bucket of the gradient exchange, without
+        pre-declaring them at world creation.  A name whose base is not a
+        declared channel still raises ``KeyError`` immediately, so typos
+        fail fast instead of stalling a receiver on an empty mailbox.
+        """
         self._check_rank(rank)
-        try:
-            return self._mailboxes[(rank, channel)]
-        except KeyError:
-            raise KeyError(
-                f"unknown channel {channel!r}; available: {self.channels}"
-            ) from None
+        mailbox = self._mailboxes.get((rank, channel))
+        if mailbox is None:
+            base = channel.split(".", 1)[0]
+            with self._lock:
+                if channel not in self.channels:
+                    if base == channel or base not in self.channels:
+                        raise KeyError(
+                            f"unknown channel {channel!r}; available: "
+                            f"{self.channels} (plus '<known>.<suffix>' "
+                            f"dynamic sub-channels)"
+                        )
+                    for r in range(self.world_size):
+                        box = Mailbox(r, channel)
+                        if self._closed:
+                            box.close()
+                        self._mailboxes[(r, channel)] = box
+                    self.channels = self.channels + (channel,)
+            mailbox = self._mailboxes[(rank, channel)]
+        return mailbox
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.world_size:
@@ -106,10 +131,21 @@ class Router:
 
     def pending_messages(self) -> int:
         """Number of delivered-but-unreceived messages across all mailboxes."""
-        return sum(mb.pending() for mb in self._mailboxes.values())
+        with self._lock:
+            mailboxes = list(self._mailboxes.values())
+        return sum(mb.pending() for mb in mailboxes)
 
     # -------------------------------------------------------------- close
     def close(self) -> None:
-        """Close every mailbox (wakes all blocked receivers)."""
-        for mb in self._mailboxes.values():
+        """Close every mailbox (wakes all blocked receivers).
+
+        Dynamic sub-channels created after (or concurrently with) the
+        close are born closed, so a straggler rank blocked on one is
+        woken with :class:`~repro.comm.mailbox.MailboxClosed` instead of
+        hanging until its receive timeout.
+        """
+        with self._lock:
+            self._closed = True
+            mailboxes = list(self._mailboxes.values())
+        for mb in mailboxes:
             mb.close()

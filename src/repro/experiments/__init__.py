@@ -19,6 +19,7 @@ Every module exposes
 | :mod:`repro.experiments.fig12_cifar_severe` | Fig. 12 — ResNet/CIFAR under severe imbalance |
 | :mod:`repro.experiments.fig13_ucf101_lstm` | Fig. 13 — LSTM/UCF101 accuracy vs time |
 | :mod:`repro.experiments.speedups` | Speedup headlines quoted in the abstract/Section 6 |
+| :mod:`repro.experiments.fusion_pipeline` | fused/chunked gradient-exchange pipeline vs. the monolithic baseline |
 """
 
 from repro.experiments import report

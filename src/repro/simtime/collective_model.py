@@ -65,31 +65,124 @@ class CollectiveLatencyResult:
 # ---------------------------------------------------------------------------
 # building blocks
 # ---------------------------------------------------------------------------
+def _pipelined_round(
+    msg_bytes: float, reduce_bytes: float, n_chunks: int, params: LogGPParams
+) -> float:
+    """Duration of one communication round pipelined in ``n_chunks`` segments.
+
+    The round moves ``msg_bytes`` and combines ``reduce_bytes`` of data.
+    Segment *k*'s reduction overlaps segment *k + 1*'s transmission, so
+    the round costs one segment transfer to fill the pipe, ``n_chunks - 1``
+    steady-state stages bounded by the slower of transfer and reduction,
+    and one segment reduction to drain.  With ``n_chunks == 1`` this is
+    exactly the unpipelined ``alpha + msg*beta + red*gamma``.
+    """
+    seg_net = params.alpha + (msg_bytes / n_chunks) * params.beta
+    seg_red = (reduce_bytes / n_chunks) * params.gamma
+    return seg_net + (n_chunks - 1) * max(seg_net, seg_red) + seg_red
+
+
+def _ring_phase_times(
+    nbytes: float, size: int, n_chunks: int, params: LogGPParams
+) -> tuple:
+    """``(reduce_scatter, allgather)`` durations of a chunked ring allreduce."""
+    chunk = nbytes / size
+    reduce_scatter = (size - 1) * _pipelined_round(chunk, chunk, n_chunks, params)
+    allgather = (size - 1) * _pipelined_round(chunk, 0.0, n_chunks, params)
+    return reduce_scatter, allgather
+
+
 def allreduce_time(
     nbytes: int,
     size: int,
     algorithm: str = "recursive_doubling",
     params: LogGPParams = DEFAULT_NETWORK,
+    n_chunks: int = 1,
 ) -> float:
-    """Duration of a synchronous allreduce once all participants are present."""
+    """Duration of a synchronous allreduce once all participants are present.
+
+    ``n_chunks`` mirrors the chunk-pipelined thread implementation
+    (:mod:`repro.collectives.sync`): each round is segmented so reduction
+    overlaps transmission; ``1`` reproduces the classic unpipelined cost.
+    """
     if size < 1:
         raise ValueError("size must be >= 1")
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
     if size == 1:
         return params.collective_overhead
     rounds = math.ceil(math.log2(size))
     if algorithm == "recursive_doubling":
-        per_round = params.alpha + nbytes * params.beta + nbytes * params.gamma
+        per_round = _pipelined_round(nbytes, nbytes, n_chunks, params)
         return params.collective_overhead + rounds * per_round
     if algorithm == "ring":
-        chunk = nbytes / size
-        reduce_scatter = (size - 1) * (params.alpha + chunk * params.beta + chunk * params.gamma)
-        allgather = (size - 1) * (params.alpha + chunk * params.beta)
+        reduce_scatter, allgather = _ring_phase_times(nbytes, size, n_chunks, params)
         return params.collective_overhead + reduce_scatter + allgather
     if algorithm == "rabenseifner":
-        halving = rounds * params.alpha + nbytes * (size - 1) / size * (params.beta + params.gamma)
-        doubling = rounds * params.alpha + nbytes * (size - 1) / size * params.beta
+        if n_chunks == 1:
+            halving = rounds * params.alpha + nbytes * (size - 1) / size * (
+                params.beta + params.gamma
+            )
+            doubling = rounds * params.alpha + nbytes * (size - 1) / size * params.beta
+            return params.collective_overhead + halving + doubling
+        # Chunked: halving rounds move (and reduce) a geometric n/2, n/4,
+        # ... sequence in pipelined segments; the doubling retrace keeps
+        # whole messages.  The per-round sizes are normalised so the total
+        # volume matches the unchunked closed form's n*(P-1)/P at every
+        # world size (the raw geometric sum reaches 1 - 2^-rounds, which
+        # differs at non-power-of-two P and would otherwise make the
+        # chunked prediction jump discontinuously versus n_chunks=1).
+        scale = ((size - 1) / size) / (1.0 - 0.5 ** rounds)
+        round_bytes = [scale * nbytes / (1 << (r + 1)) for r in range(rounds)]
+        halving = sum(
+            _pipelined_round(b, b, n_chunks, params) for b in round_bytes
+        )
+        doubling = sum(
+            _pipelined_round(b, 0.0, 1, params) for b in round_bytes
+        )
         return params.collective_overhead + halving + doubling
     raise ValueError(f"unknown allreduce algorithm {algorithm!r}")
+
+
+def fused_exchange_time(
+    bucket_bytes: Sequence[float],
+    size: int,
+    algorithm: str = "ring",
+    params: LogGPParams = DEFAULT_NETWORK,
+    n_chunks: int = 1,
+) -> float:
+    """Duration of a bucketed (fused) gradient exchange with pipelining.
+
+    One collective is issued per fusion bucket, back to back.  For the
+    ring algorithm the two phases of consecutive buckets overlap — bucket
+    *b*'s allgather streams on the full-duplex links while bucket
+    *b + 1*'s reduce-scatter starts — modelled by the classic two-stage
+    pipeline recurrence::
+
+        rs_end[b] = rs_end[b - 1] + RS_b
+        ag_end[b] = max(rs_end[b], ag_end[b - 1]) + AG_b
+
+    Non-ring algorithms have no phase split to overlap, so their buckets
+    simply serialise.  The fixed ``collective_overhead`` is paid once:
+    the fusion pipeline keeps one persistent collective armed.
+    """
+    if not bucket_bytes:
+        raise ValueError("bucket_bytes must not be empty")
+    if size == 1:
+        return params.collective_overhead
+    if algorithm != "ring":
+        total = sum(
+            allreduce_time(b, size, algorithm, params, n_chunks) - params.collective_overhead
+            for b in bucket_bytes
+        )
+        return params.collective_overhead + total
+    rs_end = 0.0
+    ag_end = 0.0
+    for nbytes in bucket_bytes:
+        reduce_scatter, allgather = _ring_phase_times(nbytes, size, n_chunks, params)
+        rs_end = rs_end + reduce_scatter
+        ag_end = max(rs_end, ag_end) + allgather
+    return params.collective_overhead + ag_end
 
 
 def broadcast_time(

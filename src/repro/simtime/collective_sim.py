@@ -67,6 +67,7 @@ def simulate_partial_allreduce(
     params: LogGPParams = DEFAULT_NETWORK,
     seed: SeedLike = None,
     initiator: Optional[int] = None,
+    n_chunks: int = 1,
 ) -> SimulatedCollectiveResult:
     """Simulate one allreduce invocation at message granularity.
 
@@ -82,11 +83,18 @@ def simulate_partial_allreduce(
     initiator:
         Designated initiator for majority mode (drawn from ``seed`` when
         omitted).
+    n_chunks:
+        Pipeline each reduction round in this many message segments so
+        the per-segment reduction arithmetic overlaps the transmission of
+        later segments, mirroring the chunked thread implementation.
     """
     arr = np.asarray(arrivals, dtype=np.float64)
     size = arr.size
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
     num_rounds = _check_power_of_two(size)
     depth = max(1, num_rounds) if size > 1 else 0
+    seg_bytes = nbytes / n_chunks
 
     if mode == "solo":
         init_rank = int(np.argmin(arr))
@@ -138,23 +146,27 @@ def simulate_partial_allreduce(
             # ---------------- reduction phase ----------------
             for k in range(num_rounds):
                 partner = pid ^ (1 << k)
-                yield ("send", partner, ("red", k, pid), nbytes)
-                # Consume the matching round-k reduction message; buffer
-                # reduction messages from faster partners that are already
-                # in a later round, drop duplicate activations.
-                found = False
-                for i, msg in enumerate(pending):
-                    if msg[0] == "red" and msg[1] == k:
+                # All segments of the round go out eagerly; combining a
+                # received segment (the gamma wait) then overlaps the
+                # flight of the later segments — the chunked pipeline.
+                for seg in range(n_chunks):
+                    yield ("send", partner, ("red", k, seg), seg_bytes)
+                # Consume the round's matching segments; buffer reduction
+                # messages from faster partners that are already in a
+                # later round, drop duplicate activations.
+                matched = 0
+                for i in reversed(range(len(pending))):
+                    if matched < n_chunks and pending[i][0] == "red" and pending[i][1] == k:
                         pending.pop(i)
-                        found = True
-                        break
-                while not found:
+                        matched += 1
+                        yield ("wait", seg_bytes * params.gamma)
+                while matched < n_chunks:
                     msg = yield ("recv",)
                     if msg[0] == "red" and msg[1] == k:
-                        found = True
+                        matched += 1
+                        yield ("wait", seg_bytes * params.gamma)
                     elif msg[0] != "act":
                         pending.append(msg)
-                yield ("wait", nbytes * params.gamma)
             completion_times[pid] = simulator.now
 
         return proc

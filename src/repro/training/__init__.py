@@ -15,6 +15,7 @@ This package assembles the substrates into the paper's training systems:
   workload traces and paper-scale time projections.
 """
 
+from repro.training.bucketing import BucketSpec, GradientBucketer
 from repro.training.config import TrainingConfig
 from repro.training.exchange import (
     ExchangeResult,
@@ -31,6 +32,8 @@ from repro.training.runner import train_distributed
 from repro.training.evaluation import evaluate_model, distributed_evaluate
 
 __all__ = [
+    "BucketSpec",
+    "GradientBucketer",
     "TrainingConfig",
     "ExchangeResult",
     "GradientExchange",

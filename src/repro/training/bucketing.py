@@ -1,0 +1,239 @@
+"""Gradient fusion buckets (Horovod-style tensor fusion).
+
+Shipping every layer's gradient through its own collective drowns the
+exchange in per-message latency; shipping the whole model as one
+monolithic buffer serialises the entire reduction behind a single
+blocking call.  Tensor fusion is the standard middle ground (Horovod's
+``HOROVOD_FUSION_THRESHOLD``): consecutive parameters are packed into
+fusion buffers of at most ``fusion_threshold_bytes``, and the exchange
+issues one collective per bucket so buckets can pipeline against each
+other and, with chunked collectives, within themselves.
+
+:class:`GradientBucketer` owns the mapping between the flat gradient
+vector (what :func:`repro.nn.parameters.flatten_gradients` produces) and
+the per-bucket fusion buffers.  Packing and unpacking are bit-exact
+inverses — the bucketer only ever slices and concatenates, it never
+re-orders or re-scales elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: Default fusion-buffer capacity.  Horovod defaults to 64 MiB on GPU
+#: clusters; the thread-backed reproduction models smaller gradients, so
+#: a 2 MiB default produces a representative handful of buckets.
+DEFAULT_FUSION_THRESHOLD_BYTES = 2 * 1024 * 1024
+
+#: Gradients travel as float64 on this substrate.
+BYTES_PER_ELEMENT = 8
+
+
+@dataclass(frozen=True)
+class BucketSpec:
+    """One fusion buffer: a contiguous element range of the flat gradient."""
+
+    #: Position of the bucket in the fixed (deep500) issue order.
+    index: int
+    #: First element (inclusive) of the flat gradient owned by the bucket.
+    start: int
+    #: One past the last element owned by the bucket.
+    stop: int
+    #: Indices of the parameters packed into this bucket (empty for
+    #: buckets built from an element range rather than a parameter list).
+    param_indices: Tuple[int, ...] = ()
+
+    @property
+    def num_elements(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_elements * BYTES_PER_ELEMENT
+
+
+class GradientBucketer:
+    """Packs per-parameter gradients into fixed-byte fusion buffers.
+
+    Parameters
+    ----------
+    param_sizes:
+        Flat element count of each parameter tensor, in model order.
+        Consecutive parameters are packed greedily: a bucket is closed
+        when adding the next parameter would exceed the threshold (a
+        single parameter larger than the threshold gets a bucket of its
+        own — parameters are never split across buckets).
+    fusion_threshold_bytes:
+        Capacity of one fusion buffer in bytes.
+    bytes_per_element:
+        Element width used to convert the threshold into elements.
+    """
+
+    def __init__(
+        self,
+        param_sizes: Sequence[int],
+        fusion_threshold_bytes: int = DEFAULT_FUSION_THRESHOLD_BYTES,
+        bytes_per_element: int = BYTES_PER_ELEMENT,
+    ) -> None:
+        sizes = [int(s) for s in param_sizes]
+        if not sizes:
+            raise ValueError("param_sizes must not be empty")
+        if any(s < 1 for s in sizes):
+            raise ValueError(f"parameter sizes must be >= 1, got {sizes}")
+        if fusion_threshold_bytes < 1:
+            raise ValueError(
+                f"fusion_threshold_bytes must be >= 1, got {fusion_threshold_bytes}"
+            )
+        if bytes_per_element < 1:
+            raise ValueError(f"bytes_per_element must be >= 1, got {bytes_per_element}")
+        self.fusion_threshold_bytes = int(fusion_threshold_bytes)
+        capacity = max(1, fusion_threshold_bytes // bytes_per_element)
+
+        buckets: List[BucketSpec] = []
+        start = 0
+        current: List[int] = []
+        filled = 0
+        for i, size in enumerate(sizes):
+            if current and filled + size > capacity:
+                stop = start + filled
+                buckets.append(
+                    BucketSpec(len(buckets), start, stop, tuple(current))
+                )
+                start, current, filled = stop, [], 0
+            current.append(i)
+            filled += size
+        stop = start + filled
+        buckets.append(BucketSpec(len(buckets), start, stop, tuple(current)))
+        self.buckets: Tuple[BucketSpec, ...] = tuple(buckets)
+        self.num_elements = stop
+
+    # ------------------------------------------------------------ builders
+    @classmethod
+    def from_model(cls, model, **kwargs) -> "GradientBucketer":
+        """Bucketer over ``model``'s parameters (model order)."""
+        return cls([p.data.size for p in model.parameters()], **kwargs)
+
+    @classmethod
+    def from_flat(
+        cls,
+        num_elements: int,
+        fusion_threshold_bytes: int = DEFAULT_FUSION_THRESHOLD_BYTES,
+        bytes_per_element: int = BYTES_PER_ELEMENT,
+    ) -> "GradientBucketer":
+        """Bucketer chopping a flat vector into threshold-sized ranges.
+
+        Used when per-parameter boundaries are unknown (the exchange only
+        sees the flattened gradient): the vector is cut into the smallest
+        number of equal-ish contiguous ranges that each fit the threshold.
+        """
+        if num_elements < 1:
+            raise ValueError(f"num_elements must be >= 1, got {num_elements}")
+        capacity = max(1, fusion_threshold_bytes // bytes_per_element)
+        count = -(-num_elements // capacity)  # ceil division
+        return cls.fixed_count(num_elements, count, fusion_threshold_bytes)
+
+    @classmethod
+    def fixed_count(
+        cls,
+        num_elements: int,
+        count: int,
+        fusion_threshold_bytes: int = DEFAULT_FUSION_THRESHOLD_BYTES,
+    ) -> "GradientBucketer":
+        """Bucketer with exactly ``count`` near-equal element ranges.
+
+        Backwards-compatible with the legacy ``fusion_buckets=N`` knob
+        (fixed per-layer-group reductions executed in a fixed order):
+        like the ``np.array_split`` it replaces, a ``count`` exceeding
+        the element count is capped at one element per bucket (the
+        surplus buckets would be empty no-ops).  A ``count`` below one
+        is an error.
+        """
+        if num_elements < 1:
+            raise ValueError(f"num_elements must be >= 1, got {num_elements}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        count = min(int(count), num_elements)
+        bucketer = cls.__new__(cls)
+        base, extra = divmod(num_elements, count)
+        buckets: List[BucketSpec] = []
+        lo = 0
+        for i in range(count):
+            hi = lo + base + (1 if i < extra else 0)
+            buckets.append(BucketSpec(i, lo, hi))
+            lo = hi
+        bucketer.fusion_threshold_bytes = int(fusion_threshold_bytes)
+        bucketer.buckets = tuple(buckets)
+        bucketer.num_elements = num_elements
+        return bucketer
+
+    # ------------------------------------------------------------ packing
+    @property
+    def num_buckets(self) -> int:
+        return len(self.buckets)
+
+    def pack(self, flat_gradient: np.ndarray) -> List[np.ndarray]:
+        """Slice the flat gradient into per-bucket fusion buffers.
+
+        Each buffer is an owned contiguous copy (a real fusion buffer the
+        collective can reduce in place), bit-identical to the source
+        elements.
+        """
+        flat = np.asarray(flat_gradient).reshape(-1)
+        if flat.size != self.num_elements:
+            raise ValueError(
+                f"flat gradient has {flat.size} elements, bucketer expects "
+                f"{self.num_elements}"
+            )
+        return [np.array(flat[b.start : b.stop], copy=True) for b in self.buckets]
+
+    def pack_params(self, gradients: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Pack per-parameter gradient tensors into fusion buffers.
+
+        ``gradients`` must follow the parameter order the bucketer was
+        built from; tensors are flattened and concatenated per bucket.
+        """
+        if any(not b.param_indices for b in self.buckets):
+            raise ValueError(
+                "this bucketer was built from element ranges, not parameter "
+                "sizes; use pack() with the flat gradient instead"
+            )
+        flats = [np.asarray(g).reshape(-1) for g in gradients]
+        buffers = []
+        for bucket in self.buckets:
+            parts = [flats[i] for i in bucket.param_indices]
+            buffer = np.concatenate(parts) if len(parts) > 1 else np.array(parts[0], copy=True)
+            if buffer.size != bucket.num_elements:
+                raise ValueError(
+                    f"bucket {bucket.index} expected {bucket.num_elements} "
+                    f"elements, got {buffer.size}: gradient shapes do not "
+                    f"match the bucketer's parameter sizes"
+                )
+            buffers.append(buffer)
+        return buffers
+
+    def unpack(self, buffers: Sequence[np.ndarray]) -> np.ndarray:
+        """Reassemble the flat gradient from per-bucket buffers (bit-exact)."""
+        if len(buffers) != self.num_buckets:
+            raise ValueError(
+                f"expected {self.num_buckets} buffers, got {len(buffers)}"
+            )
+        out = np.empty(self.num_elements, dtype=np.float64)
+        for bucket, buffer in zip(self.buckets, buffers):
+            buf = np.asarray(buffer).reshape(-1)
+            if buf.size != bucket.num_elements:
+                raise ValueError(
+                    f"bucket {bucket.index} expected {bucket.num_elements} "
+                    f"elements, got {buf.size}"
+                )
+            out[bucket.start : bucket.stop] = buf
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"GradientBucketer(buckets={self.num_buckets}, "
+            f"elements={self.num_elements}, "
+            f"threshold={self.fusion_threshold_bytes}B)"
+        )

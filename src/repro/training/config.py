@@ -38,6 +38,10 @@ class TrainingConfig:
     allreduce_algorithm:
         Algorithm used by the synchronous allreduce and the periodic model
         synchronisation.
+    fusion_buckets, fusion_threshold_bytes, pipeline_chunks:
+        Gradient-fusion configuration: fixed bucket count (legacy),
+        byte-capacity fusion buffers, and per-round chunk pipelining of
+        the synchronous collectives (see :mod:`repro.training.exchange`).
     quorum:
         Required number of fresh contributions for ``mode="quorum"``.
     learning_rate, optimizer, momentum, weight_decay:
@@ -87,6 +91,15 @@ class TrainingConfig:
     eval_batch_size: int = 256
     collect_gradient_norms: bool = False
     fusion_buckets: int = 1
+    #: Pack the gradient into fusion buffers of at most this many bytes
+    #: (Horovod-style tensor fusion); one collective is issued per bucket.
+    #: ``None`` keeps the legacy fixed-count ``fusion_buckets`` behaviour.
+    fusion_threshold_bytes: Optional[int] = None
+    #: Segments each gradient-exchange collective round is pipelined in,
+    #: so the reduction of chunk k overlaps the transmission of chunk k+1
+    #: (applies to the synchronous allreduces and, for sum/avg payloads,
+    #: to the partial collectives' background reduction).
+    pipeline_chunks: int = 1
     #: Paper-faithful single receive buffer for partial collectives: a
     #: lagging rank only sees the latest completed round (Section 5).
     #: Disable for exact per-round results (ablation).
@@ -127,6 +140,10 @@ class TrainingConfig:
             raise ValueError("model_sync_period_epochs must be >= 1 or None")
         if self.fusion_buckets < 1:
             raise ValueError("fusion_buckets must be >= 1")
+        if self.fusion_threshold_bytes is not None and self.fusion_threshold_bytes < 1:
+            raise ValueError("fusion_threshold_bytes must be >= 1 or None")
+        if self.pipeline_chunks < 1:
+            raise ValueError("pipeline_chunks must be >= 1")
 
     @property
     def local_batch_size(self) -> int:

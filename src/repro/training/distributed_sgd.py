@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Tuple
 
 import numpy as np
@@ -36,6 +36,9 @@ class StepStats:
     num_active: int
     #: L2 norm of the combined gradient (0 when not collected).
     gradient_norm: float
+    #: Seconds spent waiting on each fusion bucket's collective, in
+    #: bucket-index order (empty when the exchange is not bucketed).
+    bucket_waits: Tuple[float, ...] = field(default=())
 
 
 LossFn = Callable[[np.ndarray, np.ndarray], Tuple[float, np.ndarray]]
@@ -152,6 +155,7 @@ class DistributedSGD:
             included=result.included,
             num_active=result.num_active,
             gradient_norm=grad_norm,
+            bucket_waits=result.bucket_waits,
         )
 
     def close(self) -> None:

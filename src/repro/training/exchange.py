@@ -9,23 +9,46 @@ cover the systems compared in the paper's evaluation:
   ``"deep500"`` executes the per-bucket allreduces in a fixed order
   (control dependencies in the DAG, Fig. 5), while ``"horovod"`` first
   runs a small negotiation round (achieving consensus on which tensors are
-  ready, as Horovod's coordinator does) and then a fused allreduce;
+  ready, as Horovod's coordinator does) and then reduces the buckets in
+  the negotiated order;
 * :class:`PartialExchange` — eager-SGD's exchange over solo / majority /
   quorum allreduce, including the stale-gradient accumulation semantics
   (handled inside :class:`repro.collectives.partial.PartialAllreduce`).
+
+Fusion buffers and pipelining
+-----------------------------
+Both multi-rank exchanges are *bucketed*: a
+:class:`~repro.training.bucketing.GradientBucketer` packs the flat
+gradient into fusion buffers and one collective is issued per bucket, so
+the exchange is a pipeline of bounded-size reductions instead of one
+monolithic blocking call.  The knobs (threaded through
+:class:`~repro.training.config.TrainingConfig` and the CLI):
+
+``fusion_threshold_bytes``
+    Capacity of one fusion buffer; ``None`` keeps the legacy behaviour
+    (``fusion_buckets`` fixed-count ranges, default 1 = fully fused).
+``pipeline_chunks``
+    Number of segments each synchronous collective round is split into so
+    reduction of chunk *k* overlaps transmission of chunk *k + 1* (see
+    :mod:`repro.collectives.sync`).
+
+Per-bucket wait times are reported in
+:attr:`ExchangeResult.bucket_waits` and surface in
+:class:`~repro.training.distributed_sgd.StepStats`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.comm.communicator import Communicator
 from repro.collectives.partial import PartialAllreduce, PartialMode, make_partial_allreduce
 from repro.collectives.sync import allgather, allreduce
+from repro.training.bucketing import GradientBucketer
 
 
 @dataclass(frozen=True)
@@ -35,12 +58,17 @@ class ExchangeResult:
     #: The combined (averaged) gradient to apply locally.
     gradient: np.ndarray
     #: Whether this rank's freshly computed gradient was part of the
-    #: combination (always true for synchronous exchanges).
+    #: combination (always true for synchronous exchanges; for bucketed
+    #: partial exchanges: whether it was part of *every* bucket's round).
     included: bool
-    #: Number of ranks that contributed fresh gradients.
+    #: Number of ranks that contributed fresh gradients (minimum across
+    #: buckets for bucketed partial exchanges).
     num_active: int
     #: Seconds spent inside the exchange call (synchronisation wait).
     wait_time: float
+    #: Seconds spent waiting on each fusion bucket's collective, in
+    #: bucket-index order (empty for single-process exchanges).
+    bucket_waits: Tuple[float, ...] = ()
 
 
 class GradientExchange:
@@ -75,8 +103,27 @@ class SingleProcessExchange(GradientExchange):
         )
 
 
+def _resolve_bucketer(
+    num_parameters: int,
+    bucketer: Optional[GradientBucketer],
+    fusion_threshold_bytes: Optional[int],
+    fusion_buckets: int,
+) -> GradientBucketer:
+    """Pick the bucketing plan from the three configuration knobs."""
+    if bucketer is not None:
+        if bucketer.num_elements != num_parameters:
+            raise ValueError(
+                f"bucketer covers {bucketer.num_elements} elements, "
+                f"gradient has {num_parameters}"
+            )
+        return bucketer
+    if fusion_threshold_bytes is not None:
+        return GradientBucketer.from_flat(num_parameters, fusion_threshold_bytes)
+    return GradientBucketer.fixed_count(num_parameters, fusion_buckets)
+
+
 class SynchronousExchange(GradientExchange):
-    """Synchronous allreduce of the gradient (synch-SGD).
+    """Synchronous bucketed allreduce of the gradient (synch-SGD).
 
     Parameters
     ----------
@@ -87,9 +134,17 @@ class SynchronousExchange(GradientExchange):
     algorithm:
         Allreduce algorithm (recursive doubling / ring / Rabenseifner).
     fusion_buckets:
-        Number of buckets the gradient is split into.  ``1`` models a
-        fully fused allreduce; larger values model per-layer reductions
-        executed in a fixed order.
+        Legacy knob: number of fixed-count buckets the gradient is split
+        into.  ``1`` models a fully fused allreduce.  Ignored when
+        ``fusion_threshold_bytes`` or ``bucketer`` is given.
+    fusion_threshold_bytes:
+        Pack the gradient into fusion buffers of at most this many bytes
+        (Horovod-style tensor fusion).
+    pipeline_chunks:
+        Segments per collective round (chunked-pipeline allreduce).
+    bucketer:
+        Explicit bucketing plan (e.g. built from per-parameter sizes via
+        :meth:`GradientBucketer.from_model`); overrides the other knobs.
     """
 
     def __init__(
@@ -98,58 +153,98 @@ class SynchronousExchange(GradientExchange):
         style: str = "deep500",
         algorithm: str = "recursive_doubling",
         fusion_buckets: int = 1,
+        fusion_threshold_bytes: Optional[int] = None,
+        pipeline_chunks: int = 1,
+        bucketer: Optional[GradientBucketer] = None,
     ) -> None:
         if style not in ("deep500", "horovod"):
             raise ValueError(f"unknown synchronous style {style!r}")
         if fusion_buckets < 1:
             raise ValueError("fusion_buckets must be >= 1")
+        if pipeline_chunks < 1:
+            raise ValueError("pipeline_chunks must be >= 1")
         self.comm = comm
         self.style = style
         self.algorithm = algorithm
         self.fusion_buckets = fusion_buckets
+        self.fusion_threshold_bytes = fusion_threshold_bytes
+        self.pipeline_chunks = pipeline_chunks
         self.name = f"sync-{style}"
+        self._bucketer = bucketer
         self._step = 0
+
+    def _ensure_bucketer(self, num_parameters: int) -> GradientBucketer:
+        if self._bucketer is None:
+            self._bucketer = _resolve_bucketer(
+                num_parameters, None, self.fusion_threshold_bytes, self.fusion_buckets
+            )
+        elif self._bucketer.num_elements != num_parameters:
+            raise ValueError(
+                f"flat gradient has {num_parameters} elements but the "
+                f"exchange's bucketer covers {self._bucketer.num_elements}"
+            )
+        return self._bucketer
+
+    def _negotiated_order(self, num_buckets: int) -> List[int]:
+        """Horovod-style negotiation: consensus on the bucket issue order.
+
+        Each rank's backward pass finishes its buckets in a slightly
+        different order (modelled as a per-rank, per-step permutation);
+        the coordinator admits a tensor for reduction only once *all*
+        ranks report it ready.  The negotiated position of a bucket is
+        therefore the maximum of its per-rank readiness positions; every
+        rank computes the same order from the same allgathered tokens.
+        """
+        rng = np.random.default_rng((self._step, self.comm.rank))
+        local_order = [int(b) for b in rng.permutation(num_buckets)]
+        tokens = allgather(self.comm, ("ready", self._step, tuple(local_order)))
+        positions = [0] * num_buckets
+        for _kind, _step, order in tokens:
+            for pos, bucket in enumerate(order):
+                positions[bucket] = max(positions[bucket], pos)
+        return sorted(range(num_buckets), key=lambda b: (positions[b], b))
 
     def exchange(self, flat_gradient: np.ndarray) -> ExchangeResult:
         start = time.perf_counter()
         flat = np.asarray(flat_gradient, dtype=np.float64)
+        bucketer = self._ensure_bucketer(flat.size)
+        buffers = bucketer.pack(flat)
         if self.style == "horovod":
-            # Negotiation: the coordinator-based consensus on which tensors
-            # are ready is modelled by a small allgather of readiness
-            # tokens; it synchronises all ranks before the fused reduction.
-            allgather(self.comm, ("ready", self._step, self.comm.rank))
-        pieces: List[np.ndarray] = np.array_split(flat, self.fusion_buckets)
-        reduced: List[np.ndarray] = []
-        for piece in pieces:
-            if piece.size == 0:
-                reduced.append(piece)
-                continue
-            reduced.append(
-                allreduce(
+            order = self._negotiated_order(bucketer.num_buckets)
+        else:
+            # deep500: control dependencies fix the issue order (Fig. 5).
+            order = list(range(bucketer.num_buckets))
+        bucket_waits = [0.0] * bucketer.num_buckets
+        for b in order:
+            bucket_start = time.perf_counter()
+            if buffers[b].size:
+                buffers[b] = allreduce(
                     self.comm,
-                    piece,
+                    buffers[b],
                     algorithm=self.algorithm,
                     average=True,
+                    n_chunks=self.pipeline_chunks,
                 )
-            )
+            bucket_waits[b] = time.perf_counter() - bucket_start
         self._step += 1
-        gradient = np.concatenate(reduced) if reduced else flat
+        gradient = bucketer.unpack(buffers)
         return ExchangeResult(
             gradient=gradient,
             included=True,
             num_active=self.comm.size,
             wait_time=time.perf_counter() - start,
+            bucket_waits=tuple(bucket_waits),
         )
 
 
 class PartialExchange(GradientExchange):
-    """Eager-SGD exchange over a partial allreduce.
+    """Eager-SGD exchange over per-bucket partial allreduces.
 
     Parameters
     ----------
     comm:
-        Any communicator of this rank (the partial allreduce derives its
-        own library/activation channels from it).
+        Any communicator of this rank (each bucket's partial allreduce
+        derives its own library/activation channels from it).
     num_parameters:
         Length of the flat gradient vector.
     mode:
@@ -157,7 +252,22 @@ class PartialExchange(GradientExchange):
     quorum:
         Arrivals required in quorum mode.
     seed:
-        Shared seed for the initiator designation (must match on all ranks).
+        Shared seed for the initiator designation (must match on all
+        ranks; all buckets share the seed, so each round's designated
+        initiator is the same across buckets).
+    fusion_threshold_bytes:
+        Pack the gradient into fusion buffers of at most this many bytes;
+        each bucket runs its own partial allreduce (with its own progress
+        thread and channel pair), so a slow rank's gradient can be
+        included in bucket *i* but become stale for bucket *j* — the
+        per-bucket generalisation of the paper's staleness semantics.
+        Stale gradients accumulate per bucket and are never lost.
+    pipeline_chunks:
+        Segments the background reduction of every bucket is pipelined in
+        (sum/avg payloads only; see
+        :class:`~repro.collectives.partial.PartialAllreduce`).
+    bucketer:
+        Explicit bucketing plan; overrides ``fusion_threshold_bytes``.
     """
 
     def __init__(
@@ -168,34 +278,71 @@ class PartialExchange(GradientExchange):
         quorum: Optional[int] = None,
         seed: int = 12345,
         overwrite_recvbuff: bool = True,
+        fusion_threshold_bytes: Optional[int] = None,
+        pipeline_chunks: int = 1,
+        bucketer: Optional[GradientBucketer] = None,
     ) -> None:
         if num_parameters < 1:
             raise ValueError("num_parameters must be >= 1")
+        self.bucketer = _resolve_bucketer(
+            num_parameters, bucketer, fusion_threshold_bytes, fusion_buckets=1
+        )
         kwargs = {}
         if PartialMode(mode) is PartialMode.QUORUM:
             kwargs["quorum"] = quorum
-        self.partial: PartialAllreduce = make_partial_allreduce(
-            comm,
-            (num_parameters,),
-            mode,
-            average=True,
-            seed=seed,
-            overwrite_recvbuff=overwrite_recvbuff,
-            **kwargs,
-        )
+        self.partials: List[PartialAllreduce] = []
+        multi = self.bucketer.num_buckets > 1
+        for bucket in self.bucketer.buckets:
+            self.partials.append(
+                make_partial_allreduce(
+                    comm,
+                    (bucket.num_elements,),
+                    mode,
+                    average=True,
+                    seed=seed,
+                    overwrite_recvbuff=overwrite_recvbuff,
+                    channel_suffix=f".bucket{bucket.index}" if multi else "",
+                    n_chunks=pipeline_chunks,
+                    **kwargs,
+                )
+            )
         self.name = f"eager-{PartialMode(mode).value}"
 
+    @property
+    def partial(self) -> PartialAllreduce:
+        """The first bucket's partial allreduce (single-bucket compat)."""
+        return self.partials[0]
+
     def exchange(self, flat_gradient: np.ndarray) -> ExchangeResult:
-        result = self.partial.reduce(np.asarray(flat_gradient, dtype=np.float64))
+        start = time.perf_counter()
+        buffers = self.bucketer.pack(
+            np.asarray(flat_gradient, dtype=np.float64)
+        )
+        reduced: List[np.ndarray] = []
+        bucket_waits: List[float] = []
+        included = True
+        num_active = None
+        for partial, buffer in zip(self.partials, buffers):
+            result = partial.reduce(buffer)
+            reduced.append(result.data)
+            bucket_waits.append(result.wait_time)
+            included = included and result.included
+            num_active = (
+                result.num_active
+                if num_active is None
+                else min(num_active, result.num_active)
+            )
         return ExchangeResult(
-            gradient=result.data,
-            included=result.included,
-            num_active=result.num_active,
-            wait_time=result.wait_time,
+            gradient=self.bucketer.unpack(reduced),
+            included=included,
+            num_active=int(num_active or 0),
+            wait_time=time.perf_counter() - start,
+            bucket_waits=tuple(bucket_waits),
         )
 
     def close(self) -> None:
-        self.partial.close()
+        for partial in self.partials:
+            partial.close()
 
 
 def build_exchange(
@@ -208,13 +355,20 @@ def build_exchange(
     quorum: Optional[int] = None,
     seed: int = 12345,
     overwrite_recvbuff: bool = True,
+    fusion_threshold_bytes: Optional[int] = None,
+    pipeline_chunks: int = 1,
 ) -> GradientExchange:
     """Build the exchange matching a :class:`repro.training.TrainingConfig`."""
     if comm is None or comm.size == 1:
         return SingleProcessExchange()
     if mode == "sync":
         return SynchronousExchange(
-            comm, style=sync_style, algorithm=algorithm, fusion_buckets=fusion_buckets
+            comm,
+            style=sync_style,
+            algorithm=algorithm,
+            fusion_buckets=fusion_buckets,
+            fusion_threshold_bytes=fusion_threshold_bytes,
+            pipeline_chunks=pipeline_chunks,
         )
     return PartialExchange(
         comm,
@@ -223,4 +377,6 @@ def build_exchange(
         quorum=quorum,
         seed=seed,
         overwrite_recvbuff=overwrite_recvbuff,
+        fusion_threshold_bytes=fusion_threshold_bytes,
+        pipeline_chunks=pipeline_chunks,
     )

@@ -92,6 +92,8 @@ def _rank_main(
         quorum=config.quorum,
         seed=config.seed + 777,
         overwrite_recvbuff=config.overwrite_recvbuff,
+        fusion_threshold_bytes=config.fusion_threshold_bytes,
+        pipeline_chunks=config.pipeline_chunks,
     )
     sgd = DistributedSGD(
         model,

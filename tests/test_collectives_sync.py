@@ -22,7 +22,7 @@ def _allreduce_worker(comm, algorithm, op, elements):
 
 class TestAllreduceAlgorithms:
     @pytest.mark.parametrize("algorithm", sorted(ALLREDUCE_ALGORITHMS))
-    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8])
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 6, 7, 8])
     def test_sum_matches_numpy(self, algorithm, size):
         elements = 17
         results = run_world(size, _allreduce_worker, algorithm, "sum", elements)

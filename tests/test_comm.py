@@ -130,10 +130,33 @@ class TestRouter:
         router = Router(2)
         with pytest.raises(ValueError):
             router.mailbox(5, Channel.APP)
-        with pytest.raises(KeyError):
-            router.mailbox(0, "bogus")
         with pytest.raises(ValueError):
             Router(0)
+
+    def test_dynamic_channels_created_on_first_use(self):
+        # "<known>.<suffix>" channels are created lazily (one mailbox per
+        # rank) so higher layers can open private lanes per fusion bucket.
+        router = Router(2)
+        assert "lib.bucket3" not in router.channels
+        box = router.mailbox(1, "lib.bucket3")
+        assert box.channel == "lib.bucket3"
+        assert "lib.bucket3" in router.channels
+        # Both ranks share the dynamically created channel.
+        assert router.mailbox(0, "lib.bucket3") is not box
+        assert router.mailbox(1, "lib.bucket3") is box
+        # Typos still fail fast: only suffixes of declared channels are
+        # auto-created, never brand-new base names.
+        with pytest.raises(KeyError):
+            router.mailbox(0, "bogus")
+        with pytest.raises(KeyError):
+            router.mailbox(0, "activaton.bucket1")
+
+    def test_dynamic_channels_born_closed_after_router_close(self):
+        router = Router(2)
+        router.close()
+        box = router.mailbox(0, "lib.bucket9")
+        with pytest.raises(MailboxClosed):
+            box.put(Message(source=1, dest=0, tag=0, payload=1))
 
 
 class TestCommunicator:
