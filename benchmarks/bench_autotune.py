@@ -1,0 +1,69 @@
+"""Benchmark: auto-tuned fusion vs. the PR-1 fixed 64 KiB / 1-chunk default.
+
+The acceptance bar for the calibrated auto-tuner: at P in {2, 4, 8} and a
+4 MB gradient, the exchange configured by the auto-tuned
+``(fusion_threshold_bytes, pipeline_chunks)`` must be **no slower** than
+the fixed 64 KiB / 1-chunk default that PR 1's benchmarks hardcoded
+(speedup >= 1.0 under the calibrated cost model), and the calibrated
+profile must reproduce the measured thread-backend allreduce latency
+within 30% at P = 8 across the 4 KiB - 4 MiB sweep.
+
+``python benchmarks/bench_autotune.py`` runs the full (non-quick)
+calibration, prints the tune report and the acceptance verdicts; under
+pytest-benchmark the cached-profile path is timed and asserted.
+"""
+
+from repro.experiments import autotune as autotune_experiment
+from repro.tuning import calibrate
+from repro.tuning.autotune import tune_with_profile
+
+#: The recommendation must never lose to the fixed default.
+TARGET_SPEEDUP = 1.0
+#: Acceptance bound on the calibrated model's worst relative error at P = 8.
+TARGET_MAX_REL_ERROR = 0.30
+WORLD_SIZES = (2, 4, 8)
+GRADIENT_BYTES = 4 * 1024 * 1024
+
+
+def _plans(quick: bool = True):
+    plans = []
+    for world_size in WORLD_SIZES:
+        profile = calibrate(world_size, quick=quick)
+        plans.append(tune_with_profile(profile, GRADIENT_BYTES, "ring"))
+    return plans
+
+
+def bench_autotune_recommendations(benchmark):
+    """Grid search over cached profiles: every recommendation clears 1.0x."""
+    plans = benchmark(_plans)
+    for plan in plans:
+        assert plan.speedup >= TARGET_SPEEDUP, (
+            f"auto-tuned exchange only {plan.speedup:.3f}x the fixed 64 KiB / "
+            f"1-chunk default at P={plan.world_size} (need >= {TARGET_SPEEDUP}x): {plan}"
+        )
+
+
+if __name__ == "__main__":
+    result = autotune_experiment.run(
+        world_sizes=WORLD_SIZES,
+        gradient_mb=GRADIENT_BYTES / (1024 * 1024),
+        algorithm="ring",
+        force=True,
+    )
+    print(autotune_experiment.report(result))
+    print()
+    min_speedup = min(plan.speedup for plan in result.plans)
+    speedup_ok = min_speedup >= TARGET_SPEEDUP
+    print(
+        f"acceptance (auto-tuned >= {TARGET_SPEEDUP:g}x fixed 64 KiB / 1-chunk "
+        f"at P in {WORLD_SIZES}): {'PASS' if speedup_ok else 'FAIL'} "
+        f"(worst {min_speedup:.2f}x)"
+    )
+    p8 = next(p for p in result.profiles if p.world_size == 8)
+    fit_ok = p8.max_rel_error <= TARGET_MAX_REL_ERROR
+    print(
+        f"acceptance (model within {TARGET_MAX_REL_ERROR:.0%} of measured "
+        f"allreduce latency at P = 8, 4 KiB - 4 MiB): "
+        f"{'PASS' if fit_ok else 'FAIL'} ({p8.max_rel_error:.1%})"
+    )
+    raise SystemExit(0 if (speedup_ok and fit_ok) else 1)

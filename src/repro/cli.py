@@ -23,6 +23,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
+    autotune as autotune_experiment,
     fig2_workload,
     fig3_wmt_runtime,
     fig4_cloud_runtime,
@@ -51,6 +52,7 @@ EXPERIMENTS: Dict[str, str] = {
     "speedups": "headline speedup summary across the training figures",
     "scaling": "strong/weak scaling projections",
     "fusion": "fused/chunked gradient-exchange pipeline vs. unfused baseline",
+    "tune": "calibrate the LogGP model to the thread backend and auto-tune fusion",
 }
 
 
@@ -123,7 +125,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--functional", action="store_true",
         help="also run the thread-backed exchange at reduced scale",
     )
+
+    p = sub.add_parser("tune", help=EXPERIMENTS["tune"])
+    p.add_argument(
+        "--world-sizes", type=str, default="2,4,8",
+        help="comma-separated world sizes to calibrate (each >= 2)",
+    )
+    p.add_argument("--gradient-mb", type=float, default=4.0,
+                   help="gradient size the fusion grid is tuned for, in MB")
+    p.add_argument("--algorithm", default="ring",
+                   choices=["ring", "recursive_doubling", "rabenseifner"],
+                   help="allreduce algorithm of the tuned exchange")
+    p.add_argument("--quick", action="store_true",
+                   help="reduced measurement sweep (CI smoke mode)")
+    p.add_argument("--force", action="store_true",
+                   help="remeasure even when a cached profile exists")
+    p.add_argument("--cache-dir", type=str, default=None,
+                   help="profile-cache directory (default: $REPRO_TUNING_CACHE_DIR "
+                   "or ~/.cache/repro/tuning)")
+    p.add_argument("--live-trials", type=int, default=0,
+                   help="cross-check this many best grid candidates with live "
+                   "thread-backend exchanges")
     return parser
+
+
+def _parse_int_list(
+    parser: argparse.ArgumentParser, option: str, value: str, min_value: int
+) -> List[int]:
+    """Parse a comma-separated integer option, enforcing a lower bound."""
+    try:
+        items = [int(s) for s in value.split(",") if s.strip()]
+    except ValueError:
+        parser.error(f"{option} must be comma-separated integers, got {value!r}")
+    if not items:
+        parser.error(f"{option} must not be empty")
+    if any(i < min_value for i in items):
+        parser.error(f"{option} entries must be >= {min_value}")
+    return items
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -174,18 +212,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         print(scaling.report(scaling.run_with_inherent_imbalance(steps=args.steps, seed=args.seed)))
     elif args.command == "fusion":
+        world_sizes = _parse_int_list(parser, "--world-sizes", args.world_sizes, 1)
         try:
-            world_sizes = [int(s) for s in args.world_sizes.split(",") if s.strip()]
             bucket_mb = [float(s) for s in args.bucket_mb.split(",") if s.strip()]
         except ValueError:
             parser.error(
-                f"--world-sizes/--bucket-mb must be comma-separated numbers, "
-                f"got {args.world_sizes!r} / {args.bucket_mb!r}"
+                f"--bucket-mb must be comma-separated numbers, got {args.bucket_mb!r}"
             )
-        if not world_sizes or not bucket_mb:
-            parser.error("--world-sizes and --bucket-mb must not be empty")
-        if any(s < 1 for s in world_sizes) or any(b <= 0 for b in bucket_mb):
-            parser.error("--world-sizes entries must be >= 1 and --bucket-mb entries > 0")
+        if not bucket_mb or any(b <= 0 for b in bucket_mb):
+            parser.error("--bucket-mb entries must be > 0 and not empty")
         if args.gradient_mb <= 0:
             parser.error("--gradient-mb must be > 0")
         if args.pipeline_chunks < 1:
@@ -201,6 +236,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                 n_chunks=args.pipeline_chunks
             )
         print(fusion_pipeline.report(result))
+    elif args.command == "tune":
+        world_sizes = _parse_int_list(parser, "--world-sizes", args.world_sizes, 2)
+        if args.gradient_mb <= 0:
+            parser.error("--gradient-mb must be > 0")
+        if args.live_trials < 0:
+            parser.error("--live-trials must be >= 0")
+        result = autotune_experiment.run(
+            world_sizes=world_sizes,
+            gradient_mb=args.gradient_mb,
+            algorithm=args.algorithm,
+            quick=args.quick,
+            cache_dir=args.cache_dir,
+            force=args.force,
+            live_trials=args.live_trials,
+        )
+        print(autotune_experiment.report(result))
     else:  # pragma: no cover - argparse already rejects unknown commands
         parser.error(f"unknown command {args.command!r}")
     return 0

@@ -210,7 +210,9 @@ def _recv_segments(
         if reduce_op is None:
             flat[lo + slo : lo + shi] = incoming
         else:
-            flat[lo + slo : lo + shi] = reduce_op(flat[lo + slo : lo + shi], incoming)
+            # In-place combine: allocating a fresh buffer per segment and
+            # copying it back dominates large-message latency.
+            reduce_op.combine_into(flat[lo + slo : lo + shi], incoming)
 
 
 # --------------------------------------------------------------------------
@@ -326,7 +328,7 @@ def reduce(
     # Children in the *broadcast* tree are the senders in the reduction tree.
     for child in reversed(binomial_tree_children(rank, size, root)):
         contribution = comm.recv(source=child, tag=tag, timeout=timeout)
-        acc = reduce_op(acc, contribution)
+        acc = reduce_op.combine_into(acc, contribution)
     if rank != root:
         parent = binomial_tree_parent(rank, size, root)
         comm.send(acc, parent, tag=tag)
@@ -607,5 +609,6 @@ def allreduce(
         ) from None
     result = impl(comm, data, op=op, timeout=timeout, n_chunks=n_chunks)
     if average:
-        result = result / comm.size
+        # The implementations return an owned buffer, so divide in place.
+        result /= comm.size
     return result

@@ -8,7 +8,7 @@ actually needs (line 6 of Algorithm 2 divides the sum by ``P``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -27,14 +27,33 @@ class ReduceOp:
         Scalar identity element (used to initialise accumulation buffers
         and as the *null contribution* of absent processes in partial
         collectives).
+    ufunc:
+        The numpy ufunc implementing ``fn``, when one exists; enables the
+        allocation-free in-place combine of :meth:`combine_into` (a
+        gradient exchange otherwise allocates a fresh buffer per received
+        segment, which dominates large-message latency).
     """
 
     name: str
     fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
     identity: float
+    ufunc: Optional[Callable] = None
 
     def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return self.fn(np.asarray(a), np.asarray(b))
+
+    def combine_into(self, out: np.ndarray, other) -> np.ndarray:
+        """Combine ``other`` into ``out`` in place: ``out <- fn(out, other)``.
+
+        Bit-identical to ``out[...] = fn(out, other)`` but without the
+        intermediate allocation when the operator has a ufunc.  ``out``
+        must be a *writable* array and may be a view (e.g. one pipeline
+        segment of a fusion buffer).
+        """
+        if self.ufunc is not None and isinstance(out, np.ndarray):
+            return self.ufunc(out, other, out=out)
+        out[...] = self.fn(out, np.asarray(other))
+        return out
 
     def reduce_many(self, arrays) -> np.ndarray:
         """Reduce an iterable of equally-shaped arrays."""
@@ -54,14 +73,14 @@ class ReduceOp:
         return f"ReduceOp({self.name})"
 
 
-SUM = ReduceOp("sum", lambda a, b: a + b, 0.0)
-PROD = ReduceOp("prod", lambda a, b: a * b, 1.0)
-MAX = ReduceOp("max", np.maximum, -np.inf)
-MIN = ReduceOp("min", np.minimum, np.inf)
+SUM = ReduceOp("sum", lambda a, b: a + b, 0.0, ufunc=np.add)
+PROD = ReduceOp("prod", lambda a, b: a * b, 1.0, ufunc=np.multiply)
+MAX = ReduceOp("max", np.maximum, -np.inf, ufunc=np.maximum)
+MIN = ReduceOp("min", np.minimum, np.inf, ufunc=np.minimum)
 #: Average: implemented as SUM at the transport level; callers divide by
 #: the number of contributors (or by the world size for eager-SGD, which
 #: treats absent contributions as zero — see Algorithm 2, line 6).
-AVG = ReduceOp("avg", lambda a, b: a + b, 0.0)
+AVG = ReduceOp("avg", lambda a, b: a + b, 0.0, ufunc=np.add)
 
 _REGISTRY: Dict[str, ReduceOp] = {
     "sum": SUM,

@@ -20,6 +20,7 @@ Every module exposes
 | :mod:`repro.experiments.fig13_ucf101_lstm` | Fig. 13 — LSTM/UCF101 accuracy vs time |
 | :mod:`repro.experiments.speedups` | Speedup headlines quoted in the abstract/Section 6 |
 | :mod:`repro.experiments.fusion_pipeline` | fused/chunked gradient-exchange pipeline vs. the monolithic baseline |
+| :mod:`repro.experiments.autotune` | calibrated LogGP parameters + auto-tuned fusion recommendations |
 """
 
 from repro.experiments import report

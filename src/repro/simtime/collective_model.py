@@ -105,6 +105,8 @@ def allreduce_time(
     (:mod:`repro.collectives.sync`): each round is segmented so reduction
     overlaps transmission; ``1`` reproduces the classic unpipelined cost.
     """
+    if nbytes < 0:
+        raise ValueError(f"message size must be non-negative, got {nbytes}")
     if size < 1:
         raise ValueError("size must be >= 1")
     if n_chunks < 1:
@@ -168,6 +170,12 @@ def fused_exchange_time(
     """
     if not bucket_bytes:
         raise ValueError("bucket_bytes must not be empty")
+    if any(b < 0 for b in bucket_bytes):
+        raise ValueError(f"message size must be non-negative, got {list(bucket_bytes)}")
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
     if size == 1:
         return params.collective_overhead
     if algorithm != "ring":

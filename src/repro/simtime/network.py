@@ -12,12 +12,19 @@ latency figures; absolute values are not the target.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+import numbers
+from dataclasses import dataclass, fields
 
 
 @dataclass(frozen=True)
 class LogGPParams:
-    """Network and reduction cost parameters (seconds and seconds/byte)."""
+    """Network and reduction cost parameters (seconds and seconds/byte).
+
+    Parameters are validated on construction: every field must be a
+    finite, non-negative number (NaN would silently poison every cost
+    the model produces downstream).
+    """
 
     #: Per-message latency + overhead (seconds).
     alpha: float = 2.0e-6
@@ -28,9 +35,24 @@ class LogGPParams:
     #: Fixed software overhead of entering a collective (seconds).
     collective_overhead: float = 5.0e-6
 
+    def __post_init__(self) -> None:
+        self.validate()
+
     def validate(self) -> None:
-        if self.alpha < 0 or self.beta < 0 or self.gamma < 0 or self.collective_overhead < 0:
-            raise ValueError("network parameters must be non-negative")
+        """Reject non-finite or negative parameters."""
+        for f in fields(self):
+            value = getattr(self, f.name)
+            # numbers.Real admits numpy scalars (np.float32, np.int64, ...)
+            # alongside the builtin int/float.
+            if (
+                not isinstance(value, numbers.Real)
+                or not math.isfinite(value)
+                or value < 0
+            ):
+                raise ValueError(
+                    f"network parameter {f.name} must be a finite non-negative "
+                    f"number, got {value!r}"
+                )
 
 
 #: Default parameters used by the microbenchmark and the projections.

@@ -45,6 +45,9 @@ class BucketSpec:
     #: Indices of the parameters packed into this bucket (empty for
     #: buckets built from an element range rather than a parameter list).
     param_indices: Tuple[int, ...] = ()
+    #: Element width of the substrate the bucketer was built for; keeps
+    #: :attr:`nbytes` consistent with the byte budget the bucketer used.
+    bytes_per_element: int = BYTES_PER_ELEMENT
 
     @property
     def num_elements(self) -> int:
@@ -52,7 +55,7 @@ class BucketSpec:
 
     @property
     def nbytes(self) -> int:
-        return self.num_elements * BYTES_PER_ELEMENT
+        return self.num_elements * self.bytes_per_element
 
 
 class GradientBucketer:
@@ -90,6 +93,7 @@ class GradientBucketer:
         if bytes_per_element < 1:
             raise ValueError(f"bytes_per_element must be >= 1, got {bytes_per_element}")
         self.fusion_threshold_bytes = int(fusion_threshold_bytes)
+        self.bytes_per_element = int(bytes_per_element)
         capacity = max(1, fusion_threshold_bytes // bytes_per_element)
 
         buckets: List[BucketSpec] = []
@@ -100,13 +104,21 @@ class GradientBucketer:
             if current and filled + size > capacity:
                 stop = start + filled
                 buckets.append(
-                    BucketSpec(len(buckets), start, stop, tuple(current))
+                    BucketSpec(
+                        len(buckets), start, stop, tuple(current),
+                        bytes_per_element=self.bytes_per_element,
+                    )
                 )
                 start, current, filled = stop, [], 0
             current.append(i)
             filled += size
         stop = start + filled
-        buckets.append(BucketSpec(len(buckets), start, stop, tuple(current)))
+        buckets.append(
+            BucketSpec(
+                len(buckets), start, stop, tuple(current),
+                bytes_per_element=self.bytes_per_element,
+            )
+        )
         self.buckets: Tuple[BucketSpec, ...] = tuple(buckets)
         self.num_elements = stop
 
@@ -131,9 +143,13 @@ class GradientBucketer:
         """
         if num_elements < 1:
             raise ValueError(f"num_elements must be >= 1, got {num_elements}")
+        if bytes_per_element < 1:
+            raise ValueError(f"bytes_per_element must be >= 1, got {bytes_per_element}")
         capacity = max(1, fusion_threshold_bytes // bytes_per_element)
         count = -(-num_elements // capacity)  # ceil division
-        return cls.fixed_count(num_elements, count, fusion_threshold_bytes)
+        return cls.fixed_count(
+            num_elements, count, fusion_threshold_bytes, bytes_per_element
+        )
 
     @classmethod
     def fixed_count(
@@ -141,6 +157,7 @@ class GradientBucketer:
         num_elements: int,
         count: int,
         fusion_threshold_bytes: int = DEFAULT_FUSION_THRESHOLD_BYTES,
+        bytes_per_element: int = BYTES_PER_ELEMENT,
     ) -> "GradientBucketer":
         """Bucketer with exactly ``count`` near-equal element ranges.
 
@@ -155,6 +172,8 @@ class GradientBucketer:
             raise ValueError(f"num_elements must be >= 1, got {num_elements}")
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
+        if bytes_per_element < 1:
+            raise ValueError(f"bytes_per_element must be >= 1, got {bytes_per_element}")
         count = min(int(count), num_elements)
         bucketer = cls.__new__(cls)
         base, extra = divmod(num_elements, count)
@@ -162,9 +181,12 @@ class GradientBucketer:
         lo = 0
         for i in range(count):
             hi = lo + base + (1 if i < extra else 0)
-            buckets.append(BucketSpec(i, lo, hi))
+            buckets.append(
+                BucketSpec(i, lo, hi, bytes_per_element=int(bytes_per_element))
+            )
             lo = hi
         bucketer.fusion_threshold_bytes = int(fusion_threshold_bytes)
+        bucketer.bytes_per_element = int(bytes_per_element)
         bucketer.buckets = tuple(buckets)
         bucketer.num_elements = num_elements
         return bucketer

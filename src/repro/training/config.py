@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from repro.imbalance.cost_model import CostModel
 from repro.imbalance.injection import DelayInjector, NoDelay
@@ -42,6 +42,11 @@ class TrainingConfig:
         Gradient-fusion configuration: fixed bucket count (legacy),
         byte-capacity fusion buffers, and per-round chunk pipelining of
         the synchronous collectives (see :mod:`repro.training.exchange`).
+        ``fusion_threshold_bytes`` and ``pipeline_chunks`` also accept
+        the string ``"auto"``: the runner then calibrates the LogGP cost
+        model against the thread backend (cached under
+        ``tuning_cache_dir``) and picks the values that minimise the
+        modelled exchange time (see :mod:`repro.tuning`).
     quorum:
         Required number of fresh contributions for ``mode="quorum"``.
     learning_rate, optimizer, momentum, weight_decay:
@@ -93,13 +98,19 @@ class TrainingConfig:
     fusion_buckets: int = 1
     #: Pack the gradient into fusion buffers of at most this many bytes
     #: (Horovod-style tensor fusion); one collective is issued per bucket.
-    #: ``None`` keeps the legacy fixed-count ``fusion_buckets`` behaviour.
-    fusion_threshold_bytes: Optional[int] = None
+    #: ``None`` keeps the legacy fixed-count ``fusion_buckets`` behaviour;
+    #: ``"auto"`` lets the runner pick via the calibrated cost model.
+    fusion_threshold_bytes: Union[int, str, None] = None
     #: Segments each gradient-exchange collective round is pipelined in,
     #: so the reduction of chunk k overlaps the transmission of chunk k+1
     #: (applies to the synchronous allreduces and, for sum/avg payloads,
-    #: to the partial collectives' background reduction).
-    pipeline_chunks: int = 1
+    #: to the partial collectives' background reduction).  ``"auto"``
+    #: lets the runner pick via the calibrated cost model.
+    pipeline_chunks: Union[int, str] = 1
+    #: Directory of the calibrated-profile cache consulted when resolving
+    #: ``"auto"`` fusion values; ``None`` uses ``$REPRO_TUNING_CACHE_DIR``
+    #: or ``~/.cache/repro/tuning``.
+    tuning_cache_dir: Optional[str] = None
     #: Paper-faithful single receive buffer for partial collectives: a
     #: lagging rank only sees the latest completed round (Section 5).
     #: Disable for exact per-round results (ablation).
@@ -140,10 +151,22 @@ class TrainingConfig:
             raise ValueError("model_sync_period_epochs must be >= 1 or None")
         if self.fusion_buckets < 1:
             raise ValueError("fusion_buckets must be >= 1")
-        if self.fusion_threshold_bytes is not None and self.fusion_threshold_bytes < 1:
-            raise ValueError("fusion_threshold_bytes must be >= 1 or None")
-        if self.pipeline_chunks < 1:
-            raise ValueError("pipeline_chunks must be >= 1")
+        if isinstance(self.fusion_threshold_bytes, str):
+            if self.fusion_threshold_bytes != "auto":
+                raise ValueError(
+                    f"fusion_threshold_bytes must be an integer, None or 'auto', "
+                    f"got {self.fusion_threshold_bytes!r}"
+                )
+        elif self.fusion_threshold_bytes is not None and self.fusion_threshold_bytes < 1:
+            raise ValueError("fusion_threshold_bytes must be >= 1, None or 'auto'")
+        if isinstance(self.pipeline_chunks, str):
+            if self.pipeline_chunks != "auto":
+                raise ValueError(
+                    f"pipeline_chunks must be an integer or 'auto', "
+                    f"got {self.pipeline_chunks!r}"
+                )
+        elif self.pipeline_chunks < 1:
+            raise ValueError("pipeline_chunks must be >= 1 or 'auto'")
 
     @property
     def local_batch_size(self) -> int:

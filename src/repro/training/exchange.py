@@ -31,6 +31,10 @@ monolithic blocking call.  The knobs (threaded through
     Number of segments each synchronous collective round is split into so
     reduction of chunk *k* overlaps transmission of chunk *k + 1* (see
     :mod:`repro.collectives.sync`).
+``plan``
+    A :class:`~repro.tuning.autotune.TunedPlan` produced by the
+    calibrated auto-tuner; supplies both knobs at once (explicit knob
+    arguments are then ignored).
 
 Per-bucket wait times are reported in
 :attr:`ExchangeResult.bucket_waits` and surface in
@@ -49,6 +53,7 @@ from repro.comm.communicator import Communicator
 from repro.collectives.partial import PartialAllreduce, PartialMode, make_partial_allreduce
 from repro.collectives.sync import allgather, allreduce
 from repro.training.bucketing import GradientBucketer
+from repro.tuning.autotune import TunedPlan
 
 
 @dataclass(frozen=True)
@@ -122,6 +127,23 @@ def _resolve_bucketer(
     return GradientBucketer.fixed_count(num_parameters, fusion_buckets)
 
 
+def _apply_plan(
+    plan: Optional[TunedPlan],
+    comm: Communicator,
+    fusion_threshold_bytes: Optional[int],
+    pipeline_chunks: int,
+) -> Tuple[Optional[int], int]:
+    """Resolve the fusion knobs from an auto-tuned plan, when one is given."""
+    if plan is None:
+        return fusion_threshold_bytes, pipeline_chunks
+    if plan.world_size != comm.size:
+        raise ValueError(
+            f"tuned plan was computed for world size {plan.world_size}, "
+            f"communicator has {comm.size} ranks"
+        )
+    return plan.fusion_threshold_bytes, plan.pipeline_chunks
+
+
 class SynchronousExchange(GradientExchange):
     """Synchronous bucketed allreduce of the gradient (synch-SGD).
 
@@ -145,6 +167,10 @@ class SynchronousExchange(GradientExchange):
     bucketer:
         Explicit bucketing plan (e.g. built from per-parameter sizes via
         :meth:`GradientBucketer.from_model`); overrides the other knobs.
+    plan:
+        Auto-tuned :class:`~repro.tuning.autotune.TunedPlan`; supplies
+        ``fusion_threshold_bytes`` and ``pipeline_chunks`` (an explicit
+        ``bucketer`` still wins for the bucketing itself).
     """
 
     def __init__(
@@ -156,11 +182,15 @@ class SynchronousExchange(GradientExchange):
         fusion_threshold_bytes: Optional[int] = None,
         pipeline_chunks: int = 1,
         bucketer: Optional[GradientBucketer] = None,
+        plan: Optional[TunedPlan] = None,
     ) -> None:
         if style not in ("deep500", "horovod"):
             raise ValueError(f"unknown synchronous style {style!r}")
         if fusion_buckets < 1:
             raise ValueError("fusion_buckets must be >= 1")
+        fusion_threshold_bytes, pipeline_chunks = _apply_plan(
+            plan, comm, fusion_threshold_bytes, pipeline_chunks
+        )
         if pipeline_chunks < 1:
             raise ValueError("pipeline_chunks must be >= 1")
         self.comm = comm
@@ -268,6 +298,9 @@ class PartialExchange(GradientExchange):
         :class:`~repro.collectives.partial.PartialAllreduce`).
     bucketer:
         Explicit bucketing plan; overrides ``fusion_threshold_bytes``.
+    plan:
+        Auto-tuned :class:`~repro.tuning.autotune.TunedPlan`; supplies
+        ``fusion_threshold_bytes`` and ``pipeline_chunks``.
     """
 
     def __init__(
@@ -281,9 +314,13 @@ class PartialExchange(GradientExchange):
         fusion_threshold_bytes: Optional[int] = None,
         pipeline_chunks: int = 1,
         bucketer: Optional[GradientBucketer] = None,
+        plan: Optional[TunedPlan] = None,
     ) -> None:
         if num_parameters < 1:
             raise ValueError("num_parameters must be >= 1")
+        fusion_threshold_bytes, pipeline_chunks = _apply_plan(
+            plan, comm, fusion_threshold_bytes, pipeline_chunks
+        )
         self.bucketer = _resolve_bucketer(
             num_parameters, bucketer, fusion_threshold_bytes, fusion_buckets=1
         )
@@ -357,6 +394,7 @@ def build_exchange(
     overwrite_recvbuff: bool = True,
     fusion_threshold_bytes: Optional[int] = None,
     pipeline_chunks: int = 1,
+    plan: Optional[TunedPlan] = None,
 ) -> GradientExchange:
     """Build the exchange matching a :class:`repro.training.TrainingConfig`."""
     if comm is None or comm.size == 1:
@@ -369,6 +407,7 @@ def build_exchange(
             fusion_buckets=fusion_buckets,
             fusion_threshold_bytes=fusion_threshold_bytes,
             pipeline_chunks=pipeline_chunks,
+            plan=plan,
         )
     return PartialExchange(
         comm,
@@ -379,4 +418,5 @@ def build_exchange(
         overwrite_recvbuff=overwrite_recvbuff,
         fusion_threshold_bytes=fusion_threshold_bytes,
         pipeline_chunks=pipeline_chunks,
+        plan=plan,
     )

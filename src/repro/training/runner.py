@@ -31,6 +31,7 @@ from repro.training.evaluation import distributed_evaluate
 from repro.training.exchange import build_exchange
 from repro.training.metrics import EpochRecord, RankSummary, TrainingResult
 from repro.training.model_sync import model_hash, synchronize_model
+from repro.tuning.autotune import resolve_auto_fusion
 
 ModelFactory = Callable[[], Module]
 LossFn = Callable[[np.ndarray, np.ndarray], Tuple[float, np.ndarray]]
@@ -246,6 +247,10 @@ def train_distributed(
     start = time.perf_counter()
     probe_model = model_factory()
     num_parameters = probe_model.num_parameters()
+    # Resolve "auto" fusion knobs once, before the world spawns: every
+    # rank must run the same concrete plan, and the calibrated profile is
+    # cached so repeat runs skip the measurement.
+    config = resolve_auto_fusion(config, max(1, num_parameters))
 
     if config.world_size == 1:
         outputs = [

@@ -1,0 +1,349 @@
+"""Auto-tune ``fusion_threshold_bytes`` and ``pipeline_chunks``.
+
+Horovod ships a fixed ``HOROVOD_FUSION_THRESHOLD`` (64 MiB) and leaves
+the operator to tune it; PR 1 of this repo hardcoded a 64 KiB default in
+its benchmarks.  The right setting depends on the world size, the
+gradient size, the algorithm and the (calibrated) cost of a message —
+exactly what :func:`~repro.simtime.collective_model.fused_exchange_time`
+models.  This module searches the ``threshold x chunks`` grid with the
+calibrated model, optionally cross-checks the best candidates against a
+handful of live thread-backend trials, and returns a :class:`TunedPlan`.
+
+``TrainingConfig`` accepts ``fusion_threshold_bytes="auto"`` /
+``pipeline_chunks="auto"``; :func:`resolve_auto_fusion` (called by
+:func:`repro.training.runner.train_distributed`) turns those into
+concrete values through the profile cache.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.simtime.collective_model import fused_exchange_time
+from repro.simtime.network import LogGPParams
+from repro.tuning.calibration import CalibratedProfile, calibrate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.training.config import TrainingConfig
+
+#: The PR-1 fixed default the auto-tuner is benchmarked against
+#: (``benchmarks/bench_fusion_pipeline.py`` used 64 KiB buffers).
+DEFAULT_FIXED_THRESHOLD_BYTES = 64 * 1024
+#: Fusion-buffer capacities searched by default: 16 KiB - 4 MiB.
+DEFAULT_THRESHOLD_GRID: Tuple[int, ...] = tuple(16 * 1024 * 2 ** i for i in range(9))
+#: Pipeline chunk counts searched by default.
+DEFAULT_CHUNK_GRID: Tuple[int, ...] = (1, 2, 4, 8, 16)
+
+#: Gradients travel as float64 on the thread substrate.
+_BYTES_PER_ELEMENT = 8
+
+
+@dataclass(frozen=True)
+class TunedPlan:
+    """Recommended fusion configuration for one exchange shape."""
+
+    world_size: int
+    gradient_bytes: int
+    algorithm: str
+    fusion_threshold_bytes: int
+    pipeline_chunks: int
+    #: Modelled exchange duration under the recommendation (seconds).
+    predicted_time: float
+    #: Modelled duration of the fixed 64 KiB / 1-chunk default (seconds).
+    baseline_time: float
+    #: Live thread-backend duration of the recommendation, when the grid
+    #: search was cross-checked with real trials (``NaN`` otherwise).
+    measured_time: float = float("nan")
+    #: Live duration of the fixed default under the same trials (``NaN``
+    #: when no live cross-check ran).
+    measured_baseline_time: float = float("nan")
+
+    @property
+    def num_buckets(self) -> int:
+        return _bucket_count(self.gradient_bytes, self.fusion_threshold_bytes)
+
+    @property
+    def speedup(self) -> float:
+        """Modelled speedup over the fixed 64 KiB / 1-chunk default."""
+        return self.baseline_time / self.predicted_time
+
+    @property
+    def measured_speedup(self) -> float:
+        """Live-trial speedup over the fixed default (``NaN`` without trials)."""
+        return self.measured_baseline_time / self.measured_time
+
+    def to_dict(self) -> Dict:
+        return {
+            "world_size": self.world_size,
+            "gradient_bytes": self.gradient_bytes,
+            "algorithm": self.algorithm,
+            "fusion_threshold_bytes": self.fusion_threshold_bytes,
+            "pipeline_chunks": self.pipeline_chunks,
+            "predicted_time": self.predicted_time,
+            "baseline_time": self.baseline_time,
+            "measured_time": self.measured_time,
+            "measured_baseline_time": self.measured_baseline_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TunedPlan":
+        return cls(
+            world_size=int(data["world_size"]),
+            gradient_bytes=int(data["gradient_bytes"]),
+            algorithm=data["algorithm"],
+            fusion_threshold_bytes=int(data["fusion_threshold_bytes"]),
+            pipeline_chunks=int(data["pipeline_chunks"]),
+            predicted_time=float(data["predicted_time"]),
+            baseline_time=float(data["baseline_time"]),
+            measured_time=float(data.get("measured_time", float("nan"))),
+            measured_baseline_time=float(
+                data.get("measured_baseline_time", float("nan"))
+            ),
+        )
+
+
+def _bucket_count(gradient_bytes: int, threshold: int) -> int:
+    return max(1, -(-int(gradient_bytes) // int(threshold)))
+
+
+def plan_bucket_bytes(gradient_bytes: int, threshold: int) -> List[float]:
+    """Near-equal per-bucket byte sizes, mirroring ``GradientBucketer.from_flat``."""
+    if gradient_bytes < 1:
+        raise ValueError(f"gradient_bytes must be >= 1, got {gradient_bytes}")
+    if threshold < 1:
+        raise ValueError(f"fusion_threshold_bytes must be >= 1, got {threshold}")
+    count = _bucket_count(gradient_bytes, threshold)
+    return [gradient_bytes / count] * count
+
+
+def predict_exchange_time(
+    params: LogGPParams,
+    world_size: int,
+    gradient_bytes: int,
+    algorithm: str = "ring",
+    fusion_threshold_bytes: int = DEFAULT_FIXED_THRESHOLD_BYTES,
+    pipeline_chunks: int = 1,
+) -> float:
+    """Modelled duration of one bucketed gradient exchange."""
+    return fused_exchange_time(
+        plan_bucket_bytes(gradient_bytes, fusion_threshold_bytes),
+        world_size,
+        algorithm,
+        params,
+        n_chunks=pipeline_chunks,
+    )
+
+
+def _measure_exchange(
+    world_size: int,
+    num_elements: int,
+    algorithm: str,
+    fusion_threshold_bytes: int,
+    pipeline_chunks: int,
+    iterations: int = 3,
+) -> float:
+    """Live wall-clock of one thread-backed synchronous exchange (seconds).
+
+    Per rank the minimum over ``iterations`` is taken, then the maximum
+    across ranks (the exchange ends when the slowest rank holds the
+    averaged gradient).
+    """
+    from repro.comm.world import run_world
+    from repro.training.exchange import SynchronousExchange
+
+    def worker(comm):
+        exchange = SynchronousExchange(
+            comm,
+            algorithm=algorithm,
+            fusion_threshold_bytes=fusion_threshold_bytes,
+            pipeline_chunks=pipeline_chunks,
+        )
+        gradient = np.full(num_elements, float(comm.rank), dtype=np.float64)
+        exchange.exchange(gradient)  # warmup
+        best = float("inf")
+        for _ in range(iterations):
+            comm.barrier()
+            start = time.perf_counter()
+            exchange.exchange(gradient)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    return float(max(run_world(world_size, worker)))
+
+
+def autotune(
+    params: LogGPParams,
+    world_size: int,
+    gradient_bytes: int,
+    algorithm: str = "ring",
+    thresholds: Optional[Sequence[int]] = None,
+    chunks: Optional[Sequence[int]] = None,
+    live_trials: int = 0,
+    live_iterations: int = 3,
+) -> TunedPlan:
+    """Pick ``(fusion_threshold_bytes, pipeline_chunks)`` for one exchange shape.
+
+    The full ``thresholds x chunks`` grid is scored with the calibrated
+    :func:`fused_exchange_time` model; candidates that produce the same
+    (bucket count, chunk count) pair are deduplicated.  With
+    ``live_trials > 0`` the ``live_trials`` best-scoring candidates are
+    additionally measured on the real thread backend and the measured
+    winner is returned — the model proposes, the backend disposes.
+
+    The default grids contain the fixed 64 KiB / 1-chunk configuration,
+    so (unless the caller restricts the search away from it) the
+    recommendation is never predicted to be slower than the default.
+    """
+    if world_size < 1:
+        raise ValueError("size must be >= 1")
+    if gradient_bytes < 1:
+        raise ValueError(f"gradient_bytes must be >= 1, got {gradient_bytes}")
+    if live_trials < 0:
+        raise ValueError(f"live_trials must be non-negative, got {live_trials}")
+    thresholds = tuple(thresholds) if thresholds is not None else DEFAULT_THRESHOLD_GRID
+    chunks = tuple(chunks) if chunks is not None else DEFAULT_CHUNK_GRID
+    if not thresholds or not chunks:
+        raise ValueError("thresholds and chunks must not be empty")
+    if any(t < 1 for t in thresholds):
+        raise ValueError(f"fusion thresholds must be >= 1, got {list(thresholds)}")
+    if any(c < 1 for c in chunks):
+        raise ValueError(f"pipeline chunk counts must be >= 1, got {list(chunks)}")
+
+    baseline_time = predict_exchange_time(
+        params, world_size, gradient_bytes, algorithm,
+        DEFAULT_FIXED_THRESHOLD_BYTES, 1,
+    )
+
+    # Score the grid; dedupe candidates that bucket identically.
+    seen: Dict[Tuple[int, int], Tuple[float, int, int]] = {}
+    grid = list(dict.fromkeys(thresholds))
+    chunk_grid = list(dict.fromkeys(chunks))
+    for threshold in grid:
+        for n_chunks in chunk_grid:
+            key = (_bucket_count(gradient_bytes, threshold), n_chunks)
+            predicted = predict_exchange_time(
+                params, world_size, gradient_bytes, algorithm, threshold, n_chunks
+            )
+            if key not in seen or predicted < seen[key][0]:
+                seen[key] = (predicted, threshold, n_chunks)
+    ranked = sorted(seen.values())
+
+    measured_time = float("nan")
+    measured_baseline = float("nan")
+    predicted, threshold, n_chunks = ranked[0]
+    if live_trials > 0 and world_size > 1:
+        num_elements = max(1, gradient_bytes // _BYTES_PER_ELEMENT)
+        trials = []
+        for cand_predicted, cand_threshold, cand_chunks in ranked[:live_trials]:
+            elapsed = _measure_exchange(
+                world_size, num_elements, algorithm, cand_threshold, cand_chunks,
+                iterations=live_iterations,
+            )
+            trials.append((elapsed, cand_predicted, cand_threshold, cand_chunks))
+        measured_baseline = _measure_exchange(
+            world_size, num_elements, algorithm, DEFAULT_FIXED_THRESHOLD_BYTES, 1,
+            iterations=live_iterations,
+        )
+        measured_time, predicted, threshold, n_chunks = min(trials)
+        # The fixed default was measured too: if every candidate loses to
+        # it on the real backend, recommend the default itself.
+        if measured_baseline < measured_time:
+            measured_time = measured_baseline
+            predicted, threshold, n_chunks = (
+                baseline_time, DEFAULT_FIXED_THRESHOLD_BYTES, 1,
+            )
+
+    return TunedPlan(
+        world_size=world_size,
+        gradient_bytes=int(gradient_bytes),
+        algorithm=algorithm,
+        fusion_threshold_bytes=int(threshold),
+        pipeline_chunks=int(n_chunks),
+        predicted_time=float(predicted),
+        baseline_time=float(baseline_time),
+        measured_time=measured_time,
+        measured_baseline_time=measured_baseline,
+    )
+
+
+def tune_with_profile(
+    profile: CalibratedProfile,
+    gradient_bytes: int,
+    algorithm: str = "ring",
+    **kwargs,
+) -> TunedPlan:
+    """Autotune at the profile's world size with its fitted parameters."""
+    return autotune(
+        profile.params, profile.world_size, gradient_bytes, algorithm, **kwargs
+    )
+
+
+def resolve_auto_fusion(
+    config: "TrainingConfig",
+    num_parameters: int,
+    bytes_per_element: int = _BYTES_PER_ELEMENT,
+    cache_dir: Optional[Path] = None,
+    quick: bool = True,
+) -> "TrainingConfig":
+    """Resolve ``"auto"`` fusion knobs of a training configuration.
+
+    Returns ``config`` unchanged when neither knob is ``"auto"``.
+    Otherwise the profile for ``(thread, world_size)`` is loaded from the
+    cache (measured once and cached when absent), the grid is searched at
+    the job's gradient size, and a copy of the configuration with the
+    concrete values is returned.  A knob the user pinned to a number is
+    honoured: the search is restricted to that value.
+    """
+    auto_threshold = config.fusion_threshold_bytes == "auto"
+    auto_chunks = config.pipeline_chunks == "auto"
+    if not auto_threshold and not auto_chunks:
+        return config
+    if num_parameters < 1:
+        raise ValueError(f"num_parameters must be >= 1, got {num_parameters}")
+
+    if config.world_size == 1:
+        # Single-process runs never exchange; fall back to inert values.
+        return replace(
+            config,
+            fusion_threshold_bytes=None if auto_threshold else config.fusion_threshold_bytes,
+            pipeline_chunks=1 if auto_chunks else config.pipeline_chunks,
+        )
+
+    if cache_dir is None and config.tuning_cache_dir is not None:
+        cache_dir = Path(config.tuning_cache_dir)
+    profile = calibrate(config.world_size, quick=quick, cache_dir=cache_dir)
+    gradient_bytes = max(1, int(num_parameters) * int(bytes_per_element))
+    if auto_threshold:
+        thresholds = None
+    elif config.fusion_threshold_bytes is None:
+        # Legacy fixed-count bucketing: restrict the search to a threshold
+        # reproducing the bucket count the exchange will actually run —
+        # synchronous exchanges honour ``fusion_buckets``, partial
+        # exchanges always use a single bucket in legacy mode.
+        legacy_buckets = config.fusion_buckets if config.mode == "sync" else 1
+        thresholds = [max(1, -(-gradient_bytes // max(1, legacy_buckets)))]
+    else:
+        thresholds = [int(config.fusion_threshold_bytes)]
+    chunks = None if auto_chunks else [int(config.pipeline_chunks)]
+    plan = autotune(
+        profile.params,
+        config.world_size,
+        gradient_bytes,
+        algorithm=config.allreduce_algorithm,
+        thresholds=thresholds,
+        chunks=chunks,
+    )
+    return replace(
+        config,
+        fusion_threshold_bytes=(
+            plan.fusion_threshold_bytes if auto_threshold else config.fusion_threshold_bytes
+        ),
+        pipeline_chunks=(
+            plan.pipeline_chunks if auto_chunks else config.pipeline_chunks
+        ),
+    )
