@@ -5,7 +5,7 @@ of the thread-backed implementations.
 
 import numpy as np
 
-from repro.comm import run_world
+from repro.comm import launch
 from repro.collectives import ALLREDUCE_ALGORITHMS, allreduce
 from repro.experiments.report import format_table
 from repro.simtime.collective_model import allreduce_time
@@ -42,7 +42,7 @@ def _thread_allreduce(algorithm, elements, iterations=3, world_size=4):
             out = allreduce(comm, data, algorithm=algorithm)
         return float(out[0])
 
-    return run_world(world_size, worker)
+    return launch(worker, world_size)
 
 
 def bench_allreduce_recursive_doubling_threads(benchmark):

@@ -1,13 +1,15 @@
-"""Raw throughput of the collective primitives on the thread backend.
+"""Raw throughput of the collective primitives on the default backend.
 
 These are plain performance benchmarks (pytest-benchmark statistics) for
 the building blocks: synchronous allreduce, broadcast, solo allreduce and
-majority allreduce over 4 rank threads.
+majority allreduce over 4 ranks.  ``launch`` honours the
+``REPRO_COMM_BACKEND`` environment variable, so the same file benchmarks
+the thread or the process transport without edits.
 """
 
 import numpy as np
 
-from repro.comm import run_world
+from repro.comm import launch
 from repro.collectives import allreduce, broadcast
 from repro.collectives.partial import MajorityAllreduce, SoloAllreduce
 
@@ -17,8 +19,8 @@ ELEMENTS = 16 * 1024
 
 def bench_sync_allreduce_4_ranks(benchmark):
     def once():
-        return run_world(
-            WORLD, lambda comm: allreduce(comm, np.ones(ELEMENTS), average=True)[0]
+        return launch(
+            lambda comm: allreduce(comm, np.ones(ELEMENTS), average=True)[0], WORLD
         )
 
     results = benchmark(once)
@@ -27,11 +29,11 @@ def bench_sync_allreduce_4_ranks(benchmark):
 
 def bench_broadcast_4_ranks(benchmark):
     def once():
-        return run_world(
-            WORLD,
+        return launch(
             lambda comm: broadcast(
                 comm, np.ones(ELEMENTS) if comm.rank == 0 else None, root=0
             )[0],
+            WORLD,
         )
 
     results = benchmark(once)
@@ -51,10 +53,10 @@ def bench_solo_allreduce_4_ranks(benchmark):
     # A round's average can exceed 1.0 when slow ranks contribute several
     # accumulated (stale) gradients at once; it is bounded by the number
     # of rounds each rank contributes to.
-    results = benchmark(lambda: run_world(WORLD, _partial_rounds, SoloAllreduce))
+    results = benchmark(lambda: launch(_partial_rounds, WORLD, SoloAllreduce))
     assert all(0.0 <= r <= 4.0 + 1e-9 for r in results)
 
 
 def bench_majority_allreduce_4_ranks(benchmark):
-    results = benchmark(lambda: run_world(WORLD, _partial_rounds, MajorityAllreduce))
+    results = benchmark(lambda: launch(_partial_rounds, WORLD, MajorityAllreduce))
     assert all(0.0 <= r <= 4.0 + 1e-9 for r in results)

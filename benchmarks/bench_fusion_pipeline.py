@@ -11,7 +11,7 @@ table; under pytest-benchmark the same harness is timed and asserted.
 
 import numpy as np
 
-from repro.comm import run_world
+from repro.comm import launch
 from repro.experiments import fusion_pipeline
 from repro.training.exchange import SynchronousExchange
 
@@ -57,7 +57,7 @@ def bench_fused_exchange_functional(benchmark):
             result = exchange.exchange(np.full(elements, comm.rank + 1.0))
             return float(result.gradient[0]), len(result.bucket_waits)
 
-        return run_world(4, worker)
+        return launch(worker, 4)
 
     results = benchmark(once)
     for value, buckets in results:

@@ -10,7 +10,7 @@ The package is organised as a set of substrates plus the paper's core
 contribution:
 
 ``repro.comm``
-    Thread-backed message-passing substrate (tagged point-to-point
+    Pluggable message-passing substrate (backend registry, tagged point-to-point
     send/recv, communicators, reduction operators).
 ``repro.schedule``
     Schedule engine: DAGs of send/recv/compute/NOP operations with

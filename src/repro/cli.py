@@ -52,8 +52,21 @@ EXPERIMENTS: Dict[str, str] = {
     "speedups": "headline speedup summary across the training figures",
     "scaling": "strong/weak scaling projections",
     "fusion": "fused/chunked gradient-exchange pipeline vs. unfused baseline",
-    "tune": "calibrate the LogGP model to the thread backend and auto-tune fusion",
+    "tune": "calibrate the LogGP model to a comm backend and auto-tune fusion",
 }
+
+
+def _add_backend_argument(p: argparse.ArgumentParser, help_text: str) -> None:
+    """Add the shared ``--backend`` option to a sub-command parser."""
+    from repro.comm.backend import available_backends
+
+    p.add_argument(
+        "--backend",
+        choices=list(available_backends()),
+        default=None,
+        help=f"{help_text} (default: the process-wide default backend, "
+        "'thread' unless REPRO_COMM_BACKEND overrides it)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -89,8 +102,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--functional",
         action="store_true",
-        help="also measure the thread-backed collectives at reduced scale",
+        help="also measure the real collectives at reduced scale",
     )
+    _add_backend_argument(p, "comm backend of the functional measurements")
 
     for name, scales in (
         ("fig10", ("tiny", "small", "paper")),
@@ -101,6 +115,7 @@ def _build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=EXPERIMENTS[name])
         p.add_argument("--scale", choices=scales, default="tiny")
         p.add_argument("--seed", type=int, default=0)
+        _add_backend_argument(p, "comm backend carrying the training ranks")
 
     p = sub.add_parser("speedups", help=EXPERIMENTS["speedups"])
     p.add_argument("--scale", default="tiny")
@@ -123,8 +138,13 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="segments per collective round (chunk pipelining)")
     p.add_argument(
         "--functional", action="store_true",
-        help="also run the thread-backed exchange at reduced scale",
+        help="also run the real exchange at reduced scale",
     )
+    p.add_argument(
+        "--functional-world-size", type=int, default=4,
+        help="world size of the functional (real-transport) validation",
+    )
+    _add_backend_argument(p, "comm backend of the functional exchange rows")
 
     p = sub.add_parser("tune", help=EXPERIMENTS["tune"])
     p.add_argument(
@@ -145,7 +165,8 @@ def _build_parser() -> argparse.ArgumentParser:
                    "or ~/.cache/repro/tuning)")
     p.add_argument("--live-trials", type=int, default=0,
                    help="cross-check this many best grid candidates with live "
-                   "thread-backend exchanges")
+                   "exchanges on the calibrated backend")
+    _add_backend_argument(p, "comm backend the calibration sweep measures")
     return parser
 
 
@@ -194,17 +215,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             iterations=args.iterations,
             skew_step_ms=args.skew_ms,
         )
-        if args.functional:
-            result.functional_rows = fig9_microbenchmark.run_functional()
+        if args.functional or args.backend is not None:
+            # An explicit --backend implies the caller wants the real
+            # transport exercised, not just the analytic model rows.
+            result.functional_rows = fig9_microbenchmark.run_functional(
+                backend=args.backend
+            )
         print(fig9_microbenchmark.report(result))
     elif args.command == "fig10":
-        print(fig10_hyperplane.report(fig10_hyperplane.run(scale=args.scale, seed=args.seed)))
+        print(fig10_hyperplane.report(fig10_hyperplane.run(
+            scale=args.scale, seed=args.seed, comm_backend=args.backend)))
     elif args.command == "fig11":
-        print(fig11_imagenet.report(fig11_imagenet.run(scale=args.scale, seed=args.seed)))
+        print(fig11_imagenet.report(fig11_imagenet.run(
+            scale=args.scale, seed=args.seed, comm_backend=args.backend)))
     elif args.command == "fig12":
-        print(fig12_cifar_severe.report(fig12_cifar_severe.run(scale=args.scale, seed=args.seed)))
+        print(fig12_cifar_severe.report(fig12_cifar_severe.run(
+            scale=args.scale, seed=args.seed, comm_backend=args.backend)))
     elif args.command == "fig13":
-        print(fig13_ucf101_lstm.report(fig13_ucf101_lstm.run(scale=args.scale, seed=args.seed)))
+        print(fig13_ucf101_lstm.report(fig13_ucf101_lstm.run(
+            scale=args.scale, seed=args.seed, comm_backend=args.backend)))
     elif args.command == "speedups":
         print(speedups.report(speedups.run(scale=args.scale, seed=args.seed)))
     elif args.command == "scaling":
@@ -225,15 +254,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--gradient-mb must be > 0")
         if args.pipeline_chunks < 1:
             parser.error("--pipeline-chunks must be >= 1")
+        if args.functional_world_size < 1:
+            parser.error("--functional-world-size must be >= 1")
         result = fusion_pipeline.run(
             world_sizes=world_sizes,
             gradient_mb=args.gradient_mb,
             bucket_mb=bucket_mb,
             n_chunks=args.pipeline_chunks,
         )
-        if args.functional:
+        if args.functional or args.backend is not None:
+            # An explicit --backend implies the caller wants the real
+            # transport exercised, not just the analytic model rows.
             result.functional_rows = fusion_pipeline.run_functional(
-                n_chunks=args.pipeline_chunks
+                world_size=args.functional_world_size,
+                n_chunks=args.pipeline_chunks,
+                backend=args.backend,
             )
         print(fusion_pipeline.report(result))
     elif args.command == "tune":
@@ -250,6 +285,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache_dir=args.cache_dir,
             force=args.force,
             live_trials=args.live_trials,
+            backend=args.backend,
         )
         print(autotune_experiment.report(result))
     else:  # pragma: no cover - argparse already rejects unknown commands

@@ -1,25 +1,36 @@
-"""Thread-backed message-passing substrate.
+"""Pluggable message-passing substrate.
 
 This package plays the role of the MPI layer in the original paper: it
-provides tagged point-to-point communication between *ranks*, where each
-rank is backed by one or more Python threads inside a single process.
+provides tagged point-to-point communication between *ranks* behind a
+backend registry (:mod:`repro.comm.backend`), so the same SPMD code runs
+on an in-process thread transport or on one OS process per rank.
 
 Design
 ------
-* A :class:`~repro.comm.router.Router` owns one
+* :func:`~repro.comm.backend.launch` is the ``mpiexec`` of the library:
+  ``launch(fn, P, backend="thread"|"process")`` runs ``fn(comm, ...)``
+  on ``P`` ranks of the chosen :class:`~repro.comm.backend.CommBackend`
+  and collects results or re-raises failures as a
+  :class:`~repro.comm.backend.WorldError`.
+* A :class:`~repro.comm.communicator.Communicator` is the per-rank handle
+  exposing ``send`` / ``recv`` / ``isend`` / ``irecv`` / ``barrier`` and
+  rank/size queries, in the spirit of ``mpi4py``'s ``Comm`` objects.  It
+  is shared by both transports: each implements the small
+  :class:`~repro.comm.backend.RouterLike` surface underneath it.
+* The thread backend's :class:`~repro.comm.router.Router` owns one
   :class:`~repro.comm.mailbox.Mailbox` per ``(rank, channel)`` pair.
   Channels separate the *application* traffic (synchronous collectives
   issued by the compute thread) from the *library* traffic (partial
   collectives progressed by the communication thread, mirroring the
   library-offloading design of Section 4.3 of the paper).
-* A :class:`~repro.comm.communicator.Communicator` is the per-rank handle
-  exposing ``send`` / ``recv`` / ``isend`` / ``irecv`` / ``barrier`` and
-  rank/size queries, in the spirit of ``mpi4py``'s ``Comm`` objects.
-* :func:`~repro.comm.world.run_world` spawns one thread per rank, runs a
-  user function on each and collects results or re-raises failures.
+* The process backend (:mod:`repro.comm.process_backend`) runs one OS
+  process per rank over a local TCP mesh with rank-0 rendezvous,
+  pickled control messages and zero-copy framed NumPy payloads.
 
 All payloads are either NumPy arrays (copied on send to avoid shared
-mutation, as a real network would) or small picklable Python objects.
+mutation, as a real network would) or small picklable Python objects —
+pickle-safety is part of the payload contract so the same program runs
+on every transport.
 """
 
 from repro.comm.message import Message, ANY_SOURCE, ANY_TAG
@@ -28,7 +39,20 @@ from repro.comm.router import Router, Channel
 from repro.comm.reduce_ops import ReduceOp, SUM, PROD, MAX, MIN, AVG, get_op
 from repro.comm.requests import Request, SendRequest, RecvRequest
 from repro.comm.communicator import Communicator, CommTimeoutError
-from repro.comm.world import ThreadWorld, run_world, WorldError
+from repro.comm.backend import (
+    BackendUnavailableError,
+    CommBackend,
+    CommunicatorLike,
+    RouterLike,
+    WorldError,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    launch,
+    register_backend,
+    set_default_backend,
+)
+from repro.comm.world import ThreadBackend, ThreadWorld, run_world
 
 __all__ = [
     "Message",
@@ -50,7 +74,18 @@ __all__ = [
     "RecvRequest",
     "Communicator",
     "CommTimeoutError",
+    "BackendUnavailableError",
+    "CommBackend",
+    "CommunicatorLike",
+    "RouterLike",
+    "WorldError",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "launch",
+    "register_backend",
+    "set_default_backend",
+    "ThreadBackend",
     "ThreadWorld",
     "run_world",
-    "WorldError",
 ]

@@ -1,4 +1,4 @@
-"""Message envelope used by the thread-backed transport."""
+"""Message envelope shared by every transport backend."""
 
 from __future__ import annotations
 

@@ -1,0 +1,727 @@
+"""Multiprocess socket transport: one OS process per rank.
+
+This is the second :class:`~repro.comm.backend.CommBackend` and the
+first with true parallelism (no shared GIL), which makes wall-clock
+measurements on it comparable to the paper's multi-node runs in kind,
+not just in shape.
+
+Topology and rendezvous
+-----------------------
+The launcher forks ``P`` rank processes (``fork`` start method, so the
+SPMD function, closures included, never needs pickling) and keeps one
+control/result pipe pair per rank.  Rank 0 inherits a pre-bound
+rendezvous listener on ``127.0.0.1``; every other rank connects to it,
+registers its own data-listener address, and receives the full
+``rank -> address`` map back.  The data plane is then a full TCP mesh:
+rank ``i`` dials every rank ``j > i`` and accepts from every ``j < i``,
+one socket per pair, ``TCP_NODELAY`` set.
+
+Wire format
+-----------
+Each message is one frame::
+
+    uint32 header_len | pickle(header) | payload bytes
+
+where ``header = (channel, source, dest, tag, seq, kind, dtype, shape,
+payload_nbytes)``.  Small Python objects travel pickled (``kind="obj"``).
+NumPy arrays travel as their raw buffer (``kind="nd"``): the sender
+writes the array's memoryview straight to the socket and the receiver
+reads with ``recv_into`` on a preallocated array — no pickling and no
+intermediate copies of the payload on either side.
+
+Failure semantics
+-----------------
+Mirrors the thread backend's :class:`~repro.comm.backend.WorldError`
+contract.  A rank that raises reports ``(exception, traceback)`` to the
+launcher over its result pipe; the launcher then broadcasts an abort on
+every control pipe, which closes the surviving ranks' mailboxes — their
+blocked receives wake with :class:`~repro.comm.mailbox.MailboxClosed`
+instead of hanging.  A rank that dies without reporting (hard crash) is
+detected by process exit and triggers the same abort.  A rank that
+*finishes* simply closes its sockets: peers treat the EOF as a normal
+departure, exactly like a finished thread whose mailbox outlives it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import multiprocessing.connection
+import pickle
+import socket
+import struct
+import threading
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.backend import (
+    BackendUnavailableError,
+    CommBackend,
+    WorldError,
+    register_backend,
+)
+from repro.comm.communicator import Communicator
+from repro.comm.mailbox import Mailbox, MailboxClosed
+from repro.comm.message import Message
+from repro.comm.router import Channel, DEFAULT_CHANNELS
+
+__all__ = ["ProcessBackend", "SocketEndpoint", "ProcessCrashError"]
+
+#: Payload kind markers of the wire frame.
+_KIND_OBJ = 0
+_KIND_ND = 1
+
+_HEADER_LEN = struct.Struct("!I")
+_RANK_ID = struct.Struct("!I")
+
+#: Socket timeout applied during rendezvous and mesh establishment.
+_SETUP_TIMEOUT = 60.0
+
+
+class ProcessCrashError(RuntimeError):
+    """A rank process exited without reporting a result."""
+
+
+# ---------------------------------------------------------------------------
+# low-level framing helpers
+# ---------------------------------------------------------------------------
+def _read_exact_into(sock: socket.socket, view: memoryview) -> bool:
+    """Fill ``view`` from the socket; False on EOF before the first byte.
+
+    EOF *inside* a frame (after at least one byte) raises — a peer that
+    vanishes mid-message is a crash, not a departure.
+    """
+    got = 0
+    total = len(view)
+    while got < total:
+        n = sock.recv_into(view[got:], total - got)
+        if n == 0:
+            if got == 0:
+                return False
+            raise ConnectionResetError(
+                f"peer closed the connection mid-frame ({got}/{total} bytes)"
+            )
+        got += n
+    return True
+
+
+def _read_exact(sock: socket.socket, nbytes: int) -> Optional[bytearray]:
+    buf = bytearray(nbytes)
+    if not _read_exact_into(sock, memoryview(buf)):
+        return None
+    return buf
+
+
+def _send_obj(sock: socket.socket, obj: Any) -> None:
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER_LEN.pack(len(data)) + data)
+
+
+def _recv_obj(sock: socket.socket) -> Any:
+    header = _read_exact(sock, _HEADER_LEN.size)
+    if header is None:
+        raise ConnectionResetError("connection closed during rendezvous")
+    (length,) = _HEADER_LEN.unpack(header)
+    body = _read_exact(sock, length)
+    if body is None:
+        raise ConnectionResetError("connection closed during rendezvous")
+    return pickle.loads(bytes(body))
+
+
+# ---------------------------------------------------------------------------
+# the per-process endpoint (the "router" of this transport)
+# ---------------------------------------------------------------------------
+class SocketEndpoint:
+    """One rank's view of the socket mesh.
+
+    Implements the :class:`~repro.comm.backend.RouterLike` surface the
+    shared :class:`~repro.comm.communicator.Communicator` is built on:
+    local mailboxes per channel (dynamic ``"<base>.<suffix>"``
+    sub-channels included, mirroring
+    :meth:`repro.comm.router.Router.mailbox`) plus a :meth:`deliver`
+    that frames remote messages onto the destination's socket.
+    """
+
+    def __init__(
+        self, rank: int, world_size: int, channels: Sequence[str] = DEFAULT_CHANNELS
+    ) -> None:
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.rank = int(rank)
+        self.world_size = int(world_size)
+        self.channels: Tuple[str, ...] = tuple(channels)
+        if not self.channels:
+            raise ValueError("at least one channel is required")
+        self._mailboxes: Dict[str, Mailbox] = {
+            ch: Mailbox(self.rank, ch) for ch in self.channels
+        }
+        self._peers: Dict[int, socket.socket] = {}
+        self._send_locks: Dict[int, threading.Lock] = {}
+        self._departed: set[int] = set()
+        self._receivers: List[threading.Thread] = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._message_count = 0
+        self._byte_count = 0
+        self._closed = False
+        self._abort_reason: Optional[str] = None
+
+    # ----------------------------------------------------------- plumbing
+    def attach_peer(self, peer: int, sock: socket.socket) -> None:
+        """Register the mesh socket for ``peer`` and start its receiver."""
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._peers[peer] = sock
+        self._send_locks[peer] = threading.Lock()
+        thread = threading.Thread(
+            target=self._recv_loop,
+            args=(peer, sock),
+            name=f"sockrecv-r{self.rank}-p{peer}",
+            daemon=True,
+        )
+        self._receivers.append(thread)
+        thread.start()
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(
+                f"rank {rank} out of range for world of size {self.world_size}"
+            )
+
+    # ------------------------------------------------------------- access
+    def mailbox(self, rank: int, channel: str) -> Mailbox:
+        """Local mailbox for ``(rank, channel)``; only this rank's are held here."""
+        self._check_rank(rank)
+        if rank != self.rank:
+            raise ValueError(
+                f"rank {self.rank} cannot open rank {rank}'s mailbox: the "
+                "process transport only holds local mailboxes"
+            )
+        mailbox = self._mailboxes.get(channel)
+        if mailbox is None:
+            base = channel.split(".", 1)[0]
+            with self._lock:
+                mailbox = self._mailboxes.get(channel)
+                if mailbox is None:
+                    if base == channel or base not in self.channels:
+                        raise KeyError(
+                            f"unknown channel {channel!r}; available: "
+                            f"{self.channels} (plus '<known>.<suffix>' "
+                            f"dynamic sub-channels)"
+                        )
+                    mailbox = Mailbox(self.rank, channel)
+                    if self._closed:
+                        # Born closed, mirroring Router.close() semantics:
+                        # a straggler blocked on a late-created channel is
+                        # woken instead of hanging until its timeout.
+                        mailbox.close()
+                    self._mailboxes[channel] = mailbox
+                    self.channels = self.channels + (channel,)
+        return mailbox
+
+    # ------------------------------------------------------------ deliver
+    def deliver(self, message: Message, channel: str) -> None:
+        """Route ``message`` to its destination (local put or socket frame)."""
+        self._check_rank(message.dest)
+        self._check_rank(message.source)
+        base = channel.split(".", 1)[0]
+        if channel not in self.channels and (base == channel or base not in self.channels):
+            raise KeyError(
+                f"unknown channel {channel!r}; available: {self.channels} "
+                f"(plus '<known>.<suffix>' dynamic sub-channels)"
+            )
+        if self._closed:
+            raise MailboxClosed(
+                f"rank {self.rank}: endpoint is closed"
+                + (f" ({self._abort_reason})" if self._abort_reason else "")
+            )
+        message.seq = next(self._seq)
+        with self._lock:
+            self._message_count += 1
+            self._byte_count += message.nbytes()
+        if message.dest == self.rank:
+            self.mailbox(self.rank, channel).put(message)
+            return
+        self._send_frame(message, channel)
+
+    def _send_frame(self, message: Message, channel: str) -> None:
+        dest = message.dest
+        sock = self._peers.get(dest)
+        if sock is None or dest in self._departed:
+            # The peer already finished and tore its sockets down; like a
+            # thread world's mailbox-to-nobody, the send just evaporates.
+            return
+        payload = message.payload
+        if (
+            isinstance(payload, np.ndarray)
+            and not payload.dtype.hasobject
+            and payload.dtype.names is None  # dtype.str drops record fields
+        ):
+            # ascontiguousarray would promote 0-d to 1-d; the header keeps
+            # the true shape so the receiver reconstructs it exactly.
+            arr = payload if payload.flags.c_contiguous else np.ascontiguousarray(payload)
+            header = (
+                channel, message.source, dest, message.tag, message.seq,
+                _KIND_ND, arr.dtype.str, payload.shape, int(arr.nbytes),
+            )
+            body: Any = memoryview(arr.reshape(-1))
+        else:
+            body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            header = (
+                channel, message.source, dest, message.tag, message.seq,
+                _KIND_OBJ, "", (), len(body),
+            )
+        head = pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL)
+        lock = self._send_locks[dest]
+        try:
+            with lock:
+                sock.sendall(_HEADER_LEN.pack(len(head)) + head)
+                if len(body):
+                    sock.sendall(body)
+        except OSError:
+            # EPIPE/ECONNRESET: the peer departed between our check and the
+            # write.  Same no-op semantics as above; a *crash* is handled by
+            # the launcher's abort broadcast, not by the send path.
+            self._departed.add(dest)
+
+    # ----------------------------------------------------------- receive
+    def _recv_loop(self, peer: int, sock: socket.socket) -> None:
+        try:
+            while True:
+                head_len_buf = _read_exact(sock, _HEADER_LEN.size)
+                if head_len_buf is None:
+                    break  # orderly EOF at a frame boundary: peer departed
+                (head_len,) = _HEADER_LEN.unpack(head_len_buf)
+                head = _read_exact(sock, head_len)
+                if head is None:
+                    raise ConnectionResetError("EOF inside a frame header")
+                channel, source, dest, tag, seq, kind, dtype, shape, nbytes = (
+                    pickle.loads(bytes(head))
+                )
+                if kind == _KIND_ND:
+                    dt = np.dtype(dtype)
+                    flat = np.empty(nbytes // dt.itemsize if dt.itemsize else 0, dtype=dt)
+                    if nbytes:
+                        # Zero-copy receive: the socket fills the array's
+                        # own buffer, no intermediate bytes object.
+                        if not _read_exact_into(sock, memoryview(flat.view(np.uint8))):
+                            raise ConnectionResetError("EOF inside an array payload")
+                    payload: Any = flat.reshape(shape)
+                else:
+                    body = _read_exact(sock, nbytes) if nbytes else bytearray()
+                    if body is None:
+                        raise ConnectionResetError("EOF inside an object payload")
+                    payload = pickle.loads(bytes(body))
+                msg = Message(source=source, dest=dest, tag=tag, payload=payload, seq=seq)
+                try:
+                    self.mailbox(self.rank, channel).put(msg)
+                except MailboxClosed:
+                    return  # aborted while delivering; drop and exit
+        except OSError:
+            # Reset/teardown on the peer socket (including mid-frame EOF,
+            # which _read_exact_into raises as ConnectionResetError).  A
+            # peer may answer its own close() with RST while our frame is
+            # in flight, so a socket error here is *departure*, never a
+            # world failure: genuine crashes are detected by the
+            # launcher's liveness check, which aborts every rank through
+            # the control pipes.  Mirrors the send path's handling.
+            pass
+        except (EOFError, pickle.UnpicklingError) as exc:
+            # Both processes are alive but the stream is unreadable — the
+            # launcher cannot see this, so wake the local rank ourselves.
+            if not self._closed:
+                self.abort(f"corrupted stream from rank {peer}: {exc}")
+        finally:
+            self._departed.add(peer)
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------- stats
+    @property
+    def message_count(self) -> int:
+        """Messages this endpoint has delivered (sent) so far."""
+        with self._lock:
+            return self._message_count
+
+    @property
+    def byte_count(self) -> int:
+        """Array payload bytes this endpoint has delivered (sent) so far."""
+        with self._lock:
+            return self._byte_count
+
+    def pending_messages(self) -> int:
+        """Delivered-but-unreceived messages across this rank's mailboxes."""
+        with self._lock:
+            mailboxes = list(self._mailboxes.values())
+        return sum(mb.pending() for mb in mailboxes)
+
+    # -------------------------------------------------------------- close
+    def abort(self, reason: str) -> None:
+        """Wake every blocked receive on this rank (world failure path)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._abort_reason = reason
+            mailboxes = list(self._mailboxes.values())
+        for mb in mailboxes:
+            mb.close()
+        self._shutdown_sockets()
+
+    def close(self) -> None:
+        """Orderly teardown after the SPMD function returned.
+
+        Mailboxes stay readable (matching a finished thread rank whose
+        queued messages remain inspectable); only the sockets go down,
+        which peers observe as a normal departure.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._shutdown_sockets()
+        for thread in self._receivers:
+            thread.join(timeout=2.0)
+
+    def _shutdown_sockets(self) -> None:
+        for sock in self._peers.values():
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# rendezvous + mesh establishment (runs inside each rank process)
+# ---------------------------------------------------------------------------
+def _build_mesh(
+    rank: int,
+    world_size: int,
+    rendezvous_listener: Optional[socket.socket],
+    rendezvous_addr: Tuple[str, int],
+    channels: Sequence[str],
+) -> SocketEndpoint:
+    endpoint = SocketEndpoint(rank, world_size, channels)
+    if world_size == 1:
+        if rendezvous_listener is not None:
+            rendezvous_listener.close()
+        return endpoint
+
+    data_listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    data_listener.bind(("127.0.0.1", 0))
+    data_listener.listen(world_size)
+    data_listener.settimeout(_SETUP_TIMEOUT)
+    my_addr = data_listener.getsockname()
+
+    # --- rank-0 rendezvous: collect and broadcast the address map -------
+    if rank == 0:
+        assert rendezvous_listener is not None
+        rendezvous_listener.settimeout(_SETUP_TIMEOUT)
+        addr_map: Dict[int, Tuple[str, int]] = {0: my_addr}
+        conns = []
+        for _ in range(world_size - 1):
+            conn, _ = rendezvous_listener.accept()
+            conn.settimeout(_SETUP_TIMEOUT)
+            peer_rank, peer_addr = _recv_obj(conn)
+            addr_map[int(peer_rank)] = tuple(peer_addr)
+            conns.append(conn)
+        for conn in conns:
+            _send_obj(conn, addr_map)
+            conn.close()
+        rendezvous_listener.close()
+    else:
+        if rendezvous_listener is not None:
+            rendezvous_listener.close()
+        conn = socket.create_connection(rendezvous_addr, timeout=_SETUP_TIMEOUT)
+        conn.settimeout(_SETUP_TIMEOUT)
+        _send_obj(conn, (rank, my_addr))
+        addr_map = _recv_obj(conn)
+        conn.close()
+
+    # --- full mesh: dial the higher ranks, accept the lower ones --------
+    for peer in range(rank + 1, world_size):
+        sock = socket.create_connection(addr_map[peer], timeout=_SETUP_TIMEOUT)
+        sock.sendall(_RANK_ID.pack(rank))
+        endpoint.attach_peer(peer, sock)
+    for _ in range(rank):
+        sock, _ = data_listener.accept()
+        sock.settimeout(_SETUP_TIMEOUT)
+        raw = _read_exact(sock, _RANK_ID.size)
+        if raw is None:
+            raise ConnectionResetError("mesh peer closed during handshake")
+        (peer,) = _RANK_ID.unpack(raw)
+        endpoint.attach_peer(int(peer), sock)
+    data_listener.close()
+    return endpoint
+
+
+# ---------------------------------------------------------------------------
+# rank worker (child process)
+# ---------------------------------------------------------------------------
+def _pickle_safe_exception(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it survives a pickle round-trip, else a stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:  # noqa: BLE001 - any pickling failure takes the fallback
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _abort_listener(control, endpoint: SocketEndpoint, done: threading.Event) -> None:
+    while not done.is_set():
+        try:
+            if control.poll(0.1):
+                control.recv()
+                endpoint.abort("aborted by launcher: another rank failed")
+                return
+        except (EOFError, OSError):
+            return
+
+
+def _worker_main(
+    rank: int,
+    world_size: int,
+    fn: Callable[..., Any],
+    args: Tuple[Any, ...],
+    kwargs: Dict[str, Any],
+    rendezvous_listener: Optional[socket.socket],
+    rendezvous_addr: Tuple[str, int],
+    channels: Sequence[str],
+    channel: str,
+    default_recv_timeout: Optional[float],
+    result_conn,
+    control_conn,
+) -> None:
+    endpoint: Optional[SocketEndpoint] = None
+    done = threading.Event()
+    try:
+        endpoint = _build_mesh(
+            rank, world_size, rendezvous_listener, rendezvous_addr, channels
+        )
+        listener = threading.Thread(
+            target=_abort_listener,
+            args=(control_conn, endpoint, done),
+            name=f"abort-listener-r{rank}",
+            daemon=True,
+        )
+        listener.start()
+        comm = Communicator(
+            endpoint, rank, channel=channel, default_timeout=default_recv_timeout
+        )
+        result = fn(comm, *args, **kwargs)
+        try:
+            result_conn.send(("ok", result))
+        except Exception as exc:  # noqa: BLE001 - unpicklable result
+            result_conn.send(
+                (
+                    "err",
+                    RuntimeError(
+                        f"rank {rank} returned an unpicklable result "
+                        f"({type(result).__name__}): {exc}"
+                    ),
+                    traceback.format_exc(),
+                )
+            )
+    except BaseException as exc:  # noqa: BLE001 - reported to the launcher
+        try:
+            result_conn.send(("err", _pickle_safe_exception(exc), traceback.format_exc()))
+        except (OSError, ValueError, EOFError):
+            pass
+    finally:
+        done.set()
+        if endpoint is not None:
+            endpoint.close()
+        try:
+            result_conn.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# the backend (launcher side)
+# ---------------------------------------------------------------------------
+@register_backend("process")
+class ProcessBackend(CommBackend):
+    """One OS process per rank over a local TCP socket mesh."""
+
+    name = "process"
+
+    #: Grace period for surviving ranks to drain after an abort broadcast.
+    abort_grace: float = 10.0
+
+    def _context(self):
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise BackendUnavailableError(
+                "the process backend requires the fork start method "
+                "(POSIX only); use backend='thread' on this platform"
+            ) from exc
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        world_size: int,
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+        *,
+        channels: Sequence[str] = DEFAULT_CHANNELS,
+        channel: str = Channel.APP,
+        timeout: Optional[float] = 300.0,
+        default_recv_timeout: Optional[float] = 120.0,
+        **opts: Any,
+    ) -> List[Any]:
+        kwargs = kwargs or {}
+        ctx = self._context()
+
+        rendezvous = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        rendezvous.bind(("127.0.0.1", 0))
+        rendezvous.listen(world_size)
+        rendezvous_addr = rendezvous.getsockname()
+
+        result_pipes = [ctx.Pipe(duplex=False) for _ in range(world_size)]
+        control_pipes = [ctx.Pipe(duplex=False) for _ in range(world_size)]
+        procs = []
+        for rank in range(world_size):
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    rank,
+                    world_size,
+                    fn,
+                    args,
+                    kwargs,
+                    rendezvous if rank == 0 else None,
+                    rendezvous_addr,
+                    tuple(channels),
+                    channel,
+                    default_recv_timeout,
+                    result_pipes[rank][1],
+                    control_pipes[rank][0],
+                ),
+                name=f"rank{rank}",
+                daemon=True,
+            )
+            procs.append(proc)
+            proc.start()
+        # The children inherited their ends via fork; release the parent's.
+        rendezvous.close()
+        for recv_end, send_end in result_pipes:
+            send_end.close()
+        for recv_end, send_end in control_pipes:
+            recv_end.close()
+
+        results: List[Any] = [None] * world_size
+        reported: Dict[int, bool] = {}
+        failures: Dict[int, BaseException] = {}
+        tracebacks: Dict[int, str] = {}
+        aborted = False
+
+        def _broadcast_abort() -> None:
+            nonlocal aborted
+            if aborted:
+                return
+            aborted = True
+            for rank in range(world_size):
+                if rank not in reported:
+                    try:
+                        control_pipes[rank][1].send("abort")
+                    except (OSError, ValueError, BrokenPipeError):
+                        pass
+
+        def _drain(rank: int) -> None:
+            conn = result_pipes[rank][0]
+            try:
+                if conn.poll(0):
+                    outcome = conn.recv()
+                    reported[rank] = True
+                    if outcome[0] == "ok":
+                        results[rank] = outcome[1]
+                    else:
+                        failures[rank] = outcome[1]
+                        tracebacks[rank] = outcome[2]
+            except (EOFError, OSError):
+                pass  # handled by the liveness check below
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        grace_deadline: Optional[float] = None
+        timed_out = False
+        while len(reported) < world_size:
+            for rank in range(world_size):
+                if rank not in reported:
+                    _drain(rank)
+            for rank, proc in enumerate(procs):
+                if rank not in reported and not proc.is_alive():
+                    _drain(rank)  # result may have raced the exit
+                    if rank not in reported:
+                        reported[rank] = True
+                        failures[rank] = ProcessCrashError(
+                            f"rank {rank} exited with code {proc.exitcode} "
+                            "without reporting a result"
+                        )
+                        tracebacks[rank] = ""
+            if failures:
+                _broadcast_abort()
+                if grace_deadline is None:
+                    grace_deadline = time.monotonic() + self.abort_grace
+            if len(reported) >= world_size:
+                break
+            now = time.monotonic()
+            if grace_deadline is not None and now >= grace_deadline:
+                break
+            if deadline is not None and now >= deadline:
+                timed_out = True
+                _broadcast_abort()
+                # Short grace only: a rank blocked in communication wakes
+                # on the abort, one stuck in compute needs terminate().
+                grace_deadline = now + min(2.0, self.abort_grace)
+                deadline = None
+            # Block until a result arrives or a child exits — no busy
+            # polling.  A drained-but-alive rank's pipe never re-signals,
+            # so only unreported ranks' handles are waited on.
+            pending = [r for r in range(world_size) if r not in reported]
+            handles: List[Any] = [result_pipes[r][0] for r in pending]
+            handles += [procs[r].sentinel for r in pending]
+            wait_bounds = [
+                b - time.monotonic()
+                for b in (deadline, grace_deadline)
+                if b is not None
+            ]
+            multiprocessing.connection.wait(
+                handles, timeout=max(0.0, min(wait_bounds)) if wait_bounds else None
+            )
+
+        hung = []
+        for rank, proc in enumerate(procs):
+            proc.join(timeout=0.5)
+            if proc.is_alive():
+                hung.append(proc.name)
+                proc.terminate()
+                proc.join(timeout=2.0)
+                if proc.is_alive():  # pragma: no cover - terminate() sufficed so far
+                    proc.kill()
+                    proc.join(timeout=1.0)
+        for (recv_end, _), (_, send_end) in zip(result_pipes, control_pipes):
+            for conn in (recv_end, send_end):
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+        if (timed_out or hung) and not failures:
+            raise WorldError(
+                {-1: TimeoutError(f"ranks did not finish within {timeout}s: {hung}")},
+                {-1: ""},
+            )
+        if failures:
+            raise WorldError(failures, tracebacks)
+        return results

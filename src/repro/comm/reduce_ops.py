@@ -39,6 +39,23 @@ class ReduceOp:
     identity: float
     ufunc: Optional[Callable] = None
 
+    def __reduce__(self):
+        """Pickle registered operators by name.
+
+        Operators travel between rank *processes* on the socket transport
+        (inside exchange payloads and launcher results), where the
+        default dataclass pickling would serialise ``fn`` — impossible
+        for closures and fragile across versions.  A registered op
+        round-trips to the canonical instance (``loads(dumps(SUM)) is
+        SUM``); an unregistered op falls back to field-wise pickling,
+        which works exactly when its ``fn``/``ufunc`` are module-level
+        callables.
+        """
+        registered = _REGISTRY.get(self.name)
+        if registered is self:
+            return (get_op, (self.name,))
+        return (ReduceOp, (self.name, self.fn, self.identity, self.ufunc))
+
     def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return self.fn(np.asarray(a), np.asarray(b))
 
@@ -73,14 +90,25 @@ class ReduceOp:
         return f"ReduceOp({self.name})"
 
 
-SUM = ReduceOp("sum", lambda a, b: a + b, 0.0, ufunc=np.add)
-PROD = ReduceOp("prod", lambda a, b: a * b, 1.0, ufunc=np.multiply)
+# The combine functions are module-level (not lambdas) so that any
+# ReduceOp — registered or custom-but-named — survives a pickle
+# round-trip across the process transport.
+def _add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a + b
+
+
+def _mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a * b
+
+
+SUM = ReduceOp("sum", _add, 0.0, ufunc=np.add)
+PROD = ReduceOp("prod", _mul, 1.0, ufunc=np.multiply)
 MAX = ReduceOp("max", np.maximum, -np.inf, ufunc=np.maximum)
 MIN = ReduceOp("min", np.minimum, np.inf, ufunc=np.minimum)
 #: Average: implemented as SUM at the transport level; callers divide by
 #: the number of contributors (or by the world size for eager-SGD, which
 #: treats absent contributions as zero — see Algorithm 2, line 6).
-AVG = ReduceOp("avg", lambda a, b: a + b, 0.0, ufunc=np.add)
+AVG = ReduceOp("avg", _add, 0.0, ufunc=np.add)
 
 _REGISTRY: Dict[str, ReduceOp] = {
     "sum": SUM,

@@ -1,35 +1,31 @@
-"""Thread world: spawn one thread per rank and run an SPMD function.
+"""Thread backend: spawn one thread per rank and run an SPMD function.
 
-This plays the role of ``mpiexec -n P python script.py`` for the in-process
-transport: :func:`run_world` runs ``fn(comm, *args)`` on ``P`` threads, one
-per rank, and returns the per-rank results.  Exceptions on any rank are
-collected and re-raised as a :class:`WorldError` carrying all failures, so
-a bug on rank 3 does not silently hang the remaining ranks: the router is
+This plays the role of ``mpiexec -n P python script.py`` for the
+in-process transport: :class:`ThreadBackend` (registered as
+``"thread"`` in the :mod:`repro.comm.backend` registry) runs
+``fn(comm, *args)`` on ``P`` threads, one per rank, and returns the
+per-rank results.  Exceptions on any rank are collected and re-raised as
+a :class:`~repro.comm.backend.WorldError` carrying all failures, so a
+bug on rank 3 does not silently hang the remaining ranks: the router is
 closed, which wakes every blocked receive.
+
+:func:`run_world` is the historical entry point, kept as a deprecated
+shim over :func:`repro.comm.backend.launch`.
 """
 
 from __future__ import annotations
 
 import threading
 import traceback
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.comm.backend import CommBackend, WorldError, register_backend
 from repro.comm.communicator import Communicator
 from repro.comm.router import Channel, DEFAULT_CHANNELS, Router
 
-
-class WorldError(RuntimeError):
-    """One or more ranks raised an exception during :func:`run_world`."""
-
-    def __init__(self, failures: Dict[int, BaseException], tracebacks: Dict[int, str]):
-        self.failures = failures
-        self.tracebacks = tracebacks
-        lines = [f"{len(failures)} rank(s) failed:"]
-        for rank in sorted(failures):
-            lines.append(f"--- rank {rank}: {failures[rank]!r}")
-            lines.append(tracebacks[rank])
-        super().__init__("\n".join(lines))
+__all__ = ["ThreadWorld", "ThreadBackend", "WorldError", "run_world"]
 
 
 @dataclass
@@ -68,6 +64,79 @@ class ThreadWorld:
         self.close()
 
 
+@register_backend("thread")
+class ThreadBackend(CommBackend):
+    """One Python thread per rank inside this process.
+
+    The fastest world to spawn and the reference semantics every other
+    transport is held to (see ``tests/test_backend_conformance.py``);
+    ranks share the GIL, so it measures scheduling and copy costs rather
+    than true parallel compute.
+    """
+
+    name = "thread"
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        world_size: int,
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+        *,
+        channels: Sequence[str] = DEFAULT_CHANNELS,
+        channel: str = Channel.APP,
+        timeout: Optional[float] = 300.0,
+        default_recv_timeout: Optional[float] = 120.0,
+        thread_name_prefix: str = "rank",
+        **opts: Any,
+    ) -> List[Any]:
+        kwargs = kwargs or {}
+        world = ThreadWorld(
+            world_size, channels=channels, default_timeout=default_recv_timeout
+        )
+        results: List[Any] = [None] * world_size
+        failures: Dict[int, BaseException] = {}
+        tracebacks: Dict[int, str] = {}
+        lock = threading.Lock()
+
+        def _target(rank: int) -> None:
+            comm = world.communicator(rank, channel=channel)
+            try:
+                results[rank] = fn(comm, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - reported to the caller
+                with lock:
+                    failures[rank] = exc
+                    tracebacks[rank] = traceback.format_exc()
+                # Unblock every other rank: they would otherwise wait forever
+                # for messages this rank will never send.
+                world.close()
+
+        threads = [
+            threading.Thread(
+                target=_target,
+                args=(rank,),
+                name=f"{thread_name_prefix}{rank}",
+                daemon=True,
+            )
+            for rank in range(world_size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=timeout)
+
+        hung = [t.name for t in threads if t.is_alive()]
+        world.close()
+        if hung and not failures:
+            raise WorldError(
+                {-1: TimeoutError(f"ranks did not finish within {timeout}s: {hung}")},
+                {-1: ""},
+            )
+        if failures:
+            raise WorldError(failures, tracebacks)
+        return results
+
+
 def run_world(
     world_size: int,
     fn: Callable[..., Any],
@@ -79,68 +148,29 @@ def run_world(
     thread_name_prefix: str = "rank",
     **kwargs: Any,
 ) -> List[Any]:
-    """Run ``fn(comm, *args, **kwargs)`` on ``world_size`` rank threads.
+    """Deprecated: use :func:`repro.comm.backend.launch` instead.
 
-    Parameters
-    ----------
-    world_size:
-        Number of ranks (threads) to spawn.
-    fn:
-        The SPMD function.  Its first argument is the rank's
-        :class:`Communicator` on ``channel``.
-    timeout:
-        Overall join timeout per rank, in seconds.
-    default_recv_timeout:
-        Default timeout installed on every rank's blocking receives.
-
-    Returns
-    -------
-    list
-        ``fn``'s return value per rank, indexed by rank.
-
-    Raises
-    ------
-    WorldError
-        If any rank raised; contains per-rank exceptions and tracebacks.
+    ``run_world(P, fn, *args)`` is the pre-backend-registry spelling of
+    ``launch(fn, P, *args, backend="thread")``; it always runs the
+    thread transport.  Kept as a thin shim so external callers keep
+    working one release longer.
     """
-    world = ThreadWorld(
-        world_size, channels=channels, default_timeout=default_recv_timeout
+    warnings.warn(
+        "run_world() is deprecated; use repro.comm.launch(fn, world_size, ..., "
+        "backend='thread') instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    results: List[Any] = [None] * world_size
-    failures: Dict[int, BaseException] = {}
-    tracebacks: Dict[int, str] = {}
-    lock = threading.Lock()
+    from repro.comm.backend import get_backend
 
-    def _target(rank: int) -> None:
-        comm = world.communicator(rank, channel=channel)
-        try:
-            results[rank] = fn(comm, *args, **kwargs)
-        except BaseException as exc:  # noqa: BLE001 - reported to the caller
-            with lock:
-                failures[rank] = exc
-                tracebacks[rank] = traceback.format_exc()
-            # Unblock every other rank: they would otherwise wait forever
-            # for messages this rank will never send.
-            world.close()
-
-    threads = [
-        threading.Thread(
-            target=_target, args=(rank,), name=f"{thread_name_prefix}{rank}", daemon=True
-        )
-        for rank in range(world_size)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join(timeout=timeout)
-
-    hung = [t.name for t in threads if t.is_alive()]
-    world.close()
-    if hung and not failures:
-        raise WorldError(
-            {-1: TimeoutError(f"ranks did not finish within {timeout}s: {hung}")},
-            {-1: ""},
-        )
-    if failures:
-        raise WorldError(failures, tracebacks)
-    return results
+    return get_backend("thread").run(
+        fn,
+        world_size,
+        args,
+        kwargs,
+        channels=channels,
+        channel=channel,
+        timeout=timeout,
+        default_recv_timeout=default_recv_timeout,
+        thread_name_prefix=thread_name_prefix,
+    )

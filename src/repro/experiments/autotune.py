@@ -47,13 +47,17 @@ def run(
     cache_dir: Optional[Path] = None,
     force: bool = False,
     live_trials: int = 0,
+    backend: Optional[str] = None,
 ) -> AutotuneResult:
     """Calibrate every world size and auto-tune the fusion knobs.
 
-    ``quick`` runs the reduced measurement sweep (CI smoke); ``force``
-    remeasures even when a cached profile exists; ``live_trials`` makes
-    the grid search cross-check its best candidates against live
-    thread-backend exchanges.
+    ``backend`` selects the communication backend the measurements run
+    on (``"thread"`` / ``"process"``; ``None`` = the process-wide
+    default) — profiles cache separately per backend.  ``quick`` runs
+    the reduced measurement sweep (CI smoke); ``force`` remeasures even
+    when a cached profile exists; ``live_trials`` makes the grid search
+    cross-check its best candidates against live exchanges on the same
+    backend.
     """
     if not world_sizes:
         raise ValueError("world_sizes must not be empty")
@@ -65,7 +69,9 @@ def run(
     profiles = []
     plans = []
     for world_size in world_sizes:
-        profile = calibrate(world_size, quick=quick, cache_dir=cache_dir, force=force)
+        profile = calibrate(
+            world_size, backend=backend, quick=quick, cache_dir=cache_dir, force=force
+        )
         profiles.append(profile)
         plans.append(
             tune_with_profile(
@@ -83,6 +89,7 @@ def run(
 
 def report(result: AutotuneResult) -> str:
     """Render the fitted parameters, validation and recommendation tables."""
+    backends = "/".join(sorted({p.backend for p in result.profiles}))
     parts = [
         format_table(
             ["P", "alpha [us]", "beta [ns/B]", "gamma [ns/B]", "overhead [us]",
@@ -99,7 +106,7 @@ def report(result: AutotuneResult) -> str:
                 )
                 for p in result.profiles
             ],
-            title="calibrated LogGP parameters (thread backend)",
+            title=f"calibrated LogGP parameters ({backends} backend)",
         ),
         "",
         format_table(
@@ -157,7 +164,7 @@ def report(result: AutotuneResult) -> str:
                     )
                     for plan in live
                 ],
-                title="live thread-backend cross-check",
+                title=f"live {backends}-backend cross-check",
             )
         )
     worst = max(p.max_rel_error for p in result.profiles)

@@ -16,7 +16,7 @@ against eager-SGD (solo).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.data.synthetic_images import imagenet_like
 from repro.experiments.training_experiments import (
@@ -78,6 +78,7 @@ def run(
     delays_ms: Sequence[float] = (300.0, 460.0),
     seed: int = 0,
     time_scale: float = 0.001,
+    comm_backend: Optional[str] = None,
 ) -> Fig11Result:
     """Run Deep500/Horovod/eager-SGD(solo) for every injected delay."""
     if scale not in SCALES:
@@ -101,6 +102,7 @@ def run(
 
     base = TrainingConfig(
         world_size=p["world_size"],
+        comm_backend=comm_backend,
         epochs=p["epochs"],
         global_batch_size=p["global_batch_size"],
         learning_rate=0.05,

@@ -14,7 +14,7 @@ three variants on the CIFAR-like synthetic dataset with the scaled ResNet.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.data.synthetic_images import cifar10_like
 from repro.experiments.training_experiments import (
@@ -74,6 +74,7 @@ def run(
     seed: int = 0,
     time_scale: float = 0.002,
     model_sync_period_epochs: int = 5,
+    comm_backend: Optional[str] = None,
 ) -> Fig12Result:
     """Run Horovod / solo / majority under the rotating severe skew."""
     if scale not in SCALES:
@@ -92,6 +93,7 @@ def run(
     injector = RotatingSkewDelay(min_ms=min_delay_ms, max_ms=max_delay_ms)
     base = TrainingConfig(
         world_size=p["world_size"],
+        comm_backend=comm_backend,
         epochs=p["epochs"],
         global_batch_size=p["global_batch_size"],
         learning_rate=0.05,

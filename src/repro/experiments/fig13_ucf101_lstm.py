@@ -18,7 +18,7 @@ injected: all imbalance comes from the batch content, as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.data.ucf101 import VideoFeatureDataset
 from repro.experiments.training_experiments import (
@@ -69,6 +69,7 @@ def run(
     seed: int = 0,
     time_scale: float = 0.001,
     model_sync_period_epochs: int = 5,
+    comm_backend: Optional[str] = None,
 ) -> Fig13Result:
     """Run Horovod / solo / majority on the video-classification workload."""
     if scale not in SCALES:
@@ -96,6 +97,7 @@ def run(
     local_batch = p["global_batch_size"] // p["world_size"]
     base = TrainingConfig(
         world_size=p["world_size"],
+        comm_backend=comm_backend,
         epochs=p["epochs"],
         global_batch_size=p["global_batch_size"],
         learning_rate=0.05,

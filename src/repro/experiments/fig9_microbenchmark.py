@@ -10,7 +10,8 @@ the NAP is around 1 for solo and around 16 (half of 32) for majority.
 
 The reproduction runs the same sweep through the analytic LogGP latency
 model (validated against the message-level discrete-event simulation) and,
-optionally, through the thread-backed implementation at a reduced scale.
+optionally, through the real implementation on a selectable comm
+backend at a reduced scale.
 """
 
 from __future__ import annotations
@@ -21,7 +22,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.comm.world import run_world
+from repro.comm.backend import launch
 from repro.collectives.partial import MajorityAllreduce, SoloAllreduce
 from repro.collectives.sync import allreduce
 from repro.experiments.report import format_table, ratio_line
@@ -119,8 +120,9 @@ def run_functional(
     skew_step_ms: float = 4.0,
     message_elements: int = 1024,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> List[MicrobenchmarkRow]:
-    """Measure the thread-backed collectives directly (reduced scale).
+    """Measure the real collectives directly on ``backend`` (reduced scale).
 
     Each rank sleeps ``rank * skew_step_ms`` before calling the collective,
     exactly like the microbenchmark pseudo-code of Fig. 8, and the average
@@ -158,7 +160,7 @@ def run_functional(
 
     measurements: Dict[str, tuple] = {}
     for mode in ("mpi", "majority", "solo"):
-        per_rank = run_world(world_size, worker, mode)
+        per_rank = launch(worker, world_size, mode, backend=backend)
         lat = float(np.mean([r[0] for r in per_rank])) * 1e3
         nap = float(np.mean([r[1] for r in per_rank]))
         measurements[mode] = (lat, nap)
@@ -232,7 +234,7 @@ def report(result: Fig9Result) -> str:
                     "NAP solo",
                 ],
                 func_rows,
-                title="Thread-backed functional measurement (reduced scale)",
+                title="Functional measurement on the real transport (reduced scale)",
             ),
         ]
     return "\n".join(parts)

@@ -49,13 +49,14 @@ class FusionRow:
 
 @dataclass(frozen=True)
 class FunctionalRow:
-    """Wall-clock of the thread-backed exchange (reduced scale)."""
+    """Wall-clock of the real exchange on one backend (reduced scale)."""
 
     world_size: int
     elements: int
     configuration: str
     seconds_per_exchange: float
     max_abs_error: float
+    backend: str = "thread"
 
 
 @dataclass
@@ -132,17 +133,20 @@ def run_functional(
     n_chunks: int = 4,
     fusion_threshold_bytes: int = 64 * 1024,
     iterations: int = 4,
+    backend: Optional[str] = None,
 ) -> List[FunctionalRow]:
-    """Measure the thread-backed exchange and verify its result.
+    """Measure the real exchange on ``backend`` and verify its result.
 
     Wall-clock numbers on the thread substrate are dominated by copying
-    and scheduling rather than network physics; they validate correctness
-    and give a rough cost signal, while the analytic rows carry the
-    latency claims.
+    and scheduling rather than network physics; the process backend adds
+    loopback TCP and removes the shared GIL.  Either way the functional
+    rows validate correctness and give a rough cost signal, while the
+    analytic rows carry the latency claims.
     """
-    from repro.comm import run_world
+    from repro.comm import get_backend, launch
     from repro.training.exchange import SynchronousExchange
 
+    backend_name = get_backend(backend).name
     configs = [
         ("unfused single-buffer (RD)", dict(algorithm="recursive_doubling")),
         ("single-buffer ring", dict(algorithm="ring")),
@@ -168,7 +172,7 @@ def run_functional(
             elapsed = (time.perf_counter() - start) / iterations
             return elapsed, float(np.max(np.abs(result.gradient - expected)))
 
-        outputs = run_world(world_size, worker)
+        outputs = launch(worker, world_size, backend=backend)
         rows.append(
             FunctionalRow(
                 world_size=world_size,
@@ -176,6 +180,7 @@ def run_functional(
                 configuration=name,
                 seconds_per_exchange=float(np.mean([o[0] for o in outputs])),
                 max_abs_error=float(max(o[1] for o in outputs)),
+                backend=backend_name,
             )
         )
     return rows
@@ -203,6 +208,7 @@ def report(result: FusionPipelineResult) -> str:
         )
     ]
     if result.functional_rows:
+        backends = "/".join(sorted({r.backend for r in result.functional_rows}))
         parts.append("")
         parts.append(
             format_table(
@@ -217,7 +223,7 @@ def report(result: FusionPipelineResult) -> str:
                     )
                     for r in result.functional_rows
                 ],
-                title="thread-backed exchange (functional validation)",
+                title=f"{backends}-backed exchange (functional validation)",
             )
         )
     try:

@@ -24,6 +24,15 @@ class TrainingConfig:
     ----------
     world_size:
         Number of ranks (the paper uses 8, 32 or 64).
+    comm_backend:
+        Registered communication backend carrying the run: ``"thread"``
+        (one thread per rank, shared GIL) or ``"process"`` (one OS
+        process per rank over local sockets, true parallelism).  ``None``
+        uses the process-wide default (``"thread"`` unless overridden by
+        ``REPRO_COMM_BACKEND`` or
+        :func:`repro.comm.backend.set_default_backend`).  The tuning
+        profile cache is keyed by this name, so each transport gets its
+        own calibrated cost model.
     epochs:
         Number of passes over the training set.
     global_batch_size:
@@ -77,6 +86,7 @@ class TrainingConfig:
     """
 
     world_size: int = 4
+    comm_backend: Optional[str] = None
     epochs: int = 2
     global_batch_size: int = 64
     mode: str = "sync"
@@ -124,6 +134,10 @@ class TrainingConfig:
     def validate(self) -> None:
         if self.world_size < 1:
             raise ValueError("world_size must be >= 1")
+        if self.comm_backend is not None:
+            from repro.comm.backend import get_backend
+
+            get_backend(self.comm_backend)  # raises ValueError on unknown names
         if self.epochs < 1:
             raise ValueError("epochs must be >= 1")
         if self.global_batch_size < self.world_size:
@@ -185,7 +199,9 @@ class TrainingConfig:
             variant = f"eager-SGD ({self.mode})"
             if self.mode == "quorum":
                 variant = f"eager-SGD (quorum={self.quorum})"
+        backend = f", backend={self.comm_backend}" if self.comm_backend else ""
         return (
-            f"{variant}, P={self.world_size}, batch={self.global_batch_size}, "
+            f"{variant}, P={self.world_size}{backend}, "
+            f"batch={self.global_batch_size}, "
             f"epochs={self.epochs}, imbalance={self.delay_injector.describe()}"
         )

@@ -1,9 +1,10 @@
-"""SPMD training runner over the thread world.
+"""SPMD training runner over a pluggable communication backend.
 
 :func:`train_distributed` is the user-facing entry point of the training
 side of the library: it takes a model factory, a dataset, a loss and a
-:class:`~repro.training.config.TrainingConfig`, spawns one thread per
-rank, runs the configured SGD variant and returns a
+:class:`~repro.training.config.TrainingConfig`, spawns one rank per
+thread or OS process (``config.comm_backend``, see
+:mod:`repro.comm.backend`), runs the configured SGD variant and returns a
 :class:`~repro.training.metrics.TrainingResult` containing per-epoch
 metrics, the per-rank workload trace and a paper-scale timing projection.
 """
@@ -17,8 +18,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.comm.backend import launch
 from repro.comm.communicator import Communicator
-from repro.comm.world import run_world
 from repro.collectives.sync import allreduce
 from repro.data.loader import Dataset, ShardedLoader
 from repro.nn.module import Module
@@ -265,15 +266,16 @@ def train_distributed(
             )
         ]
     else:
-        outputs = run_world(
-            config.world_size,
+        outputs = launch(
             _rank_main,
+            config.world_size,
             model_factory,
             train_dataset,
             eval_dataset,
             loss_fn,
             config,
             classification,
+            backend=config.comm_backend,
             timeout=run_timeout,
         )
     wall_time = time.perf_counter() - start

@@ -6,11 +6,13 @@ paper's latency figures, but not comparable in absolute terms with the
 thread-backend measurements.  This package closes that gap:
 
 ``repro.tuning.calibration``
-    Runs ping-pong / reduce / allreduce microbenchmarks on the real
-    thread backend and least-squares-fits ``alpha``, ``beta``, ``gamma``
-    and ``collective_overhead`` into a JSON-cacheable
+    Runs ping-pong / reduce / allreduce microbenchmarks on the selected
+    communication backend (``"thread"`` or ``"process"``, resolved
+    through the :mod:`repro.comm.backend` registry) and
+    least-squares-fits ``alpha``, ``beta``, ``gamma`` and
+    ``collective_overhead`` into a JSON-cacheable
     :class:`~repro.tuning.calibration.CalibratedProfile` keyed by
-    world size and backend.
+    world size and the live backend name.
 ``repro.tuning.autotune``
     Searches the ``fusion_threshold_bytes x pipeline_chunks`` grid with
     the calibrated :func:`~repro.simtime.collective_model.fused_exchange_time`

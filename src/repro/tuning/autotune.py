@@ -146,14 +146,16 @@ def _measure_exchange(
     fusion_threshold_bytes: int,
     pipeline_chunks: int,
     iterations: int = 3,
+    backend: Optional[str] = None,
 ) -> float:
-    """Live wall-clock of one thread-backed synchronous exchange (seconds).
+    """Live wall-clock of one synchronous exchange (seconds).
 
-    Per rank the minimum over ``iterations`` is taken, then the maximum
-    across ranks (the exchange ends when the slowest rank holds the
-    averaged gradient).
+    Runs on ``backend`` (``None`` = the process-wide default).  Per rank
+    the minimum over ``iterations`` is taken, then the maximum across
+    ranks (the exchange ends when the slowest rank holds the averaged
+    gradient).
     """
-    from repro.comm.world import run_world
+    from repro.comm.backend import launch
     from repro.training.exchange import SynchronousExchange
 
     def worker(comm):
@@ -173,7 +175,7 @@ def _measure_exchange(
             best = min(best, time.perf_counter() - start)
         return best
 
-    return float(max(run_world(world_size, worker)))
+    return float(max(launch(worker, world_size, backend=backend)))
 
 
 def autotune(
@@ -185,6 +187,7 @@ def autotune(
     chunks: Optional[Sequence[int]] = None,
     live_trials: int = 0,
     live_iterations: int = 3,
+    backend: Optional[str] = None,
 ) -> TunedPlan:
     """Pick ``(fusion_threshold_bytes, pipeline_chunks)`` for one exchange shape.
 
@@ -192,8 +195,9 @@ def autotune(
     :func:`fused_exchange_time` model; candidates that produce the same
     (bucket count, chunk count) pair are deduplicated.  With
     ``live_trials > 0`` the ``live_trials`` best-scoring candidates are
-    additionally measured on the real thread backend and the measured
-    winner is returned — the model proposes, the backend disposes.
+    additionally measured live on ``backend`` (``None`` = the default)
+    and the measured winner is returned — the model proposes, the
+    backend disposes.
 
     The default grids contain the fixed 64 KiB / 1-chunk configuration,
     so (unless the caller restricts the search away from it) the
@@ -242,12 +246,12 @@ def autotune(
         for cand_predicted, cand_threshold, cand_chunks in ranked[:live_trials]:
             elapsed = _measure_exchange(
                 world_size, num_elements, algorithm, cand_threshold, cand_chunks,
-                iterations=live_iterations,
+                iterations=live_iterations, backend=backend,
             )
             trials.append((elapsed, cand_predicted, cand_threshold, cand_chunks))
         measured_baseline = _measure_exchange(
             world_size, num_elements, algorithm, DEFAULT_FIXED_THRESHOLD_BYTES, 1,
-            iterations=live_iterations,
+            iterations=live_iterations, backend=backend,
         )
         measured_time, predicted, threshold, n_chunks = min(trials)
         # The fixed default was measured too: if every candidate loses to
@@ -277,7 +281,13 @@ def tune_with_profile(
     algorithm: str = "ring",
     **kwargs,
 ) -> TunedPlan:
-    """Autotune at the profile's world size with its fitted parameters."""
+    """Autotune at the profile's world size with its fitted parameters.
+
+    Live trials (``live_trials > 0``) run on the backend the profile was
+    calibrated against, so measured and modelled times describe the same
+    transport.
+    """
+    kwargs.setdefault("backend", profile.backend)
     return autotune(
         profile.params, profile.world_size, gradient_bytes, algorithm, **kwargs
     )
@@ -293,11 +303,12 @@ def resolve_auto_fusion(
     """Resolve ``"auto"`` fusion knobs of a training configuration.
 
     Returns ``config`` unchanged when neither knob is ``"auto"``.
-    Otherwise the profile for ``(thread, world_size)`` is loaded from the
-    cache (measured once and cached when absent), the grid is searched at
-    the job's gradient size, and a copy of the configuration with the
-    concrete values is returned.  A knob the user pinned to a number is
-    honoured: the search is restricted to that value.
+    Otherwise the profile for ``(config.comm_backend, world_size)`` is
+    loaded from the cache (measured once on that backend and cached when
+    absent), the grid is searched at the job's gradient size, and a copy
+    of the configuration with the concrete values is returned.  A knob
+    the user pinned to a number is honoured: the search is restricted to
+    that value.
     """
     auto_threshold = config.fusion_threshold_bytes == "auto"
     auto_chunks = config.pipeline_chunks == "auto"
@@ -316,7 +327,12 @@ def resolve_auto_fusion(
 
     if cache_dir is None and config.tuning_cache_dir is not None:
         cache_dir = Path(config.tuning_cache_dir)
-    profile = calibrate(config.world_size, quick=quick, cache_dir=cache_dir)
+    profile = calibrate(
+        config.world_size,
+        backend=config.comm_backend,
+        quick=quick,
+        cache_dir=cache_dir,
+    )
     gradient_bytes = max(1, int(num_parameters) * int(bytes_per_element))
     if auto_threshold:
         thresholds = None

@@ -1,9 +1,13 @@
-"""Calibrate :class:`~repro.simtime.network.LogGPParams` to the thread backend.
+"""Calibrate :class:`~repro.simtime.network.LogGPParams` to a comm backend.
 
 The default LogGP parameters approximate a Cray Aries interconnect; the
 thread backend's "network" is queue handoffs, numpy copies and the GIL,
-whose costs are orders of magnitude different.  This module measures the
-thread backend directly and fits the four model parameters so that
+and the process backend's is loopback TCP — costs that are orders of
+magnitude different from each other and from real interconnects.  This
+module measures the selected backend directly (``backend=`` on
+:func:`calibrate`, resolved through the
+:mod:`repro.comm.backend` registry) and fits the four model parameters so
+that
 :func:`~repro.simtime.collective_model.allreduce_time` /
 :func:`~repro.simtime.collective_model.fused_exchange_time` predict the
 *measured* latencies, making simtime predictions and thread-backend
@@ -11,8 +15,9 @@ measurements comparable in absolute terms.
 
 Measurement design
 ------------------
-Three microbenchmarks run inside one thread world (so the contention a
-real exchange sees at world size *P* is present in the measurements):
+Three microbenchmarks run inside one world of the selected backend (so
+the contention a real exchange sees at world size *P* is present in the
+measurements):
 
 * **ping-pong** — ranks are paired ``(0,1), (2,3), ...`` and all pairs
   bounce a message concurrently; half the round trip estimates
@@ -54,10 +59,12 @@ from repro.simtime.network import LogGPParams
 #: Serialisation format version; bump when the profile schema changes.
 PROFILE_VERSION = 1
 
-#: Backends a profile can be calibrated against.  Only the in-process
-#: thread backend exists today; the name keys the cache so an MPI or
-#: socket backend can coexist later.
-SUPPORTED_BACKENDS = ("thread",)
+
+def supported_backends() -> Tuple[str, ...]:
+    """Backends a profile can be calibrated against (the live registry)."""
+    from repro.comm.backend import available_backends
+
+    return available_backends()
 
 #: Message sizes (bytes) of the full calibration sweep: 4 KiB - 4 MiB.
 DEFAULT_SIZES: Tuple[int, ...] = tuple(4 * 1024 * 4 ** i for i in range(6))
@@ -410,16 +417,22 @@ def _allreduce_worker(comm, sizes: Sequence[int], algorithm: str, base_iteration
 
 
 def measure_pingpong(
-    world_size: int, sizes: Sequence[int], base_iterations: int = 8
+    world_size: int,
+    sizes: Sequence[int],
+    base_iterations: int = 8,
+    backend: Optional[str] = None,
 ) -> List[CalibrationSample]:
-    """Concurrent pairwise ping-pong inside a ``world_size`` thread world.
+    """Concurrent pairwise ping-pong inside a ``world_size`` world.
 
     All pairs exchange simultaneously so the per-message cost includes
-    the scheduling/GIL contention a collective at this world size sees.
+    the scheduling (and, on the thread backend, GIL) contention a
+    collective at this world size sees.
     """
-    from repro.comm.world import run_world
+    from repro.comm.backend import launch
 
-    outputs = run_world(world_size, _pingpong_worker, sizes, base_iterations)
+    outputs = launch(
+        _pingpong_worker, world_size, sizes, base_iterations, backend=backend
+    )
     samples = []
     for nbytes in sizes:
         times = [out[nbytes] for out in outputs if nbytes in out]
@@ -469,6 +482,7 @@ def measure_allreduce(
     sizes: Sequence[int],
     algorithm: str = "ring",
     base_iterations: int = 5,
+    backend: Optional[str] = None,
 ) -> List[CalibrationSample]:
     """Measured synchronous allreduce latency across message sizes.
 
@@ -479,9 +493,12 @@ def measure_allreduce(
     one lucky scheduler interleaving, means are dragged by preemption
     outliers, the median is what a training step actually sees.
     """
-    from repro.comm.world import run_world
+    from repro.comm.backend import launch
 
-    outputs = run_world(world_size, _allreduce_worker, sizes, algorithm, base_iterations)
+    outputs = launch(
+        _allreduce_worker, world_size, sizes, algorithm, base_iterations,
+        backend=backend,
+    )
     samples = []
     for nbytes in sizes:
         per_rank = np.array([out[nbytes] for out in outputs])
@@ -612,7 +629,7 @@ def load_profile(
 
 def calibrate(
     world_size: int,
-    backend: str = "thread",
+    backend: Optional[str] = None,
     algorithm: str = "ring",
     sizes: Optional[Sequence[int]] = None,
     quick: bool = False,
@@ -625,7 +642,12 @@ def calibrate(
     Parameters
     ----------
     world_size:
-        Ranks of the thread world the measurements run under (>= 2).
+        Ranks of the world the measurements run under (>= 2).
+    backend:
+        Communication backend the measurements run *on* — the profile is
+        keyed by the resolved live handle's name, so ``"thread"`` and
+        ``"process"`` profiles cache separately.  ``None`` uses the
+        process-wide default backend.
     algorithm:
         Allreduce algorithm of the calibration sweep (the fitted
         parameters apply to every algorithm; this one anchors the fit).
@@ -644,10 +666,12 @@ def calibrate(
         Profile-cache location and whether to remeasure despite a cached
         profile being present.
     """
-    if backend not in SUPPORTED_BACKENDS:
-        raise ValueError(
-            f"unsupported backend {backend!r}; available: {SUPPORTED_BACKENDS}"
-        )
+    from repro.comm.backend import get_backend
+
+    # Resolve through the registry and key the cache by the *live*
+    # handle's name (not the raw argument): an unknown backend fails here,
+    # and a ``None``/default argument still lands in the right cache slot.
+    backend = get_backend(backend).name
     if world_size < 2:
         raise ValueError(f"calibration needs world_size >= 2, got {world_size}")
     if sizes is None:
@@ -665,10 +689,13 @@ def calibrate(
                 return cached
 
     samples: List[CalibrationSample] = []
-    samples += measure_pingpong(world_size, sizes, base_iterations=base_iterations)
+    samples += measure_pingpong(
+        world_size, sizes, base_iterations=base_iterations, backend=backend
+    )
     samples += measure_reduce(sizes, base_iterations=base_iterations, world_size=world_size)
     samples += measure_allreduce(
-        world_size, sizes, algorithm=algorithm, base_iterations=base_iterations
+        world_size, sizes, algorithm=algorithm, base_iterations=base_iterations,
+        backend=backend,
     )
     params = fit_loggp(samples)
     profile = CalibratedProfile(

@@ -1,0 +1,443 @@
+"""Cross-backend conformance suite: one contract, every transport.
+
+Every registered communication backend must provide the same SPMD
+semantics through :func:`repro.comm.launch`: MPI-like point-to-point
+messaging with tag/source matching, the channel system (dynamic
+sub-channels included), the synchronous and partial collectives, and the
+``WorldError`` failure contract.  The tests below parametrize the core
+behaviours over ``["thread", "process"]`` so a new transport (or a
+regression in an existing one) is caught by a single suite.
+
+The pickle-safety tests are part of the contract: payloads and results
+cross a process boundary on the socket transport, so everything a rank
+sends or returns must survive a pickle round-trip.
+"""
+
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    AVG,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    CommBackend,
+    Message,
+    ReduceOp,
+    WorldError,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    get_op,
+    launch,
+    set_default_backend,
+)
+
+BACKENDS = ["thread", "process"]
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_backends()
+        assert "thread" in names and "process" in names
+
+    def test_get_backend_live_handle(self, backend):
+        handle = get_backend(backend)
+        assert isinstance(handle, CommBackend)
+        assert handle.name == backend
+        # Resolution is stable: the same live handle every time.
+        assert get_backend(backend) is handle
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown comm backend"):
+            get_backend("mpi")
+        with pytest.raises(ValueError, match="unknown comm backend"):
+            launch(lambda comm: None, 2, backend="smoke-signal")
+
+    def test_default_backend_override(self):
+        assert default_backend_name() == "thread"
+        try:
+            set_default_backend("process")
+            assert default_backend_name() == "process"
+            assert get_backend(None).name == "process"
+        finally:
+            set_default_backend(None)
+        assert default_backend_name() == "thread"
+        with pytest.raises(ValueError):
+            set_default_backend("bogus")
+
+    def test_world_size_validated(self, backend):
+        with pytest.raises(ValueError, match="world_size"):
+            launch(lambda comm: None, 0, backend=backend)
+
+    def test_backend_opts_forwarded_separately_from_fn_kwargs(self):
+        import threading
+
+        def worker(comm, suffix):
+            return threading.current_thread().name + suffix
+
+        # backend_opts reaches CommBackend.run; **kwargs reaches fn.
+        results = launch(
+            worker, 2, backend="thread",
+            backend_opts={"thread_name_prefix": "conf-rank"},
+            suffix="!",
+        )
+        assert results == ["conf-rank0!", "conf-rank1!"]
+
+
+# ---------------------------------------------------------------------------
+# point-to-point
+# ---------------------------------------------------------------------------
+def _ring_worker(comm):
+    dest = (comm.rank + 1) % comm.size
+    src = (comm.rank - 1) % comm.size
+    comm.send(np.full(32, comm.rank, dtype=np.float64), dest, tag=1)
+    got = comm.recv(source=src, tag=1, timeout=30)
+    return float(got[0])
+
+
+class TestPointToPoint:
+    def test_results_indexed_by_rank(self, backend):
+        assert launch(lambda comm: comm.rank * 10, 4, backend=backend) == [0, 10, 20, 30]
+
+    def test_rank_and_size(self, backend):
+        assert launch(lambda comm: (comm.rank, comm.size), 3, backend=backend) == [
+            (0, 3), (1, 3), (2, 3),
+        ]
+
+    @pytest.mark.parametrize("size", [2, 4])
+    def test_ring(self, backend, size):
+        assert launch(_ring_worker, size, backend=backend) == [
+            float((r - 1) % size) for r in range(size)
+        ]
+
+    def test_tag_matching_out_of_order(self, backend):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send("first", 1, tag=7)
+                comm.send("second", 1, tag=8)
+                return None
+            # Receive in reverse tag order: matching must be by tag, not
+            # arrival, with the unmatched message staying queued.
+            second = comm.recv(source=0, tag=8, timeout=30)
+            first = comm.recv(source=0, tag=7, timeout=30)
+            return (first, second)
+
+        assert launch(worker, 2, backend=backend)[1] == ("first", "second")
+
+    def test_any_source_gather(self, backend):
+        def worker(comm):
+            if comm.rank == 0:
+                got = sorted(comm.recv(tag=3, timeout=30) for _ in range(comm.size - 1))
+                return got
+            comm.send(comm.rank * 11, 0, tag=3)
+            return None
+
+        assert launch(worker, 4, backend=backend)[0] == [11, 22, 33]
+
+    def test_isend_irecv(self, backend):
+        def worker(comm):
+            if comm.rank == 0:
+                req = comm.isend({"k": [1, 2]}, 1, tag=4)
+                assert req.test()
+                return None
+            req = comm.irecv(source=0, tag=4)
+            return req.wait(timeout=30)
+
+        assert launch(worker, 2, backend=backend)[1] == {"k": [1, 2]}
+
+    def test_probe_and_poll(self, backend):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(5, 1, tag=9)
+                return True
+            # Delivery may be asynchronous (socket transport): poll until
+            # the message lands, bounded by a deadline.
+            deadline = time.monotonic() + 30
+            while not comm.probe(tag=9):
+                if time.monotonic() > deadline:
+                    return False
+                time.sleep(0.001)
+            assert comm.poll(tag=8) is None
+            return comm.poll(tag=9) == 5
+
+        assert all(launch(worker, 2, backend=backend))
+
+    def test_send_copy_isolation(self, backend):
+        def worker(comm):
+            if comm.rank == 0:
+                data = np.zeros(8)
+                comm.send(data, 1, tag=2)
+                data[:] = 99  # mutation after send must not be visible
+                return None
+            return float(np.max(np.abs(comm.recv(source=0, tag=2, timeout=30))))
+
+        assert launch(worker, 2, backend=backend)[1] == 0.0
+
+    def test_barrier(self, backend):
+        def worker(comm):
+            if comm.rank == 0:
+                time.sleep(0.05)
+            comm.barrier(timeout=30)
+            comm.barrier(timeout=30)
+            return comm.rank
+
+        assert launch(worker, 4, backend=backend) == [0, 1, 2, 3]
+
+    def test_dup_channel_isolation(self, backend):
+        def worker(comm):
+            from repro.comm.router import Channel
+
+            lib = comm.dup(Channel.LIB)
+            if comm.rank == 0:
+                lib.send("lib", 1, tag=0)
+                comm.send("app", 1, tag=0)
+                return None
+            return (comm.recv(source=0, tag=0, timeout=30),
+                    lib.recv(source=0, tag=0, timeout=30))
+
+        assert launch(worker, 2, backend=backend)[1] == ("app", "lib")
+
+    def test_dynamic_subchannels(self, backend):
+        def worker(comm):
+            bucket = comm.dup("lib.bucket3")
+            if comm.rank == 0:
+                bucket.send(np.arange(4.0), 1, tag=1)
+                return None
+            return float(bucket.recv(source=0, tag=1, timeout=30)[2])
+
+        assert launch(worker, 2, backend=backend)[1] == 2.0
+
+    def test_unknown_channel_fails_fast(self, backend):
+        def worker(comm):
+            try:
+                comm.dup("bogus").send(1, (comm.rank + 1) % comm.size, tag=0)
+            except KeyError:
+                return "keyerror"
+            return "sent"
+
+        assert launch(worker, 2, backend=backend) == ["keyerror", "keyerror"]
+
+
+# ---------------------------------------------------------------------------
+# payload round-trips
+# ---------------------------------------------------------------------------
+def _payload_roundtrip_worker(comm, payloads):
+    if comm.rank == 0:
+        for i, payload in enumerate(payloads):
+            comm.send(payload, 1, tag=100 + i)
+        return None
+    return [comm.recv(source=0, tag=100 + i, timeout=30) for i in range(len(payloads))]
+
+
+class TestPayloads:
+    def test_array_dtype_and_shape_preserved(self, backend):
+        payloads = [
+            np.arange(6, dtype=np.int32).reshape(2, 3),
+            np.ones((3, 1, 2), dtype=np.float32),
+            np.array(3.25),                      # 0-d
+            np.empty((0, 4), dtype=np.float64),  # empty
+            np.arange(12).reshape(3, 4).T,       # non-contiguous view
+            np.array([True, False]),
+            np.array(                            # structured/record dtype
+                [(1, 2.5), (3, 4.5)], dtype=[("a", "<i4"), ("b", "<f8")]
+            ),
+        ]
+        got = launch(_payload_roundtrip_worker, 2, payloads, backend=backend)[1]
+        for sent, received in zip(payloads, got):
+            assert isinstance(received, np.ndarray)
+            assert received.dtype == sent.dtype
+            assert received.shape == sent.shape
+            assert np.array_equal(received, np.ascontiguousarray(sent).reshape(sent.shape))
+        assert got[-1]["a"].tolist() == [1, 3]  # field names survive the wire
+
+    def test_object_payloads(self, backend):
+        payloads = [
+            ("activate", 3, 1, 0),            # activation control tuple
+            ("arrival", 2, 5),                # quorum arrival notification
+            ("barrier", 0, 1),                # barrier token
+            {"order": [2, 0, 1], "epoch": 4}, # negotiation-style dict
+            None,
+            "text",
+            12345,
+        ]
+        got = launch(_payload_roundtrip_worker, 2, payloads, backend=backend)[1]
+        assert got == payloads
+
+    def test_large_array(self, backend):
+        def worker(comm):
+            data = np.arange(1 << 17, dtype=np.float64)  # 1 MiB
+            if comm.rank == 0:
+                comm.send(data * 2, 1, tag=1)
+                return True
+            got = comm.recv(source=0, tag=1, timeout=60)
+            return bool(np.array_equal(got, data * 2))
+
+        assert all(launch(worker, 2, backend=backend))
+
+
+# ---------------------------------------------------------------------------
+# collectives
+# ---------------------------------------------------------------------------
+def _allreduce_worker(comm, algorithm):
+    from repro.collectives.sync import allreduce
+
+    data = np.full(513, comm.rank + 1.0)
+    out = allreduce(comm, data, algorithm=algorithm)
+    return float(out[0])
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("algorithm", ["ring", "recursive_doubling", "rabenseifner"])
+    @pytest.mark.parametrize("size", [2, 3, 4])
+    def test_allreduce(self, backend, algorithm, size):
+        expected = float(size * (size + 1) // 2)
+        assert launch(_allreduce_worker, size, algorithm, backend=backend) == [
+            expected
+        ] * size
+
+    def test_broadcast_and_allgather(self, backend):
+        def worker(comm):
+            from repro.collectives.sync import allgather, broadcast
+
+            root_value = np.full(17, 7.0) if comm.rank == 0 else None
+            b = broadcast(comm, root_value, root=0)
+            g = allgather(comm, comm.rank * 2)
+            return float(b[0]), list(g)
+
+        for b, g in launch(worker, 4, backend=backend):
+            assert b == 7.0
+            assert g == [0, 2, 4, 6]
+
+    @pytest.mark.parametrize("mode", ["solo", "majority"])
+    def test_partial_allreduce(self, backend, mode):
+        def worker(comm):
+            from repro.collectives.partial import make_partial_allreduce
+
+            partial = make_partial_allreduce(comm, (64,), mode, seed=1)
+            values = []
+            for _ in range(3):
+                result = partial.reduce(np.ones(64), timeout=60)
+                assert 0 <= result.num_active <= comm.size
+                values.append(float(result.data[0]))
+            partial.close()
+            # Every reduced value is an average of >= 0 fresh/stale ones
+            # over P; bounded by the number of rounds contributed to.
+            return all(0.0 <= v <= 3.0 + 1e-9 for v in values)
+
+        assert all(launch(worker, 4, backend=backend, timeout=120))
+
+    def test_fused_synchronous_exchange(self, backend):
+        def worker(comm):
+            from repro.training.exchange import SynchronousExchange
+
+            exchange = SynchronousExchange(
+                comm,
+                algorithm="ring",
+                fusion_threshold_bytes=16 * 1024,
+                pipeline_chunks=2,
+            )
+            result = exchange.exchange(np.full(1 << 13, comm.rank + 1.0))
+            return float(result.gradient[0]), len(result.bucket_waits)
+
+        expected_avg = (1.0 + 4.0) / 2.0
+        for value, buckets in launch(worker, 4, backend=backend, timeout=120):
+            assert abs(value - expected_avg) < 1e-12
+            assert buckets == (1 << 13) * 8 // (16 * 1024)
+
+
+# ---------------------------------------------------------------------------
+# failure contract
+# ---------------------------------------------------------------------------
+class TestFailures:
+    def test_world_error_collects_failures(self, backend):
+        def worker(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            # Other ranks block on a message that never arrives; the abort
+            # must wake them instead of hanging the test.
+            try:
+                comm.recv(source=1, tag=99, timeout=60)
+            except Exception:
+                pass
+            return comm.rank
+
+        with pytest.raises(WorldError) as excinfo:
+            launch(worker, 3, backend=backend, timeout=90)
+        assert 1 in excinfo.value.failures
+        assert isinstance(excinfo.value.failures[1], ValueError)
+        assert "boom" in str(excinfo.value.failures[1])
+
+    def test_failure_unblocks_barrier(self, backend):
+        def worker(comm):
+            if comm.rank == 0:
+                raise RuntimeError("early exit")
+            comm.barrier(timeout=60)
+            return comm.rank
+
+        with pytest.raises(WorldError) as excinfo:
+            launch(worker, 2, backend=backend, timeout=90)
+        assert isinstance(excinfo.value.failures[0], RuntimeError)
+
+
+# ---------------------------------------------------------------------------
+# pickle-safety (process-transport payload contract)
+# ---------------------------------------------------------------------------
+class TestPickleSafety:
+    @pytest.mark.parametrize("op", [SUM, PROD, MAX, MIN, AVG])
+    def test_registered_reduce_ops_roundtrip_to_singletons(self, op):
+        clone = pickle.loads(pickle.dumps(op))
+        assert clone is op  # registered ops deserialise to the registry instance
+
+    def test_reduce_op_by_name_matches_get_op(self):
+        for name in ("sum", "prod", "max", "min", "avg"):
+            assert pickle.loads(pickle.dumps(get_op(name))) is get_op(name)
+
+    def test_unregistered_reduce_op_roundtrip(self):
+        custom = ReduceOp("absmax", np.fmax, 0.0, ufunc=np.fmax)
+        clone = pickle.loads(pickle.dumps(custom))
+        assert clone is not custom
+        assert clone.name == "absmax" and clone.identity == 0.0
+        assert np.allclose(clone(np.array([1.0]), np.array([-3.0])), [1.0])
+
+    def test_message_roundtrip(self):
+        msg = Message(source=2, dest=0, tag=7, payload=np.arange(5.0), seq=11)
+        clone = pickle.loads(pickle.dumps(msg))
+        assert (clone.source, clone.dest, clone.tag, clone.seq) == (2, 0, 7, 11)
+        assert np.array_equal(clone.payload, msg.payload)
+
+    def test_reduce_op_usable_after_cross_process_trip(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(SUM, 1, tag=1)
+                return True
+            op = comm.recv(source=0, tag=1, timeout=30)
+            return op is SUM and float(op(np.array([2.0]), np.array([3.0]))[0]) == 5.0
+
+        assert all(launch(worker, 2, backend="process"))
+
+
+# ---------------------------------------------------------------------------
+# the deprecated shim
+# ---------------------------------------------------------------------------
+class TestRunWorldShim:
+    def test_run_world_warns_and_still_works(self):
+        from repro.comm import run_world
+
+        with pytest.deprecated_call():
+            results = run_world(3, lambda comm: comm.rank)
+        assert results == [0, 1, 2]

@@ -5,7 +5,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.comm import run_world
+from repro.comm import launch
 from repro.collectives import (
     MajorityAllreduce,
     PartialMode,
@@ -43,7 +43,7 @@ class TestSoloAllreduce:
         # (Lemma 5.1, safety property 3).  With the paper-faithful single
         # receive buffer a lagging rank may legitimately observe a later
         # round instead, which is covered by test_overwrite_semantics_flag.
-        results = run_world(4, _run_rounds, "solo", 4, overwrite_recvbuff=False)
+        results = launch(_run_rounds, 4, "solo", 4, overwrite_recvbuff=False)
         for round_index in range(4):
             values = {tuple(results[r][round_index].data) for r in range(4)}
             assert len(values) == 1, "all ranks must see the same reduced value"
@@ -52,7 +52,7 @@ class TestSoloAllreduce:
         """Without skew, over all rounds the total contribution is conserved."""
         rounds = 6
         # Exact per-round buffering so one rank's view counts each round once.
-        results = run_world(4, _run_rounds, "solo", rounds, overwrite_recvbuff=False)
+        results = launch(_run_rounds, 4, "solo", rounds, overwrite_recvbuff=False)
         # Sum of the reduced (averaged) values over all rounds equals the
         # total contribution / P as long as no gradient is left behind...
         # the last rounds may leave stale gradients in the send buffers, so
@@ -63,7 +63,7 @@ class TestSoloAllreduce:
         assert 0 < sum(per_round) <= total_contributed + 1e-9
 
     def test_fast_rank_initiates_and_slow_excluded(self):
-        results = run_world(4, _run_rounds, "solo", 3, 25.0)
+        results = launch(_run_rounds, 4, "solo", 3, 25.0)
         # Rank 0 (fastest) should have its gradient included in every round.
         assert all(r.included for r in results[0])
         # The slowest rank misses at least one round under heavy skew.
@@ -74,8 +74,7 @@ class TestSoloAllreduce:
     def test_stale_gradients_carried_to_later_rounds(self):
         """A slow rank's gradient is not lost: it arrives in a later round."""
         rounds = 5
-        results = run_world(
-            2, _run_rounds, "solo", rounds, 30.0, overwrite_recvbuff=False
+        results = launch(_run_rounds, 2, "solo", rounds, 30.0, overwrite_recvbuff=False
         )
         # Contributions are never duplicated (delivered <= contributed) and
         # the fast rank's own gradients are always delivered; the slow
@@ -94,7 +93,7 @@ class TestSoloAllreduce:
         assert slow_included or richer_round or delivered == pytest.approx(rounds)
 
     def test_single_rank_world(self):
-        results = run_world(1, _run_rounds, "solo", 3)
+        results = launch(_run_rounds, 1, "solo", 3)
         for r in results[0]:
             assert np.allclose(r.data, 1.0)
             assert r.included and r.num_active == 1
@@ -103,19 +102,18 @@ class TestSoloAllreduce:
 class TestMajorityAllreduce:
     def test_average_nap_at_least_half(self):
         rounds = 8
-        results = run_world(4, _run_rounds, "majority", rounds, 5.0)
+        results = launch(_run_rounds, 4, "majority", rounds, 5.0)
         naps = [results[0][t].num_active for t in range(rounds)]
         assert np.mean(naps) >= 2.0, f"expected majority participation, got {naps}"
 
     def test_initiator_varies_across_rounds(self):
         rounds = 12
-        results = run_world(4, _run_rounds, "majority", rounds, 2.0)
+        results = launch(_run_rounds, 4, "majority", rounds, 2.0)
         initiators = {results[0][t].initiator for t in range(rounds)}
         assert len(initiators) > 1
 
     def test_per_round_results_identical_across_ranks(self):
-        results = run_world(
-            4, _run_rounds, "majority", 3, 3.0, overwrite_recvbuff=False
+        results = launch(_run_rounds, 4, "majority", 3, 3.0, overwrite_recvbuff=False
         )
         for t in range(3):
             values = {tuple(results[r][t].data) for r in range(4)}
@@ -125,15 +123,14 @@ class TestMajorityAllreduce:
 class TestQuorumAllreduce:
     def test_quorum_is_met_every_round(self):
         rounds = 5
-        results = run_world(
-            4, _run_rounds, "quorum", rounds, 5.0, 1.0, quorum=3
+        results = launch(_run_rounds, 4, "quorum", rounds, 5.0, 1.0, quorum=3
         )
         for t in range(rounds):
             assert results[0][t].num_active >= 3
 
     def test_quorum_full_equals_synchronous_average(self):
         rounds = 3
-        results = run_world(4, _run_rounds, "quorum", rounds, 2.0, 1.0, quorum=4)
+        results = launch(_run_rounds, 4, "quorum", rounds, 2.0, 1.0, quorum=4)
         expected = sum(range(1, 5)) / 4.0
         for t in range(rounds):
             assert results[0][t].data[0] == pytest.approx(expected)
@@ -167,7 +164,7 @@ class TestSemantics:
                 partial.close()
             return True
 
-        assert all(run_world(2, worker))
+        assert all(launch(worker, 2))
 
     def test_overwrite_semantics_flag(self):
         """With overwrite_recvbuff=False every rank sees its own round."""
@@ -181,7 +178,7 @@ class TestSemantics:
             partial.close()
             return values
 
-        exact = run_world(2, worker, False)
+        exact = launch(worker, 2, False)
         # In exact mode both ranks report the same per-round sequence.
         assert exact[0] == pytest.approx(exact[1])
 
@@ -198,7 +195,7 @@ class TestSemantics:
             partial.close()  # second close must not raise
             return True
 
-        assert all(run_world(2, worker))
+        assert all(launch(worker, 2))
 
 
 class TestScheduleBasedSoloAllreduce:
@@ -217,7 +214,7 @@ class TestScheduleBasedSoloAllreduce:
             return sched.get_buffer(RECV_BUFFER)
 
         for initiator in (0, size - 1):
-            results = run_world(size, worker, initiator)
+            results = launch(worker, size, initiator)
             expected = sum(range(1, size + 1))
             for r in results:
                 assert np.allclose(r, expected)

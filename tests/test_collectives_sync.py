@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.comm import run_world
+from repro.comm import launch
 from repro.collectives import (
     ALLREDUCE_ALGORITHMS,
     allgather,
@@ -25,24 +25,20 @@ class TestAllreduceAlgorithms:
     @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 6, 7, 8])
     def test_sum_matches_numpy(self, algorithm, size):
         elements = 17
-        results = run_world(size, _allreduce_worker, algorithm, "sum", elements)
+        results = launch(_allreduce_worker, size, algorithm, "sum", elements)
         expected = sum(np.arange(elements) + r for r in range(size))
         for r in results:
             assert np.allclose(r, expected)
 
     @pytest.mark.parametrize("algorithm", sorted(ALLREDUCE_ALGORITHMS))
     def test_max_reduction(self, algorithm):
-        results = run_world(
-            4, lambda comm: allreduce(comm, np.array([comm.rank, -comm.rank]),
-                                      op="max", algorithm=algorithm)
-        )
+        results = launch(lambda comm: allreduce(comm, np.array([comm.rank, -comm.rank]),
+                                      op="max", algorithm=algorithm), 4)
         for r in results:
             assert np.allclose(r, [3, 0])
 
     def test_average(self):
-        results = run_world(
-            4, lambda comm: allreduce(comm, np.full(3, comm.rank + 1.0), average=True)
-        )
+        results = launch(lambda comm: allreduce(comm, np.full(3, comm.rank + 1.0), average=True), 4)
         for r in results:
             assert np.allclose(r, 2.5)
 
@@ -59,7 +55,7 @@ class TestAllreduceAlgorithms:
             second = allreduce(comm, np.array([float(comm.rank * 10)]))
             return float(first[0]), float(second[0])
 
-        for first, second in run_world(4, worker):
+        for first, second in launch(worker, 4):
             assert first == 6.0
             assert second == 60.0
 
@@ -70,7 +66,7 @@ class TestAllreduceAlgorithms:
     )
     @settings(max_examples=20, deadline=None)
     def test_property_sum_invariant(self, size, elements, algorithm):
-        results = run_world(size, _allreduce_worker, algorithm, "sum", elements)
+        results = launch(_allreduce_worker, size, algorithm, "sum", elements)
         expected = sum(np.arange(elements) + r for r in range(size))
         for r in results:
             assert np.allclose(r, expected)
@@ -83,7 +79,7 @@ class TestBroadcastReduceAllgather:
             value = {"payload": 42} if comm.rank == root else None
             return broadcast(comm, value, root=root)
 
-        results = run_world(size, worker)
+        results = launch(worker, size)
         assert all(r == {"payload": 42} for r in results)
 
     @pytest.mark.parametrize("size,root", [(1, 0), (3, 0), (4, 2), (7, 6)])
@@ -91,7 +87,7 @@ class TestBroadcastReduceAllgather:
         def worker(comm):
             return reduce_to_root(comm, np.full(4, comm.rank + 1.0), root=root)
 
-        results = run_world(size, worker)
+        results = launch(worker, size)
         expected = sum(range(1, size + 1))
         for rank, r in enumerate(results):
             if rank == root:
@@ -101,14 +97,12 @@ class TestBroadcastReduceAllgather:
 
     @pytest.mark.parametrize("size", [1, 2, 5, 8])
     def test_allgather(self, size):
-        results = run_world(size, lambda comm: allgather(comm, comm.rank * 2))
+        results = launch(lambda comm: allgather(comm, comm.rank * 2), size)
         for r in results:
             assert r == [2 * i for i in range(size)]
 
     def test_preserves_shape(self):
-        results = run_world(
-            4, lambda comm: allreduce(comm, np.ones((3, 5)) * comm.rank, algorithm="ring")
-        )
+        results = launch(lambda comm: allreduce(comm, np.ones((3, 5)) * comm.rank, algorithm="ring"), 4)
         for r in results:
             assert r.shape == (3, 5)
             assert np.allclose(r, 6)

@@ -1,4 +1,4 @@
-"""Tests for the thread-backed message-passing substrate (repro.comm)."""
+"""Tests for the message-passing substrate (repro.comm), thread transport."""
 
 import threading
 import time
@@ -24,7 +24,7 @@ from repro.comm import (
     ThreadWorld,
     WorldError,
     get_op,
-    run_world,
+    launch,
 )
 from repro.comm.router import Channel
 
@@ -202,24 +202,27 @@ class TestCommunicator:
         assert comm.rank == 2 and comm.size == 3
 
     def test_barrier(self):
-        order = []
-
+        # Transport-agnostic check (no shared-memory side channel, so it
+        # also runs under REPRO_COMM_BACKEND=process): after the barrier,
+        # a message sent *before* it by the slow rank must be receivable.
         def worker(comm):
             if comm.rank == 0:
                 time.sleep(0.05)
+                for dest in range(1, comm.size):
+                    comm.send("pre-barrier", dest, tag=77)
             comm.barrier()
-            order.append(comm.rank)
+            if comm.rank != 0:
+                assert comm.recv(source=0, tag=77, timeout=5) == "pre-barrier"
             comm.barrier()
             return comm.rank
 
-        results = run_world(4, worker)
+        results = launch(worker, 4)
         assert sorted(results) == [0, 1, 2, 3]
-        assert len(order) == 4
 
 
 class TestRunWorld:
     def test_results_indexed_by_rank(self):
-        results = run_world(5, lambda comm: comm.rank * 10)
+        results = launch(lambda comm: comm.rank * 10, 5)
         assert results == [0, 10, 20, 30, 40]
 
     def test_exception_propagates_as_world_error(self):
@@ -235,7 +238,7 @@ class TestRunWorld:
             return comm.rank
 
         with pytest.raises(WorldError) as excinfo:
-            run_world(3, worker, timeout=30)
+            launch(worker, 3, timeout=30)
         assert 1 in excinfo.value.failures
         assert isinstance(excinfo.value.failures[1], ValueError)
 
@@ -246,10 +249,10 @@ class TestRunWorld:
             comm.send(comm.rank, dest, tag=1)
             return comm.recv(source=src, tag=1, timeout=5)
 
-        results = run_world(6, worker)
+        results = launch(worker, 6)
         assert results == [(r - 1) % 6 for r in range(6)]
 
     @given(st.integers(min_value=1, max_value=8))
     @settings(max_examples=8, deadline=None)
     def test_property_world_sizes(self, size):
-        assert run_world(size, lambda comm: comm.size) == [size] * size
+        assert launch(lambda comm: comm.size, size) == [size] * size

@@ -11,7 +11,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.comm import run_world
+from repro.comm import launch
 from repro.collectives import allreduce
 from repro.collectives import sync as sync_mod
 from repro.collectives.partial import QuorumAllreduce, SoloAllreduce
@@ -103,8 +103,8 @@ class TestChunkedCollectives:
     @pytest.mark.parametrize("n_chunks", [2, 3, 7])
     def test_chunked_ring_equals_unchunked(self, rng, size, n_chunks):
         data = rng.normal(size=29)
-        chunked = run_world(size, _allreduce_worker, "ring", n_chunks, data)
-        plain = run_world(size, _allreduce_worker, "ring", 1, data)
+        chunked = launch(_allreduce_worker, size, "ring", n_chunks, data)
+        plain = launch(_allreduce_worker, size, "ring", 1, data)
         expected = sum(data + r for r in range(size))
         for c, p in zip(chunked, plain):
             assert np.allclose(c, expected)
@@ -115,7 +115,7 @@ class TestChunkedCollectives:
     def test_chunked_other_algorithms(self, rng, algorithm, size):
         data = rng.normal(size=17)
         expected = sum(data + r for r in range(size))
-        for result in run_world(size, _allreduce_worker, algorithm, 4, data):
+        for result in launch(_allreduce_worker, size, algorithm, 4, data):
             assert np.allclose(result, expected)
 
     def test_invalid_chunk_counts(self):
@@ -131,11 +131,9 @@ class TestChunkedCollectives:
                 )
 
     def test_preserves_shape_when_chunked(self):
-        results = run_world(
-            4,
-            lambda comm: allreduce(
+        results = launch(lambda comm: allreduce(
                 comm, np.ones((3, 5)) * comm.rank, algorithm="ring", n_chunks=3
-            ),
+            ), 4,
         )
         for r in results:
             assert r.shape == (3, 5)
@@ -148,7 +146,7 @@ class TestNonPowerOfTwoWorlds:
     def test_all_algorithms_correct(self, rng, size, algorithm):
         data = rng.normal(size=13)
         expected = sum(data + r for r in range(size))
-        for result in run_world(size, _allreduce_worker, algorithm, 1, data):
+        for result in launch(_allreduce_worker, size, algorithm, 1, data):
             assert np.allclose(result, expected)
 
     @pytest.mark.parametrize("size", [3, 5, 6, 7])
@@ -160,9 +158,7 @@ class TestNonPowerOfTwoWorlds:
             raise AssertionError("rabenseifner silently fell back to recursive doubling")
 
         monkeypatch.setattr(sync_mod, "allreduce_recursive_doubling", forbidden)
-        results = run_world(
-            size,
-            lambda comm: allreduce_rabenseifner(comm, np.full(11, comm.rank + 1.0)),
+        results = launch(lambda comm: allreduce_rabenseifner(comm, np.full(11, comm.rank + 1.0)), size,
         )
         expected = sum(range(1, size + 1))
         for r in results:
@@ -213,7 +209,7 @@ class TestPartialCounterHardening:
             partial.close()
             return results
 
-        for rank_results in run_world(3, worker):
+        for rank_results in launch(worker, 3):
             for r in rank_results:
                 assert r.num_active == 3
                 assert isinstance(r.num_active, int)
@@ -229,7 +225,7 @@ class TestPartialCounterHardening:
             partial.close()
             return r.num_active, float(r.data[0])
 
-        for num_active, value in run_world(4, worker):
+        for num_active, value in launch(worker, 4):
             assert num_active == 4
             assert value == 3.0
 
@@ -246,7 +242,7 @@ class TestPartialCounterHardening:
                 partial.close()
             return True
 
-        assert all(run_world(2, worker))
+        assert all(launch(worker, 2))
 
 
 class TestFusedSynchronousExchange:
@@ -265,7 +261,7 @@ class TestFusedSynchronousExchange:
             grad = np.arange(23.0) * (comm.rank + 1)
             return fused.exchange(grad), plain.exchange(grad)
 
-        for fused_result, plain_result in run_world(4, worker):
+        for fused_result, plain_result in launch(worker, 4):
             assert np.allclose(fused_result.gradient, plain_result.gradient)
             assert fused_result.num_active == 4
             # 23 float64 elements at 64-byte buckets -> 3 buckets.
@@ -280,7 +276,7 @@ class TestFusedSynchronousExchange:
             exchange._ensure_bucketer(16)
             return tuple(exchange._negotiated_order(4))
 
-        orders = set(run_world(4, worker))
+        orders = set(launch(worker, 4))
         assert len(orders) == 1, "all ranks must agree on the negotiated order"
 
     def test_gradient_length_change_rejected(self):
@@ -293,7 +289,7 @@ class TestFusedSynchronousExchange:
             exchange.exchange(np.ones(8))
             return True
 
-        assert all(run_world(2, worker))
+        assert all(launch(worker, 2))
 
 
 class TestFusedPartialExchange:
@@ -314,7 +310,7 @@ class TestFusedPartialExchange:
             return results
 
         expected = np.arange(23.0) * 2.5
-        for rank_results in run_world(4, worker):
+        for rank_results in launch(worker, 4):
             for r in rank_results:
                 assert np.allclose(r.gradient, expected)
                 assert r.num_active == 4 and r.included
@@ -345,7 +341,7 @@ class TestFusedPartialExchange:
             exchange.close()
             return outputs
 
-        results = run_world(2, worker)
+        results = launch(worker, 2)
         fast = results[0]
         # Conservation per bucket: the delivered (averaged) totals never
         # exceed the contributions, and the fast rank's own gradients are
@@ -394,7 +390,7 @@ class TestConfigAndBuildExchange:
             exchange.close()
             return chunks, float(result.gradient[0])
 
-        for chunks, value in run_world(2, worker):
+        for chunks, value in launch(worker, 2):
             assert chunks == [4]
             assert value == pytest.approx(1.5)
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.comm import ThreadWorld, run_world
+from repro.comm import ThreadWorld, launch
 from repro.schedule import (
     ComputeOp,
     DepMode,
@@ -130,7 +130,7 @@ class TestExecutor:
             ScheduleExecutor(comm, sched).run(timeout=10)
             return sched.get_buffer("incoming")
 
-        results = run_world(2, worker)
+        results = launch(worker, 2)
         assert np.allclose(results[1], np.arange(4.0))
 
     def test_stuck_schedule_raises(self):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.comm import ThreadWorld, run_world
+from repro.comm import ThreadWorld, launch
 from repro.data import HyperplaneDataset, cifar10_like
 from repro.data.loader import Batch
 from repro.imbalance import FixedCostModel, RandomSubsetDelay, RotatingSkewDelay
@@ -67,7 +67,7 @@ class TestExchanges:
             result = ex.exchange(np.full(10, comm.rank + 1.0))
             return result.gradient
 
-        results = run_world(4, worker)
+        results = launch(worker, 4)
         for grad in results:
             assert np.allclose(grad, 2.5)
 
@@ -78,7 +78,7 @@ class TestExchanges:
             ex.close()
             return grads
 
-        results = run_world(4, worker)
+        results = launch(worker, 4)
         for rank_result in results:
             for res in rank_result:
                 assert res.gradient.shape == (6,)
@@ -165,7 +165,7 @@ class TestModelSyncAndEvaluation:
             synchronize_model(comm, model)
             return model_hash(model), float(flatten_parameters(model).mean())
 
-        results = run_world(4, worker)
+        results = launch(worker, 4)
         hashes = {h for h, _ in results}
         assert len(hashes) == 1
 
@@ -192,7 +192,7 @@ class TestModelSyncAndEvaluation:
             model = MLPClassifier(3 * 4 * 4, (16,), 10, seed=0)
             return distributed_evaluate(comm, model, ds, loss_fn, batch_size=32)
 
-        results = run_world(4, worker)
+        results = launch(worker, 4)
         single = evaluate_model(MLPClassifier(3 * 4 * 4, (16,), 10, seed=0), ds, loss_fn)
         for metrics in results:
             assert metrics["loss"] == pytest.approx(single["loss"], rel=1e-6)

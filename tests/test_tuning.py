@@ -544,7 +544,7 @@ class TestExchangeAcceptsPlan:
             assert sync.pipeline_chunks == 3
 
     def test_partial_exchange_uses_plan(self):
-        from repro.comm import run_world
+        from repro.comm import launch
 
         def worker(comm):
             from repro.training import PartialExchange
@@ -559,7 +559,7 @@ class TestExchangeAcceptsPlan:
             exchange.close()
             return buckets, chunks, float(result.gradient[0])
 
-        for buckets, chunks, value in run_world(2, worker):
+        for buckets, chunks, value in launch(worker, 2):
             assert buckets == 3
             assert chunks == [3, 3, 3]
             assert value == pytest.approx(1.5)
