@@ -69,6 +69,32 @@ def _add_backend_argument(p: argparse.ArgumentParser, help_text: str) -> None:
     )
 
 
+def _codec_spec(value: str) -> str:
+    """argparse type for ``--compression``: validate the codec spec eagerly."""
+    from repro.compression import get_codec
+
+    try:
+        get_codec(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
+def _add_compression_argument(p: argparse.ArgumentParser, help_text: str) -> None:
+    """Add the shared ``--compression`` option to a sub-command parser."""
+    from repro.compression import available_codecs
+
+    p.add_argument(
+        "--compression",
+        type=_codec_spec,
+        default=None,
+        metavar="CODEC[:k=v,...]",
+        help=f"{help_text}; codecs: {', '.join(available_codecs())} "
+        "(inline options allowed, e.g. topk:ratio=0.05) "
+        "(default: uncompressed)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -105,6 +131,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also measure the real collectives at reduced scale",
     )
     _add_backend_argument(p, "comm backend of the functional measurements")
+    _add_compression_argument(p, "gradient codec carried by the collectives")
 
     for name, scales in (
         ("fig10", ("tiny", "small", "paper")),
@@ -116,6 +143,7 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", choices=scales, default="tiny")
         p.add_argument("--seed", type=int, default=0)
         _add_backend_argument(p, "comm backend carrying the training ranks")
+        _add_compression_argument(p, "gradient codec of the exchange")
 
     p = sub.add_parser("speedups", help=EXPERIMENTS["speedups"])
     p.add_argument("--scale", default="tiny")
@@ -145,6 +173,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="world size of the functional (real-transport) validation",
     )
     _add_backend_argument(p, "comm backend of the functional exchange rows")
+    _add_compression_argument(p, "gradient codec of the fused exchange")
 
     p = sub.add_parser("tune", help=EXPERIMENTS["tune"])
     p.add_argument(
@@ -167,6 +196,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="cross-check this many best grid candidates with live "
                    "exchanges on the calibrated backend")
     _add_backend_argument(p, "comm backend the calibration sweep measures")
+    _add_compression_argument(p, "gradient codec the fusion grid is tuned for")
     return parser
 
 
@@ -214,26 +244,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             world_size=args.world_size,
             iterations=args.iterations,
             skew_step_ms=args.skew_ms,
+            compression=args.compression,
         )
         if args.functional or args.backend is not None:
             # An explicit --backend implies the caller wants the real
             # transport exercised, not just the analytic model rows.
             result.functional_rows = fig9_microbenchmark.run_functional(
-                backend=args.backend
+                backend=args.backend, compression=args.compression
             )
         print(fig9_microbenchmark.report(result))
     elif args.command == "fig10":
         print(fig10_hyperplane.report(fig10_hyperplane.run(
-            scale=args.scale, seed=args.seed, comm_backend=args.backend)))
+            scale=args.scale, seed=args.seed, comm_backend=args.backend,
+            compression=args.compression)))
     elif args.command == "fig11":
         print(fig11_imagenet.report(fig11_imagenet.run(
-            scale=args.scale, seed=args.seed, comm_backend=args.backend)))
+            scale=args.scale, seed=args.seed, comm_backend=args.backend,
+            compression=args.compression)))
     elif args.command == "fig12":
         print(fig12_cifar_severe.report(fig12_cifar_severe.run(
-            scale=args.scale, seed=args.seed, comm_backend=args.backend)))
+            scale=args.scale, seed=args.seed, comm_backend=args.backend,
+            compression=args.compression)))
     elif args.command == "fig13":
         print(fig13_ucf101_lstm.report(fig13_ucf101_lstm.run(
-            scale=args.scale, seed=args.seed, comm_backend=args.backend)))
+            scale=args.scale, seed=args.seed, comm_backend=args.backend,
+            compression=args.compression)))
     elif args.command == "speedups":
         print(speedups.report(speedups.run(scale=args.scale, seed=args.seed)))
     elif args.command == "scaling":
@@ -261,6 +296,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             gradient_mb=args.gradient_mb,
             bucket_mb=bucket_mb,
             n_chunks=args.pipeline_chunks,
+            compression=args.compression,
         )
         if args.functional or args.backend is not None:
             # An explicit --backend implies the caller wants the real
@@ -269,6 +305,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 world_size=args.functional_world_size,
                 n_chunks=args.pipeline_chunks,
                 backend=args.backend,
+                compression=args.compression,
             )
         print(fusion_pipeline.report(result))
     elif args.command == "tune":
@@ -286,6 +323,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             force=args.force,
             live_trials=args.live_trials,
             backend=args.backend,
+            compression=args.compression,
         )
         print(autotune_experiment.report(result))
     else:  # pragma: no cover - argparse already rejects unknown commands

@@ -176,6 +176,17 @@ class PartialAllreduce:
         self.poll_interval = float(poll_interval)
         self.dtype = dtype
 
+        if np.issubdtype(np.dtype(self.dtype), np.floating):
+            # The piggybacked arrival counter (see _run_round) is summed
+            # in this dtype; its sums-of-ones stay exact only up to
+            # 2^(mantissa+1) (2048 for float16, 2^53 for float64).
+            exact_limit = 2 ** (np.finfo(np.dtype(self.dtype)).nmant + 1)
+            if self.size > exact_limit:
+                raise ValueError(
+                    f"world size {self.size} exceeds the exact-integer range "
+                    f"of dtype {np.dtype(self.dtype).name} ({exact_limit}); "
+                    f"the active-process counter would be silently absorbed"
+                )
         if self.mode is PartialMode.QUORUM:
             if quorum is None:
                 quorum = max(1, self.size // 2)
@@ -411,9 +422,17 @@ class PartialAllreduce:
         # counter element is always combined with SUM — even when the data
         # op is max/min/prod — and is decoded *before* any averaging (the
         # ``average`` division in :meth:`reduce` applies to the data part
-        # only), so the count stays an exact float64 integer: sums of ones
-        # are exact up to 2^53, far beyond any world size.
-        payload = np.concatenate([contribution.reshape(-1), [1.0 if fresh else 0.0]])
+        # only), so the count stays an exact integer in the collective's
+        # dtype: sums of ones are exact up to 2^(mantissa+1) — 2^53 for
+        # float64, 2048 for a float16 (compressed) collective — and the
+        # constructor rejects world sizes beyond that range.
+        # Keep the collective's dtype: concatenating with a Python list
+        # would promote a narrow (compressed) send buffer to float64 and
+        # silently fatten the wire payload.
+        payload = np.concatenate(
+            [contribution.reshape(-1),
+             np.asarray([1.0 if fresh else 0.0], dtype=self.dtype)]
+        )
         # Chunk pipelining slices the payload at arbitrary segment
         # boundaries, which is only sound when the operator treats every
         # element alike; the composite non-sum op addresses the counter

@@ -1,0 +1,43 @@
+"""Pluggable gradient compression (quantization and sparsification).
+
+See :mod:`repro.compression.base` for the codec interface, the
+reduce-closed / decode-reduce-encode distinction and the error-feedback
+semantics, and :mod:`repro.compression.codecs` for the built-in codecs
+(``none``, ``fp16``, ``bf16``, ``int8``, ``topk``).
+"""
+
+from repro.compression.base import (
+    DENSE_BYTES_PER_ELEMENT,
+    BucketCompressor,
+    EncodedGradient,
+    GradientCodec,
+    available_codecs,
+    get_codec,
+    parse_codec_spec,
+    register_codec,
+    resolve_codec,
+)
+from repro.compression.codecs import (
+    Bf16Codec,
+    Fp16Codec,
+    Int8Codec,
+    NoneCodec,
+    TopKCodec,
+)
+
+__all__ = [
+    "DENSE_BYTES_PER_ELEMENT",
+    "BucketCompressor",
+    "EncodedGradient",
+    "GradientCodec",
+    "available_codecs",
+    "get_codec",
+    "parse_codec_spec",
+    "register_codec",
+    "resolve_codec",
+    "Bf16Codec",
+    "Fp16Codec",
+    "Int8Codec",
+    "NoneCodec",
+    "TopKCodec",
+]

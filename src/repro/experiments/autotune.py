@@ -48,6 +48,7 @@ def run(
     force: bool = False,
     live_trials: int = 0,
     backend: Optional[str] = None,
+    compression: Optional[str] = None,
 ) -> AutotuneResult:
     """Calibrate every world size and auto-tune the fusion knobs.
 
@@ -57,7 +58,10 @@ def run(
     the reduced measurement sweep (CI smoke); ``force`` remeasures even
     when a cached profile exists; ``live_trials`` makes the grid search
     cross-check its best candidates against live exchanges on the same
-    backend.
+    backend.  ``compression`` names a gradient codec: the grid is then
+    tuned under the codec's wire/transform cost model, so the
+    recommended fusion threshold is per codec (a compressing codec
+    shifts the knee — more elements fit one wire buffer).
     """
     if not world_sizes:
         raise ValueError("world_sizes must not be empty")
@@ -75,7 +79,8 @@ def run(
         profiles.append(profile)
         plans.append(
             tune_with_profile(
-                profile, gradient_bytes, algorithm, live_trials=live_trials
+                profile, gradient_bytes, algorithm, live_trials=live_trials,
+                compression=compression,
             )
         )
     return AutotuneResult(
@@ -127,12 +132,13 @@ def report(result: AutotuneResult) -> str:
         ),
         "",
         format_table(
-            ["P", "gradient", "threshold", "chunks", "buckets",
+            ["P", "gradient", "codec", "threshold", "chunks", "buckets",
              "tuned [us]", "64KiB/1 [us]", "speedup"],
             [
                 (
                     plan.world_size,
                     f"{result.gradient_mb:g} MB",
+                    plan.compression,
                     _format_bytes(plan.fusion_threshold_bytes),
                     plan.pipeline_chunks,
                     plan.num_buckets,
@@ -143,7 +149,7 @@ def report(result: AutotuneResult) -> str:
                 for plan in result.plans
             ],
             title=f"auto-tuned fusion recommendation ({result.algorithm} exchange) "
-            "vs. fixed 64 KiB / 1-chunk default",
+            "vs. fixed 64 KiB / 1-chunk default (same codec)",
         ),
     ]
     live = [p for p in result.plans if p.measured_time == p.measured_time]

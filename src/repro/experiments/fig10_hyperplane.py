@@ -71,6 +71,7 @@ def run(
     time_scale: float = 0.001,
     include_majority: bool = False,
     comm_backend: Optional[str] = None,
+    compression: Optional[str] = None,
 ) -> Fig10Result:
     """Run synch-SGD vs eager-SGD (solo) for every injected delay."""
     if scale not in SCALES:
@@ -90,6 +91,7 @@ def run(
     base = TrainingConfig(
         world_size=params["world_size"],
         comm_backend=comm_backend,
+        compression=compression,
         epochs=params["epochs"],
         global_batch_size=params["global_batch_size"],
         learning_rate=0.5,

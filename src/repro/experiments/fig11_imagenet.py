@@ -79,6 +79,7 @@ def run(
     seed: int = 0,
     time_scale: float = 0.001,
     comm_backend: Optional[str] = None,
+    compression: Optional[str] = None,
 ) -> Fig11Result:
     """Run Deep500/Horovod/eager-SGD(solo) for every injected delay."""
     if scale not in SCALES:
@@ -103,6 +104,7 @@ def run(
     base = TrainingConfig(
         world_size=p["world_size"],
         comm_backend=comm_backend,
+        compression=compression,
         epochs=p["epochs"],
         global_batch_size=p["global_batch_size"],
         learning_rate=0.05,

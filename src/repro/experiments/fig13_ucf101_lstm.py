@@ -70,6 +70,7 @@ def run(
     time_scale: float = 0.001,
     model_sync_period_epochs: int = 5,
     comm_backend: Optional[str] = None,
+    compression: Optional[str] = None,
 ) -> Fig13Result:
     """Run Horovod / solo / majority on the video-classification workload."""
     if scale not in SCALES:
@@ -98,6 +99,7 @@ def run(
     base = TrainingConfig(
         world_size=p["world_size"],
         comm_backend=comm_backend,
+        compression=compression,
         epochs=p["epochs"],
         global_batch_size=p["global_batch_size"],
         learning_rate=0.05,

@@ -81,19 +81,32 @@ def run(
     skew_step_ms: float = 1.0,
     message_sizes=DEFAULT_MESSAGE_SIZES,
     seed: int = 0,
+    compression: Optional[str] = None,
 ) -> Fig9Result:
-    """Run the analytic microbenchmark sweep (Fig. 8's loop)."""
+    """Run the analytic microbenchmark sweep (Fig. 8's loop).
+
+    ``compression`` names a gradient codec (:mod:`repro.compression`):
+    the analytic latencies then include the codec's compressed-bytes and
+    encode/decode terms (:class:`~repro.simtime.collective_model.CompressionModel`).
+    """
+    cm = None
+    if compression is not None:
+        from repro.compression import get_codec
+
+        cm = get_codec(compression).cost_model()
     arrivals = linear_skew(world_size, skew_step_ms)
     rng = seeded_rng(seed)
     rows: List[MicrobenchmarkRow] = []
     for nbytes in message_sizes:
-        mpi = synchronous_allreduce_latencies(arrivals, nbytes)
-        solo = solo_allreduce_latencies(arrivals, nbytes)
+        mpi = synchronous_allreduce_latencies(arrivals, nbytes, compression=cm)
+        solo = solo_allreduce_latencies(arrivals, nbytes, compression=cm)
         majority_lat: List[float] = []
         majority_nap: List[float] = []
         for _ in range(iterations):
             initiator = int(rng.integers(0, world_size))
-            m = majority_allreduce_latencies(arrivals, nbytes, initiator=initiator)
+            m = majority_allreduce_latencies(
+                arrivals, nbytes, initiator=initiator, compression=cm
+            )
             majority_lat.append(m.average_latency)
             majority_nap.append(m.num_active)
         rows.append(
@@ -121,6 +134,7 @@ def run_functional(
     message_elements: int = 1024,
     seed: int = 0,
     backend: Optional[str] = None,
+    compression: Optional[str] = None,
 ) -> List[MicrobenchmarkRow]:
     """Measure the real collectives directly on ``backend`` (reduced scale).
 
@@ -131,18 +145,37 @@ def run_functional(
     behaviour, so the functional check uses a smaller world; the *ordering*
     solo < majority < synchronous and the NAP expectations are what it
     validates.
+
+    With ``compression``, every collective carries the codec's wire
+    payload: reduce-closed codecs (fp16) reduce at the encoded width;
+    other codecs contribute the locally quantized dense gradient (the
+    decode-reduce-encode caveat documented in
+    :mod:`repro.training.exchange`).
     """
 
     def worker(comm, mode: str):
+        from repro.compression import resolve_codec
+
+        codec = resolve_codec(compression)
+        dtype = np.float64
+        if codec is not None and codec.reduce_closed:
+            dtype = codec.wire_dtype
         latencies = []
         naps = []
         if mode == "solo":
-            partial = SoloAllreduce(comm, message_elements, seed=seed)
+            partial = SoloAllreduce(comm, message_elements, seed=seed, dtype=dtype)
         elif mode == "majority":
-            partial = MajorityAllreduce(comm, message_elements, seed=seed)
+            partial = MajorityAllreduce(comm, message_elements, seed=seed, dtype=dtype)
         else:
             partial = None
         data = np.ones(message_elements)
+        if codec is not None:
+            encoded = codec.encode(data)
+            data = (
+                np.asarray(encoded.payload)
+                if codec.reduce_closed
+                else codec.decode(encoded)
+            )
         for it in range(iterations):
             comm.barrier()
             time.sleep((comm.rank + 1) * skew_step_ms / 1000.0)

@@ -27,7 +27,11 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.experiments.report import format_table
-from repro.simtime.collective_model import allreduce_time, fused_exchange_time
+from repro.simtime.collective_model import (
+    CompressionModel,
+    allreduce_time,
+    fused_exchange_time,
+)
 from repro.simtime.network import DEFAULT_NETWORK, LogGPParams
 
 MB = 1024 * 1024
@@ -57,6 +61,8 @@ class FunctionalRow:
     seconds_per_exchange: float
     max_abs_error: float
     backend: str = "thread"
+    #: Encoded payload bytes one rank contributed per exchange.
+    wire_bytes: int = 0
 
 
 @dataclass
@@ -86,17 +92,31 @@ def run(
     bucket_mb: Sequence[float] = (1.0, 4.0),
     n_chunks: int = 8,
     params: LogGPParams = DEFAULT_NETWORK,
+    compression: Optional[str] = None,
 ) -> FusionPipelineResult:
     """Model the fused/chunked exchange against the monolithic baseline.
 
     For every world size the table contains the seed baseline (one
     blocking recursive-doubling allreduce of the whole gradient), the
     plain ring exchange, the chunk-pipelined ring, and the fused
-    bucket pipelines for every requested bucket size.
+    bucket pipelines for every requested bucket size.  With
+    ``compression``, each fused pipeline additionally gets a compressed
+    sibling row scored with the codec's wire/transform terms
+    (:class:`~repro.simtime.collective_model.CompressionModel`).
     """
+    cm: Optional[CompressionModel] = None
+    codec_label = ""
+    if compression is not None:
+        from repro.compression import resolve_codec
+
+        codec = resolve_codec(compression)
+        if codec is not None:
+            cm = codec.cost_model()
+            codec_label = codec.name
     total_bytes = int(gradient_mb * MB)
     rows: List[FusionRow] = []
     for size in world_sizes:
+        seen_wire_counts: set = set()
         baseline = allreduce_time(total_bytes, size, "recursive_doubling", params)
         rows.append(
             FusionRow(size, gradient_mb, "unfused single-buffer (RD)", 1, 1,
@@ -124,6 +144,33 @@ def run(
                     count, n_chunks, fused * 1e6, baseline / fused,
                 )
             )
+            if cm is not None:
+                # Compressed sibling: same dense gradient, the threshold
+                # budgets encoded bytes (so buckets hold more elements).
+                # Same bucketing rule as the autotuner's grid search.
+                from repro.tuning.autotune import plan_bucket_bytes
+
+                wire_sizes = plan_bucket_bytes(total_bytes, bucket_bytes, cm)
+                wire_count = len(wire_sizes)
+                if wire_count in seen_wire_counts:
+                    # Several thresholds can collapse to the same encoded
+                    # bucketing; one row describes them all.
+                    continue
+                seen_wire_counts.add(wire_count)
+                compressed = fused_exchange_time(
+                    wire_sizes, size, "ring", params, n_chunks=n_chunks,
+                    compression=cm,
+                )
+                wire_bucket_mb = wire_sizes[0] * cm.wire_scale / MB
+                rows.append(
+                    FusionRow(
+                        size, gradient_mb,
+                        f"fused pipeline + {codec_label} "
+                        f"({wire_count} x {wire_bucket_mb:g} MB wire, C={n_chunks})",
+                        wire_count, n_chunks, compressed * 1e6,
+                        baseline / compressed,
+                    )
+                )
     return FusionPipelineResult(rows=rows)
 
 
@@ -134,6 +181,7 @@ def run_functional(
     fusion_threshold_bytes: int = 64 * 1024,
     iterations: int = 4,
     backend: Optional[str] = None,
+    compression: Optional[str] = None,
 ) -> List[FunctionalRow]:
     """Measure the real exchange on ``backend`` and verify its result.
 
@@ -159,6 +207,22 @@ def run_functional(
             ),
         ),
     ]
+    if compression is not None:
+        from repro.compression import resolve_codec
+
+        codec = resolve_codec(compression)
+        if codec is not None:
+            configs.append(
+                (
+                    f"fused chunked ring + {codec.name} (C={n_chunks})",
+                    dict(
+                        algorithm="ring",
+                        fusion_threshold_bytes=fusion_threshold_bytes,
+                        pipeline_chunks=n_chunks,
+                        compression=compression,
+                    ),
+                )
+            )
     rows: List[FunctionalRow] = []
     base = np.arange(elements, dtype=np.float64) / elements
     expected = base + (world_size - 1) / 2.0
@@ -170,7 +234,11 @@ def run_functional(
             for _ in range(iterations):
                 result = exchange.exchange(gradient)
             elapsed = (time.perf_counter() - start) / iterations
-            return elapsed, float(np.max(np.abs(result.gradient - expected)))
+            return (
+                elapsed,
+                float(np.max(np.abs(result.gradient - expected))),
+                result.wire_bytes,
+            )
 
         outputs = launch(worker, world_size, backend=backend)
         rows.append(
@@ -181,6 +249,7 @@ def run_functional(
                 seconds_per_exchange=float(np.mean([o[0] for o in outputs])),
                 max_abs_error=float(max(o[1] for o in outputs)),
                 backend=backend_name,
+                wire_bytes=int(outputs[0][2]),
             )
         )
     return rows
@@ -212,7 +281,7 @@ def report(result: FusionPipelineResult) -> str:
         parts.append("")
         parts.append(
             format_table(
-                ["P", "elements", "exchange", "s/exchange", "max |err|"],
+                ["P", "elements", "exchange", "s/exchange", "max |err|", "wire B/rank"],
                 [
                     (
                         r.world_size,
@@ -220,6 +289,7 @@ def report(result: FusionPipelineResult) -> str:
                         r.configuration,
                         r.seconds_per_exchange,
                         r.max_abs_error,
+                        r.wire_bytes,
                     )
                     for r in result.functional_rows
                 ],

@@ -32,6 +32,52 @@ from repro.utils.rng import SeedLike, seeded_rng
 
 #: Size, in bytes, of an activation message (a tag plus a round number).
 ACTIVATION_MESSAGE_BYTES = 16
+
+
+@dataclass(frozen=True)
+class CompressionModel:
+    """Cost-model view of a gradient codec (:mod:`repro.compression`).
+
+    ``wire_scale`` shrinks the bytes every hop carries; the encode /
+    decode terms charge the transform itself (linear in the *dense*
+    byte count, like the ``gamma`` reduction term).  ``reduce_closed``
+    selects the wire path the exchange actually runs: reduce-closed
+    codecs keep the configured allreduce at the encoded width, the rest
+    take the allgather-based decode-reduce-encode path (see
+    :mod:`repro.training.exchange`).  Build one from a codec with
+    :meth:`repro.compression.GradientCodec.cost_model`.
+    """
+
+    name: str = "none"
+    #: Encoded bytes per dense byte (e.g. 0.25 for fp16 over float64).
+    wire_scale: float = 1.0
+    #: Seconds per dense byte to encode / decode one buffer.
+    encode_seconds_per_byte: float = 0.0
+    decode_seconds_per_byte: float = 0.0
+    #: Whether encoded payloads combine elementwise inside a reduction.
+    reduce_closed: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.wire_scale or not math.isfinite(self.wire_scale):
+            raise ValueError(f"wire_scale must be positive and finite, got {self.wire_scale}")
+        for label in ("encode_seconds_per_byte", "decode_seconds_per_byte"):
+            value = getattr(self, label)
+            if value < 0 or not math.isfinite(value):
+                raise ValueError(f"{label} must be non-negative and finite, got {value}")
+
+    @property
+    def is_identity(self) -> bool:
+        """Whether the model changes nothing (the uncompressed baseline)."""
+        return (
+            self.wire_scale == 1.0
+            and self.encode_seconds_per_byte == 0.0
+            and self.decode_seconds_per_byte == 0.0
+            and self.reduce_closed
+        )
+
+
+#: The uncompressed baseline model.
+NO_COMPRESSION = CompressionModel()
 #: Overhead paid by a late process that finds the collective already
 #: completed (seconds): checking the flag, copying the receive buffer and
 #: re-arming the persistent schedule.  Calibrated so the solo-allreduce
@@ -92,18 +138,60 @@ def _ring_phase_times(
     return reduce_scatter, allgather
 
 
+def _transform_time(nbytes: float, size: int, compression: CompressionModel) -> float:
+    """Encode/decode cost of one compressed collective on the critical path.
+
+    One encode of the dense buffer before the wire; for reduce-closed
+    codecs one decode of the reduced result, for the allgather-based
+    decode-reduce-encode path one decode per gathered payload (``size``
+    of them) plus the dense combination charged via ``gamma`` by the
+    caller.
+    """
+    decodes = 1 if compression.reduce_closed else size
+    return nbytes * (
+        compression.encode_seconds_per_byte
+        + decodes * compression.decode_seconds_per_byte
+    )
+
+
+def _gather_exchange_time(
+    nbytes: float, size: int, params: LogGPParams, compression: CompressionModel
+) -> float:
+    """Decode-reduce-encode exchange of one bucket (without fixed overhead).
+
+    Non-reduce-closed codecs cannot be combined inside an allreduce, so
+    the exchange allgathers the encoded payloads (``size - 1`` ring
+    rounds, each carrying the compressed bucket) and reduces the decoded
+    contributions densely at every rank.
+    """
+    wire = nbytes * compression.wire_scale
+    rounds = (size - 1) * (params.alpha + wire * params.beta)
+    combine = (size - 1) * nbytes * params.gamma
+    return rounds + combine + _transform_time(nbytes, size, compression)
+
+
 def allreduce_time(
     nbytes: int,
     size: int,
     algorithm: str = "recursive_doubling",
     params: LogGPParams = DEFAULT_NETWORK,
     n_chunks: int = 1,
+    compression: Optional[CompressionModel] = None,
 ) -> float:
     """Duration of a synchronous allreduce once all participants are present.
 
     ``n_chunks`` mirrors the chunk-pipelined thread implementation
     (:mod:`repro.collectives.sync`): each round is segmented so reduction
     overlaps transmission; ``1`` reproduces the classic unpipelined cost.
+
+    ``compression`` adds the codec terms: reduce-closed codecs run the
+    compressed decode-reduce-encode *ring*
+    (:func:`repro.collectives.sync.allreduce_compressed_ring`) with
+    every hop's bytes shrunk by ``wire_scale`` plus the encode/decode
+    transform — the ring schedule is modelled regardless of
+    ``algorithm``, because that is what the exchange executes; other
+    codecs run the allgather-based decode-reduce-encode exchange
+    (see :func:`_gather_exchange_time`).
     """
     if nbytes < 0:
         raise ValueError(f"message size must be non-negative, got {nbytes}")
@@ -111,6 +199,16 @@ def allreduce_time(
         raise ValueError("size must be >= 1")
     if n_chunks < 1:
         raise ValueError("n_chunks must be >= 1")
+    if compression is not None and not compression.is_identity:
+        if size == 1:
+            return params.collective_overhead
+        if compression.reduce_closed:
+            return allreduce_time(
+                nbytes * compression.wire_scale, size, "ring", params, n_chunks
+            ) + _transform_time(nbytes, size, compression)
+        return params.collective_overhead + _gather_exchange_time(
+            nbytes, size, params, compression
+        )
     if size == 1:
         return params.collective_overhead
     rounds = math.ceil(math.log2(size))
@@ -152,6 +250,7 @@ def fused_exchange_time(
     algorithm: str = "ring",
     params: LogGPParams = DEFAULT_NETWORK,
     n_chunks: int = 1,
+    compression: Optional[CompressionModel] = None,
 ) -> float:
     """Duration of a bucketed (fused) gradient exchange with pipelining.
 
@@ -167,6 +266,15 @@ def fused_exchange_time(
     Non-ring algorithms have no phase split to overlap, so their buckets
     simply serialise.  The fixed ``collective_overhead`` is paid once:
     the fusion pipeline keeps one persistent collective armed.
+
+    ``compression`` mirrors the compressed exchange: reduce-closed codecs
+    run the *ring* bucket pipeline (the schedule
+    :class:`~repro.training.exchange.SynchronousExchange` actually
+    executes for them, whatever ``algorithm`` says) on the *encoded*
+    bucket sizes and pay the encode/decode transform per bucket; other
+    codecs replace each bucket's collective with the allgather-based
+    decode-reduce-encode exchange (:func:`_gather_exchange_time`),
+    serialised per bucket.
     """
     if not bucket_bytes:
         raise ValueError("bucket_bytes must not be empty")
@@ -178,6 +286,20 @@ def fused_exchange_time(
         raise ValueError("n_chunks must be >= 1")
     if size == 1:
         return params.collective_overhead
+    if compression is not None and not compression.is_identity:
+        if compression.reduce_closed:
+            wire = [b * compression.wire_scale for b in bucket_bytes]
+            transform = sum(
+                _transform_time(b, size, compression) for b in bucket_bytes
+            )
+            return (
+                fused_exchange_time(wire, size, "ring", params, n_chunks)
+                + transform
+            )
+        total = sum(
+            _gather_exchange_time(b, size, params, compression) for b in bucket_bytes
+        )
+        return params.collective_overhead + total
     if algorithm != "ring":
         total = sum(
             allreduce_time(b, size, algorithm, params, n_chunks) - params.collective_overhead
@@ -225,11 +347,14 @@ def synchronous_allreduce_latencies(
     nbytes: int,
     algorithm: str = "recursive_doubling",
     params: LogGPParams = DEFAULT_NETWORK,
+    compression: Optional[CompressionModel] = None,
 ) -> CollectiveLatencyResult:
     """Latencies of a fully synchronous allreduce (``MPI_Allreduce``)."""
     arr = _as_arrivals(arrivals)
     size = arr.size
-    completion = float(arr.max()) + allreduce_time(nbytes, size, algorithm, params)
+    completion = float(arr.max()) + allreduce_time(
+        nbytes, size, algorithm, params, compression=compression
+    )
     latencies = completion - arr
     return CollectiveLatencyResult(
         latencies=latencies,
@@ -245,13 +370,14 @@ def _partial_latencies(
     nbytes: int,
     algorithm: str,
     params: LogGPParams,
+    compression: Optional[CompressionModel] = None,
 ) -> CollectiveLatencyResult:
     size = arr.size
     start = float(arr[initiator])
     completion = (
         start
         + activation_time(size, params)
-        + allreduce_time(nbytes, size, algorithm, params)
+        + allreduce_time(nbytes, size, algorithm, params, compression=compression)
     )
     # A rank arriving before the completion waits for it; a rank arriving
     # later finds the result already in its receive buffer.
@@ -278,11 +404,12 @@ def solo_allreduce_latencies(
     nbytes: int,
     algorithm: str = "recursive_doubling",
     params: LogGPParams = DEFAULT_NETWORK,
+    compression: Optional[CompressionModel] = None,
 ) -> CollectiveLatencyResult:
     """Latencies of a solo allreduce: the earliest arrival initiates."""
     arr = _as_arrivals(arrivals)
     initiator = int(np.argmin(arr))
-    return _partial_latencies(arr, initiator, nbytes, algorithm, params)
+    return _partial_latencies(arr, initiator, nbytes, algorithm, params, compression)
 
 
 def majority_allreduce_latencies(
@@ -292,6 +419,7 @@ def majority_allreduce_latencies(
     params: LogGPParams = DEFAULT_NETWORK,
     seed: SeedLike = None,
     initiator: Optional[int] = None,
+    compression: Optional[CompressionModel] = None,
 ) -> CollectiveLatencyResult:
     """Latencies of a majority allreduce: a random rank is designated.
 
@@ -304,7 +432,7 @@ def majority_allreduce_latencies(
         initiator = int(rng.integers(0, arr.size))
     if not 0 <= initiator < arr.size:
         raise ValueError(f"initiator {initiator} out of range")
-    return _partial_latencies(arr, initiator, nbytes, algorithm, params)
+    return _partial_latencies(arr, initiator, nbytes, algorithm, params, compression)
 
 
 def quorum_allreduce_latencies(
@@ -313,6 +441,7 @@ def quorum_allreduce_latencies(
     quorum: int,
     algorithm: str = "recursive_doubling",
     params: LogGPParams = DEFAULT_NETWORK,
+    compression: Optional[CompressionModel] = None,
 ) -> CollectiveLatencyResult:
     """Latencies of a quorum allreduce: the Q-th arrival initiates."""
     arr = _as_arrivals(arrivals)
@@ -320,4 +449,4 @@ def quorum_allreduce_latencies(
         raise ValueError(f"quorum must be in [1, {arr.size}], got {quorum}")
     order = np.argsort(arr, kind="stable")
     initiator = int(order[quorum - 1])
-    return _partial_latencies(arr, initiator, nbytes, algorithm, params)
+    return _partial_latencies(arr, initiator, nbytes, algorithm, params, compression)

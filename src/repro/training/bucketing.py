@@ -19,9 +19,24 @@ re-orders or re-scales elements.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+
+
+def _validate_wire_width(
+    wire_bytes_per_element: Optional[float], bytes_per_element: int
+) -> float:
+    """Resolve the encoded element width (dense width when ``None``)."""
+    if wire_bytes_per_element is None:
+        return float(bytes_per_element)
+    wire = float(wire_bytes_per_element)
+    if not wire > 0 or not np.isfinite(wire):
+        raise ValueError(
+            f"wire_bytes_per_element must be positive and finite, got "
+            f"{wire_bytes_per_element}"
+        )
+    return wire
 
 #: Default fusion-buffer capacity.  Horovod defaults to 64 MiB on GPU
 #: clusters; the thread-backed reproduction models smaller gradients, so
@@ -48,6 +63,10 @@ class BucketSpec:
     #: Element width of the substrate the bucketer was built for; keeps
     #: :attr:`nbytes` consistent with the byte budget the bucketer used.
     bytes_per_element: int = BYTES_PER_ELEMENT
+    #: Encoded payload width per element on the wire (may be fractional,
+    #: e.g. 2.0 for fp16 or 0.08 for 1% top-k).  Equal to
+    #: :attr:`bytes_per_element` when the exchange is uncompressed.
+    wire_bytes_per_element: float = float(BYTES_PER_ELEMENT)
 
     @property
     def num_elements(self) -> int:
@@ -56,6 +75,11 @@ class BucketSpec:
     @property
     def nbytes(self) -> int:
         return self.num_elements * self.bytes_per_element
+
+    @property
+    def wire_nbytes(self) -> int:
+        """Encoded bytes this bucket occupies on the wire."""
+        return int(round(self.num_elements * self.wire_bytes_per_element))
 
 
 class GradientBucketer:
@@ -73,6 +97,13 @@ class GradientBucketer:
         Capacity of one fusion buffer in bytes.
     bytes_per_element:
         Element width used to convert the threshold into elements.
+    wire_bytes_per_element:
+        Encoded payload width per element (a gradient codec's
+        :attr:`~repro.compression.GradientCodec.wire_bytes_per_element`).
+        When given, the *threshold* budgets the encoded wire size, so a
+        compressing codec packs proportionally more elements per bucket
+        (a 2 MiB buffer holds 4x the elements under fp16).  ``None``
+        keeps the dense width.
     """
 
     def __init__(
@@ -80,6 +111,7 @@ class GradientBucketer:
         param_sizes: Sequence[int],
         fusion_threshold_bytes: int = DEFAULT_FUSION_THRESHOLD_BYTES,
         bytes_per_element: int = BYTES_PER_ELEMENT,
+        wire_bytes_per_element: Optional[float] = None,
     ) -> None:
         sizes = [int(s) for s in param_sizes]
         if not sizes:
@@ -92,9 +124,11 @@ class GradientBucketer:
             )
         if bytes_per_element < 1:
             raise ValueError(f"bytes_per_element must be >= 1, got {bytes_per_element}")
+        wire_bpe = _validate_wire_width(wire_bytes_per_element, bytes_per_element)
         self.fusion_threshold_bytes = int(fusion_threshold_bytes)
         self.bytes_per_element = int(bytes_per_element)
-        capacity = max(1, fusion_threshold_bytes // bytes_per_element)
+        self.wire_bytes_per_element = wire_bpe
+        capacity = max(1, int(fusion_threshold_bytes / wire_bpe))
 
         buckets: List[BucketSpec] = []
         start = 0
@@ -107,6 +141,7 @@ class GradientBucketer:
                     BucketSpec(
                         len(buckets), start, stop, tuple(current),
                         bytes_per_element=self.bytes_per_element,
+                        wire_bytes_per_element=wire_bpe,
                     )
                 )
                 start, current, filled = stop, [], 0
@@ -117,6 +152,7 @@ class GradientBucketer:
             BucketSpec(
                 len(buckets), start, stop, tuple(current),
                 bytes_per_element=self.bytes_per_element,
+                wire_bytes_per_element=wire_bpe,
             )
         )
         self.buckets: Tuple[BucketSpec, ...] = tuple(buckets)
@@ -134,21 +170,26 @@ class GradientBucketer:
         num_elements: int,
         fusion_threshold_bytes: int = DEFAULT_FUSION_THRESHOLD_BYTES,
         bytes_per_element: int = BYTES_PER_ELEMENT,
+        wire_bytes_per_element: Optional[float] = None,
     ) -> "GradientBucketer":
         """Bucketer chopping a flat vector into threshold-sized ranges.
 
         Used when per-parameter boundaries are unknown (the exchange only
         sees the flattened gradient): the vector is cut into the smallest
         number of equal-ish contiguous ranges that each fit the threshold.
+        ``wire_bytes_per_element`` budgets the threshold against the
+        *encoded* payload width (see the constructor).
         """
         if num_elements < 1:
             raise ValueError(f"num_elements must be >= 1, got {num_elements}")
         if bytes_per_element < 1:
             raise ValueError(f"bytes_per_element must be >= 1, got {bytes_per_element}")
-        capacity = max(1, fusion_threshold_bytes // bytes_per_element)
+        wire_bpe = _validate_wire_width(wire_bytes_per_element, bytes_per_element)
+        capacity = max(1, int(fusion_threshold_bytes / wire_bpe))
         count = -(-num_elements // capacity)  # ceil division
         return cls.fixed_count(
-            num_elements, count, fusion_threshold_bytes, bytes_per_element
+            num_elements, count, fusion_threshold_bytes, bytes_per_element,
+            wire_bytes_per_element,
         )
 
     @classmethod
@@ -158,6 +199,7 @@ class GradientBucketer:
         count: int,
         fusion_threshold_bytes: int = DEFAULT_FUSION_THRESHOLD_BYTES,
         bytes_per_element: int = BYTES_PER_ELEMENT,
+        wire_bytes_per_element: Optional[float] = None,
     ) -> "GradientBucketer":
         """Bucketer with exactly ``count`` near-equal element ranges.
 
@@ -174,6 +216,7 @@ class GradientBucketer:
             raise ValueError(f"count must be >= 1, got {count}")
         if bytes_per_element < 1:
             raise ValueError(f"bytes_per_element must be >= 1, got {bytes_per_element}")
+        wire_bpe = _validate_wire_width(wire_bytes_per_element, bytes_per_element)
         count = min(int(count), num_elements)
         bucketer = cls.__new__(cls)
         base, extra = divmod(num_elements, count)
@@ -182,11 +225,15 @@ class GradientBucketer:
         for i in range(count):
             hi = lo + base + (1 if i < extra else 0)
             buckets.append(
-                BucketSpec(i, lo, hi, bytes_per_element=int(bytes_per_element))
+                BucketSpec(
+                    i, lo, hi, bytes_per_element=int(bytes_per_element),
+                    wire_bytes_per_element=wire_bpe,
+                )
             )
             lo = hi
         bucketer.fusion_threshold_bytes = int(fusion_threshold_bytes)
         bucketer.bytes_per_element = int(bytes_per_element)
+        bucketer.wire_bytes_per_element = wire_bpe
         bucketer.buckets = tuple(buckets)
         bucketer.num_elements = num_elements
         return bucketer

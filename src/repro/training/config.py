@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 from repro.imbalance.cost_model import CostModel
 from repro.imbalance.injection import DelayInjector, NoDelay
@@ -56,6 +56,15 @@ class TrainingConfig:
         model against the thread backend (cached under
         ``tuning_cache_dir``) and picks the values that minimise the
         modelled exchange time (see :mod:`repro.tuning`).
+    compression, compression_options:
+        Gradient-compression codec applied per fusion bucket by the
+        exchange (:mod:`repro.compression`): ``None`` or ``"none"``
+        exchanges dense ``float64``; ``"fp16"`` / ``"bf16"`` / ``"int8"``
+        / ``"topk"`` quantize or sparsify the wire payload (spec strings
+        with inline options such as ``"topk:ratio=0.05"`` are accepted).
+        ``compression_options`` merges extra codec options over the
+        inline ones (e.g. ``{"error_feedback": True}``).  The ``"auto"``
+        fusion knobs are tuned under the selected codec's cost model.
     quorum:
         Required number of fresh contributions for ``mode="quorum"``.
     learning_rate, optimizer, momentum, weight_decay:
@@ -117,6 +126,11 @@ class TrainingConfig:
     #: to the partial collectives' background reduction).  ``"auto"``
     #: lets the runner pick via the calibrated cost model.
     pipeline_chunks: Union[int, str] = 1
+    #: Gradient-compression codec name / spec (see class docstring);
+    #: ``None`` exchanges dense ``float64``.
+    compression: Optional[str] = None
+    #: Extra codec options merged over inline spec options.
+    compression_options: Dict[str, object] = field(default_factory=dict)
     #: Directory of the calibrated-profile cache consulted when resolving
     #: ``"auto"`` fusion values; ``None`` uses ``$REPRO_TUNING_CACHE_DIR``
     #: or ``~/.cache/repro/tuning``.
@@ -181,6 +195,11 @@ class TrainingConfig:
                 )
         elif self.pipeline_chunks < 1:
             raise ValueError("pipeline_chunks must be >= 1 or 'auto'")
+        if self.compression is not None or self.compression_options:
+            from repro.compression import get_codec
+
+            # Raises ValueError on unknown codec names or invalid options.
+            get_codec(self.compression, **self.compression_options)
 
     @property
     def local_batch_size(self) -> int:
@@ -200,8 +219,13 @@ class TrainingConfig:
             if self.mode == "quorum":
                 variant = f"eager-SGD (quorum={self.quorum})"
         backend = f", backend={self.comm_backend}" if self.comm_backend else ""
+        codec = ""
+        if self.compression is not None or self.compression_options:
+            from repro.compression import get_codec
+
+            codec = f", compression={get_codec(self.compression, **self.compression_options).describe()}"
         return (
             f"{variant}, P={self.world_size}{backend}, "
             f"batch={self.global_batch_size}, "
-            f"epochs={self.epochs}, imbalance={self.delay_injector.describe()}"
+            f"epochs={self.epochs}, imbalance={self.delay_injector.describe()}{codec}"
         )

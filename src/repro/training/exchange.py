@@ -39,21 +39,57 @@ monolithic blocking call.  The knobs (threaded through
 Per-bucket wait times are reported in
 :attr:`ExchangeResult.bucket_waits` and surface in
 :class:`~repro.training.distributed_sgd.StepStats`.
+
+Gradient compression
+--------------------
+Both multi-rank exchanges accept a ``compression`` codec
+(:mod:`repro.compression`): each fusion bucket is encoded before it
+enters the collective and decoded after the reduction, with per-bucket
+error-feedback residuals handled by
+:class:`~repro.compression.BucketCompressor`.  Two wire paths exist:
+
+*encode-before-send / decode-after-reduce*
+    Reduce-closed codecs (``fp16``): the synchronous exchange runs the
+    compressed ring of
+    :func:`repro.collectives.sync.allreduce_compressed_ring` — encoded
+    payloads on every wire hop, dense ``float64`` arithmetic at every
+    combine (NumPy's narrow-dtype kernels are scalar loops, so reducing
+    *in* fp16 would burn the byte savings on arithmetic).  The
+    configured ``algorithm`` applies to the *uncompressed* path only;
+    compressed reduce-closed buckets always use the ring schedule, and
+    the simtime cost model mirrors exactly that.  (The partial exchange
+    instead runs its background collective natively at the encoded
+    width — see :class:`PartialExchange`.)
+*decode-reduce-encode*
+    Codecs whose payloads cannot be summed elementwise (``bf16``,
+    ``int8``, ``topk``): a combining collective would have to decode,
+    reduce densely and re-encode at every hop.  The synchronous exchange
+    collapses that to a single allgather of encoded payloads followed by
+    one dense local reduction — the wire still carries the compact
+    encoding.  The partial collectives' background reduction operates on
+    a persistent dense buffer, so the partial exchange applies such
+    codecs as a local quantize-and-compensate transform (the
+    perturbation and error feedback are faithful, the background wire
+    stays dense — reported as such in :attr:`ExchangeResult.wire_bytes`).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.comm.communicator import Communicator
 from repro.collectives.partial import PartialAllreduce, PartialMode, make_partial_allreduce
-from repro.collectives.sync import allgather, allreduce
+from repro.collectives.sync import allgather, allreduce, allreduce_compressed_ring
+from repro.compression import BucketCompressor, GradientCodec, resolve_codec
 from repro.training.bucketing import GradientBucketer
 from repro.tuning.autotune import TunedPlan
+
+#: Type accepted by the ``compression`` parameter of the exchanges.
+CompressionSpec = Union[str, GradientCodec, None]
 
 
 @dataclass(frozen=True)
@@ -74,6 +110,10 @@ class ExchangeResult:
     #: Seconds spent waiting on each fusion bucket's collective, in
     #: bucket-index order (empty for single-process exchanges).
     bucket_waits: Tuple[float, ...] = ()
+    #: Payload bytes this rank put on the wire per collective round
+    #: (sum over buckets of the encoded size; the dense size when the
+    #: exchange is uncompressed, 0 for single-process exchanges).
+    wire_bytes: int = 0
 
 
 class GradientExchange:
@@ -113,8 +153,14 @@ def _resolve_bucketer(
     bucketer: Optional[GradientBucketer],
     fusion_threshold_bytes: Optional[int],
     fusion_buckets: int,
+    codec: Optional[GradientCodec] = None,
 ) -> GradientBucketer:
-    """Pick the bucketing plan from the three configuration knobs."""
+    """Pick the bucketing plan from the three configuration knobs.
+
+    With a codec, the byte threshold budgets the *encoded* payload size
+    (the fusion buffer is a wire buffer), so compressing codecs pack
+    more elements per bucket.
+    """
     if bucketer is not None:
         if bucketer.num_elements != num_parameters:
             raise ValueError(
@@ -122,9 +168,14 @@ def _resolve_bucketer(
                 f"gradient has {num_parameters}"
             )
         return bucketer
+    wire_bpe = None if codec is None else codec.wire_bytes_per_element
     if fusion_threshold_bytes is not None:
-        return GradientBucketer.from_flat(num_parameters, fusion_threshold_bytes)
-    return GradientBucketer.fixed_count(num_parameters, fusion_buckets)
+        return GradientBucketer.from_flat(
+            num_parameters, fusion_threshold_bytes, wire_bytes_per_element=wire_bpe
+        )
+    return GradientBucketer.fixed_count(
+        num_parameters, fusion_buckets, wire_bytes_per_element=wire_bpe
+    )
 
 
 def _apply_plan(
@@ -171,6 +222,12 @@ class SynchronousExchange(GradientExchange):
         Auto-tuned :class:`~repro.tuning.autotune.TunedPlan`; supplies
         ``fusion_threshold_bytes`` and ``pipeline_chunks`` (an explicit
         ``bucketer`` still wins for the bucketing itself).
+    compression:
+        Gradient codec name / spec / instance (see
+        :mod:`repro.compression` and the module docstring's wire-path
+        discussion).  ``None`` or ``"none"`` exchanges dense ``float64``.
+    compression_options:
+        Extra codec options merged over any inline spec options.
     """
 
     def __init__(
@@ -183,6 +240,8 @@ class SynchronousExchange(GradientExchange):
         pipeline_chunks: int = 1,
         bucketer: Optional[GradientBucketer] = None,
         plan: Optional[TunedPlan] = None,
+        compression: CompressionSpec = None,
+        compression_options: Optional[Dict] = None,
     ) -> None:
         if style not in ("deep500", "horovod"):
             raise ValueError(f"unknown synchronous style {style!r}")
@@ -199,6 +258,8 @@ class SynchronousExchange(GradientExchange):
         self.fusion_buckets = fusion_buckets
         self.fusion_threshold_bytes = fusion_threshold_bytes
         self.pipeline_chunks = pipeline_chunks
+        self.codec = resolve_codec(compression, compression_options)
+        self._compressor = None if self.codec is None else BucketCompressor(self.codec)
         self.name = f"sync-{style}"
         self._bucketer = bucketer
         self._step = 0
@@ -206,7 +267,8 @@ class SynchronousExchange(GradientExchange):
     def _ensure_bucketer(self, num_parameters: int) -> GradientBucketer:
         if self._bucketer is None:
             self._bucketer = _resolve_bucketer(
-                num_parameters, None, self.fusion_threshold_bytes, self.fusion_buckets
+                num_parameters, None, self.fusion_threshold_bytes,
+                self.fusion_buckets, codec=self.codec,
             )
         elif self._bucketer.num_elements != num_parameters:
             raise ValueError(
@@ -245,16 +307,12 @@ class SynchronousExchange(GradientExchange):
             # deep500: control dependencies fix the issue order (Fig. 5).
             order = list(range(bucketer.num_buckets))
         bucket_waits = [0.0] * bucketer.num_buckets
+        wire_bytes = 0
         for b in order:
             bucket_start = time.perf_counter()
             if buffers[b].size:
-                buffers[b] = allreduce(
-                    self.comm,
-                    buffers[b],
-                    algorithm=self.algorithm,
-                    average=True,
-                    n_chunks=self.pipeline_chunks,
-                )
+                buffers[b], sent = self._reduce_bucket(b, buffers[b])
+                wire_bytes += sent
             bucket_waits[b] = time.perf_counter() - bucket_start
         self._step += 1
         gradient = bucketer.unpack(buffers)
@@ -264,7 +322,53 @@ class SynchronousExchange(GradientExchange):
             num_active=self.comm.size,
             wait_time=time.perf_counter() - start,
             bucket_waits=tuple(bucket_waits),
+            wire_bytes=wire_bytes,
         )
+
+    def _reduce_bucket(self, b: int, buffer: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Combine one fusion buffer across ranks; returns (result, wire bytes).
+
+        Uncompressed and reduce-closed codecs ride the configured
+        allreduce (encode before send, decode after reduce); other
+        codecs take the decode-reduce-encode path — one allgather of
+        encoded payloads, then a dense local average (see the module
+        docstring).
+        """
+        if self._compressor is None:
+            result = allreduce(
+                self.comm,
+                buffer,
+                algorithm=self.algorithm,
+                average=True,
+                n_chunks=self.pipeline_chunks,
+            )
+            return result, buffer.nbytes
+        if self.codec.reduce_closed:
+            # Compressed ring: encoded wire hops, dense float64 arithmetic
+            # (see allreduce_compressed_ring).  NumPy's narrow-dtype
+            # kernels are scalar loops, so reducing *in* the encoded
+            # dtype would burn the wire-byte savings on arithmetic.
+            dense = self._compressor.compensate_bucket(b, buffer)
+            wire_nbytes = self.codec.wire_bytes(buffer.size)
+            self._compressor.bytes_encoded += wire_nbytes
+            result = allreduce_compressed_ring(
+                self.comm,
+                dense,
+                self.codec,
+                average=True,
+                n_chunks=self.pipeline_chunks,
+                # The packed fusion buffer (or the freshly allocated
+                # compensated copy) is owned by this call.
+                copy=False,
+            )
+            return result, wire_nbytes
+        encoded = self._compressor.encode_bucket(b, buffer)
+        gathered = allgather(self.comm, encoded.payload)
+        acc = np.zeros(buffer.size, dtype=np.float64)
+        for payload in gathered:
+            acc += self.codec.decode(encoded.with_payload(payload))
+        acc /= self.comm.size
+        return acc, encoded.nbytes
 
 
 class PartialExchange(GradientExchange):
@@ -301,6 +405,17 @@ class PartialExchange(GradientExchange):
     plan:
         Auto-tuned :class:`~repro.tuning.autotune.TunedPlan`; supplies
         ``fusion_threshold_bytes`` and ``pipeline_chunks``.
+    compression:
+        Gradient codec (see :mod:`repro.compression`).  Reduce-closed
+        codecs (``fp16``) run the whole partial collective — send
+        buffer, stale accumulation and background reduction — at the
+        encoded width, so the wire genuinely shrinks.  Non-reduce-closed
+        codecs (``bf16``/``int8``/``topk``) are applied as a local
+        quantize-and-compensate transform before the dense background
+        reduction (the documented decode-reduce-encode caveat: the
+        persistent-schedule wire stays dense).
+    compression_options:
+        Extra codec options merged over any inline spec options.
     """
 
     def __init__(
@@ -315,18 +430,26 @@ class PartialExchange(GradientExchange):
         pipeline_chunks: int = 1,
         bucketer: Optional[GradientBucketer] = None,
         plan: Optional[TunedPlan] = None,
+        compression: CompressionSpec = None,
+        compression_options: Optional[Dict] = None,
     ) -> None:
         if num_parameters < 1:
             raise ValueError("num_parameters must be >= 1")
         fusion_threshold_bytes, pipeline_chunks = _apply_plan(
             plan, comm, fusion_threshold_bytes, pipeline_chunks
         )
+        self.codec = resolve_codec(compression, compression_options)
+        self._compressor = None if self.codec is None else BucketCompressor(self.codec)
         self.bucketer = _resolve_bucketer(
-            num_parameters, bucketer, fusion_threshold_bytes, fusion_buckets=1
+            num_parameters, bucketer, fusion_threshold_bytes, fusion_buckets=1,
+            codec=self.codec,
         )
         kwargs = {}
         if PartialMode(mode) is PartialMode.QUORUM:
             kwargs["quorum"] = quorum
+        if self.codec is not None and self.codec.reduce_closed:
+            # The collective itself runs at the encoded width.
+            kwargs["dtype"] = self.codec.wire_dtype
         self.partials: List[PartialAllreduce] = []
         multi = self.bucketer.num_buckets > 1
         for bucket in self.bucketer.buckets:
@@ -359,9 +482,15 @@ class PartialExchange(GradientExchange):
         bucket_waits: List[float] = []
         included = True
         num_active = None
-        for partial, buffer in zip(self.partials, buffers):
-            result = partial.reduce(buffer)
-            reduced.append(result.data)
+        wire_bytes = 0
+        for b, (partial, buffer) in enumerate(zip(self.partials, buffers)):
+            contribution, decode_template, sent = self._encode_contribution(b, buffer)
+            result = partial.reduce(contribution)
+            data = result.data
+            if decode_template is not None:
+                data = self.codec.decode(decode_template.with_payload(data))
+            reduced.append(data)
+            wire_bytes += sent
             bucket_waits.append(result.wait_time)
             included = included and result.included
             num_active = (
@@ -375,7 +504,26 @@ class PartialExchange(GradientExchange):
             num_active=int(num_active or 0),
             wait_time=time.perf_counter() - start,
             bucket_waits=tuple(bucket_waits),
+            wire_bytes=wire_bytes,
         )
+
+    def _encode_contribution(self, b: int, buffer: np.ndarray):
+        """Apply the codec to one bucket's fresh contribution.
+
+        Returns ``(contribution, decode_template, wire_bytes)`` where
+        ``decode_template`` is the :class:`~repro.compression.EncodedGradient`
+        to decode the reduced result with (``None`` when the result is
+        already dense ``float64``).
+        """
+        if self._compressor is None:
+            return buffer, None, buffer.nbytes
+        encoded = self._compressor.encode_bucket(b, buffer)
+        if self.codec.reduce_closed:
+            return encoded.payload, encoded, encoded.nbytes
+        # Decode-reduce-encode caveat (see class docstring): contribute
+        # the locally quantized dense gradient; the background wire is
+        # dense, and wire_bytes reports it honestly.
+        return self._compressor.decode_bucket(encoded), None, buffer.nbytes
 
     def close(self) -> None:
         for partial in self.partials:
@@ -395,6 +543,8 @@ def build_exchange(
     fusion_threshold_bytes: Optional[int] = None,
     pipeline_chunks: int = 1,
     plan: Optional[TunedPlan] = None,
+    compression: CompressionSpec = None,
+    compression_options: Optional[Dict] = None,
 ) -> GradientExchange:
     """Build the exchange matching a :class:`repro.training.TrainingConfig`."""
     if comm is None or comm.size == 1:
@@ -408,6 +558,8 @@ def build_exchange(
             fusion_threshold_bytes=fusion_threshold_bytes,
             pipeline_chunks=pipeline_chunks,
             plan=plan,
+            compression=compression,
+            compression_options=compression_options,
         )
     return PartialExchange(
         comm,
@@ -419,4 +571,6 @@ def build_exchange(
         fusion_threshold_bytes=fusion_threshold_bytes,
         pipeline_chunks=pipeline_chunks,
         plan=plan,
+        compression=compression,
+        compression_options=compression_options,
     )

@@ -96,6 +96,8 @@ def _rank_main(
         overwrite_recvbuff=config.overwrite_recvbuff,
         fusion_threshold_bytes=config.fusion_threshold_bytes,
         pipeline_chunks=config.pipeline_chunks,
+        compression=config.compression,
+        compression_options=config.compression_options,
     )
     sgd = DistributedSGD(
         model,
@@ -248,6 +250,14 @@ def train_distributed(
     start = time.perf_counter()
     probe_model = model_factory()
     num_parameters = probe_model.num_parameters()
+    # Resolve the compression codec once, before the world spawns: the
+    # spec is validated here (fail fast, not inside P ranks), the "auto"
+    # fusion knobs below are tuned under its cost model, and the timing
+    # projection scales the wire bytes it models.  Each rank builds its
+    # own codec instance (error-feedback residuals are per-rank state).
+    from repro.compression import resolve_codec
+
+    codec = resolve_codec(config.compression, config.compression_options)
     # Resolve "auto" fusion knobs once, before the world spawns: every
     # rank must run the same concrete plan, and the calibrated profile is
     # cached so repeat runs skip the measurement.
@@ -289,10 +299,23 @@ def train_distributed(
         sync_period_steps = None
         if config.is_eager and config.model_sync_period_epochs:
             sync_period_steps = config.model_sync_period_epochs * steps_per_epoch
+        # Paper-scale wire bytes per step: reduce-closed codecs put the
+        # codec's *absolute* encoded width on every hop (fp16 is 2 bytes
+        # per parameter whether the dense substrate stores 4 or 8), so
+        # the projection uses that width, capped at the uncompressed
+        # per-parameter bytes.  Non-reduce-closed codecs keep the
+        # partial collectives' background wire dense (see
+        # PartialExchange), so their projection stays dense too.
+        projected_bytes = num_parameters * gradient_bytes_per_parameter
+        if codec is not None and codec.reduce_closed:
+            projected_bytes = max(1, int(
+                num_parameters
+                * min(codec.wire_bytes_per_element, gradient_bytes_per_parameter)
+            ))
         projection = project_training_time(
             StepTimeline(durations),
             mode=config.mode,
-            gradient_bytes=num_parameters * gradient_bytes_per_parameter,
+            gradient_bytes=projected_bytes,
             params=DEFAULT_NETWORK,
             algorithm=config.allreduce_algorithm,
             seed=config.seed + 777,

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
-from repro.simtime.collective_model import fused_exchange_time
+from repro.simtime.collective_model import CompressionModel, fused_exchange_time
 from repro.simtime.network import LogGPParams
 from repro.tuning.calibration import CalibratedProfile, calibrate
 
@@ -56,6 +56,9 @@ class TunedPlan:
     predicted_time: float
     #: Modelled duration of the fixed 64 KiB / 1-chunk default (seconds).
     baseline_time: float
+    #: Name of the gradient codec the plan was tuned for (the baseline
+    #: above is modelled under the *same* codec).
+    compression: str = "none"
     #: Live thread-backend duration of the recommendation, when the grid
     #: search was cross-checked with real trials (``NaN`` otherwise).
     measured_time: float = float("nan")
@@ -65,7 +68,8 @@ class TunedPlan:
 
     @property
     def num_buckets(self) -> int:
-        return _bucket_count(self.gradient_bytes, self.fusion_threshold_bytes)
+        return _bucket_count(self.gradient_bytes, self.fusion_threshold_bytes,
+                             self._compression_model)
 
     @property
     def speedup(self) -> float:
@@ -77,9 +81,20 @@ class TunedPlan:
         """Live-trial speedup over the fixed default (``NaN`` without trials)."""
         return self.measured_baseline_time / self.measured_time
 
+    #: Cost-model view of the codec, set by :func:`autotune`.  Only its
+    #: ``wire_scale`` matters here (it recovers the encoded bucket
+    #: count), so serialisation keeps that one number.
+    _compression_model: Optional[CompressionModel] = None
+
     def to_dict(self) -> Dict:
         return {
             "world_size": self.world_size,
+            "compression": self.compression,
+            "compression_wire_scale": (
+                1.0
+                if self._compression_model is None
+                else self._compression_model.wire_scale
+            ),
             "gradient_bytes": self.gradient_bytes,
             "algorithm": self.algorithm,
             "fusion_threshold_bytes": self.fusion_threshold_bytes,
@@ -92,32 +107,51 @@ class TunedPlan:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "TunedPlan":
+        compression = str(data.get("compression", "none"))
+        wire_scale = float(data.get("compression_wire_scale", 1.0))
+        model = None
+        if compression != "none" or wire_scale != 1.0:
+            model = CompressionModel(name=compression, wire_scale=wire_scale)
         return cls(
             world_size=int(data["world_size"]),
             gradient_bytes=int(data["gradient_bytes"]),
             algorithm=data["algorithm"],
             fusion_threshold_bytes=int(data["fusion_threshold_bytes"]),
             pipeline_chunks=int(data["pipeline_chunks"]),
+            compression=compression,
             predicted_time=float(data["predicted_time"]),
             baseline_time=float(data["baseline_time"]),
             measured_time=float(data.get("measured_time", float("nan"))),
             measured_baseline_time=float(
                 data.get("measured_baseline_time", float("nan"))
             ),
+            _compression_model=model,
         )
 
 
-def _bucket_count(gradient_bytes: int, threshold: int) -> int:
-    return max(1, -(-int(gradient_bytes) // int(threshold)))
+def _bucket_count(
+    gradient_bytes: int,
+    threshold: int,
+    compression: Optional[CompressionModel] = None,
+) -> int:
+    """Bucket count when ``threshold`` budgets the encoded bucket size."""
+    wire_bytes = int(gradient_bytes)
+    if compression is not None:
+        wire_bytes = max(1, int(gradient_bytes * compression.wire_scale))
+    return max(1, -(-wire_bytes // int(threshold)))
 
 
-def plan_bucket_bytes(gradient_bytes: int, threshold: int) -> List[float]:
-    """Near-equal per-bucket byte sizes, mirroring ``GradientBucketer.from_flat``."""
+def plan_bucket_bytes(
+    gradient_bytes: int,
+    threshold: int,
+    compression: Optional[CompressionModel] = None,
+) -> List[float]:
+    """Near-equal per-bucket *dense* byte sizes, mirroring ``GradientBucketer.from_flat``."""
     if gradient_bytes < 1:
         raise ValueError(f"gradient_bytes must be >= 1, got {gradient_bytes}")
     if threshold < 1:
         raise ValueError(f"fusion_threshold_bytes must be >= 1, got {threshold}")
-    count = _bucket_count(gradient_bytes, threshold)
+    count = _bucket_count(gradient_bytes, threshold, compression)
     return [gradient_bytes / count] * count
 
 
@@ -128,14 +162,24 @@ def predict_exchange_time(
     algorithm: str = "ring",
     fusion_threshold_bytes: int = DEFAULT_FIXED_THRESHOLD_BYTES,
     pipeline_chunks: int = 1,
+    compression: Optional[CompressionModel] = None,
 ) -> float:
-    """Modelled duration of one bucketed gradient exchange."""
+    """Modelled duration of one bucketed gradient exchange.
+
+    With ``compression``, the fusion threshold budgets the *encoded*
+    bucket size (mirroring the exchange's wire-width bucketing), and the
+    codec's wire/transform terms enter the cost model.
+    """
+    bucket_bytes = plan_bucket_bytes(
+        gradient_bytes, fusion_threshold_bytes, compression
+    )
     return fused_exchange_time(
-        plan_bucket_bytes(gradient_bytes, fusion_threshold_bytes),
+        bucket_bytes,
         world_size,
         algorithm,
         params,
         n_chunks=pipeline_chunks,
+        compression=compression,
     )
 
 
@@ -147,6 +191,7 @@ def _measure_exchange(
     pipeline_chunks: int,
     iterations: int = 3,
     backend: Optional[str] = None,
+    compression: Optional[str] = None,
 ) -> float:
     """Live wall-clock of one synchronous exchange (seconds).
 
@@ -164,6 +209,7 @@ def _measure_exchange(
             algorithm=algorithm,
             fusion_threshold_bytes=fusion_threshold_bytes,
             pipeline_chunks=pipeline_chunks,
+            compression=compression,
         )
         gradient = np.full(num_elements, float(comm.rank), dtype=np.float64)
         exchange.exchange(gradient)  # warmup
@@ -188,6 +234,8 @@ def autotune(
     live_trials: int = 0,
     live_iterations: int = 3,
     backend: Optional[str] = None,
+    compression: Optional[str] = None,
+    compression_model: Optional[CompressionModel] = None,
 ) -> TunedPlan:
     """Pick ``(fusion_threshold_bytes, pipeline_chunks)`` for one exchange shape.
 
@@ -202,6 +250,13 @@ def autotune(
     The default grids contain the fixed 64 KiB / 1-chunk configuration,
     so (unless the caller restricts the search away from it) the
     recommendation is never predicted to be slower than the default.
+
+    ``compression`` names a gradient codec (spec strings allowed): the
+    grid is scored with the codec's wire/transform terms, the fusion
+    threshold budgets *encoded* bucket bytes (mirroring the exchange),
+    the fixed-default baseline is modelled under the *same* codec, and
+    live trials run the compressed exchange.  ``compression_model``
+    overrides the cost-model view derived from the codec (tests).
     """
     if world_size < 1:
         raise ValueError("size must be >= 1")
@@ -217,10 +272,19 @@ def autotune(
         raise ValueError(f"fusion thresholds must be >= 1, got {list(thresholds)}")
     if any(c < 1 for c in chunks):
         raise ValueError(f"pipeline chunk counts must be >= 1, got {list(chunks)}")
+    codec_name = "none"
+    if compression_model is None and compression is not None:
+        from repro.compression import get_codec
+
+        codec = get_codec(compression)
+        codec_name = codec.name
+        compression_model = codec.cost_model()
+    elif compression_model is not None:
+        codec_name = compression_model.name
 
     baseline_time = predict_exchange_time(
         params, world_size, gradient_bytes, algorithm,
-        DEFAULT_FIXED_THRESHOLD_BYTES, 1,
+        DEFAULT_FIXED_THRESHOLD_BYTES, 1, compression_model,
     )
 
     # Score the grid; dedupe candidates that bucket identically.
@@ -229,9 +293,10 @@ def autotune(
     chunk_grid = list(dict.fromkeys(chunks))
     for threshold in grid:
         for n_chunks in chunk_grid:
-            key = (_bucket_count(gradient_bytes, threshold), n_chunks)
+            key = (_bucket_count(gradient_bytes, threshold, compression_model), n_chunks)
             predicted = predict_exchange_time(
-                params, world_size, gradient_bytes, algorithm, threshold, n_chunks
+                params, world_size, gradient_bytes, algorithm, threshold, n_chunks,
+                compression_model,
             )
             if key not in seen or predicted < seen[key][0]:
                 seen[key] = (predicted, threshold, n_chunks)
@@ -246,12 +311,12 @@ def autotune(
         for cand_predicted, cand_threshold, cand_chunks in ranked[:live_trials]:
             elapsed = _measure_exchange(
                 world_size, num_elements, algorithm, cand_threshold, cand_chunks,
-                iterations=live_iterations, backend=backend,
+                iterations=live_iterations, backend=backend, compression=compression,
             )
             trials.append((elapsed, cand_predicted, cand_threshold, cand_chunks))
         measured_baseline = _measure_exchange(
             world_size, num_elements, algorithm, DEFAULT_FIXED_THRESHOLD_BYTES, 1,
-            iterations=live_iterations, backend=backend,
+            iterations=live_iterations, backend=backend, compression=compression,
         )
         measured_time, predicted, threshold, n_chunks = min(trials)
         # The fixed default was measured too: if every candidate loses to
@@ -268,10 +333,12 @@ def autotune(
         algorithm=algorithm,
         fusion_threshold_bytes=int(threshold),
         pipeline_chunks=int(n_chunks),
+        compression=codec_name,
         predicted_time=float(predicted),
         baseline_time=float(baseline_time),
         measured_time=measured_time,
         measured_baseline_time=measured_baseline,
+        _compression_model=compression_model,
     )
 
 
@@ -346,6 +413,13 @@ def resolve_auto_fusion(
     else:
         thresholds = [int(config.fusion_threshold_bytes)]
     chunks = None if auto_chunks else [int(config.pipeline_chunks)]
+    compression_model = None
+    if getattr(config, "compression", None) is not None:
+        from repro.compression import get_codec
+
+        compression_model = get_codec(
+            config.compression, **(config.compression_options or {})
+        ).cost_model()
     plan = autotune(
         profile.params,
         config.world_size,
@@ -353,6 +427,7 @@ def resolve_auto_fusion(
         algorithm=config.allreduce_algorithm,
         thresholds=thresholds,
         chunks=chunks,
+        compression_model=compression_model,
     )
     return replace(
         config,

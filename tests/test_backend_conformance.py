@@ -359,6 +359,69 @@ class TestCollectives:
             assert abs(value - expected_avg) < 1e-12
             assert buckets == (1 << 13) * 8 // (16 * 1024)
 
+    @pytest.mark.parametrize(
+        "codec", ["none", "fp16", "bf16", "int8", "topk:ratio=1.0"]
+    )
+    def test_fused_exchange_with_compression(self, backend, codec):
+        """Compressed fused exchange: same contract on every transport.
+
+        Constant-valued buckets make every codec's round trip exact, so
+        the averaged gradient can be asserted bit-tight while the wire
+        payload (ndarray for reduce-closed codecs, composite tuples for
+        int8/topk) crosses the real transport.
+        """
+
+        def worker(comm):
+            from repro.compression import get_codec
+            from repro.training.exchange import SynchronousExchange
+
+            exchange = SynchronousExchange(
+                comm,
+                algorithm="ring",
+                fusion_threshold_bytes=16 * 1024,
+                pipeline_chunks=2,
+                compression=codec,
+            )
+            result = exchange.exchange(np.full(1 << 13, comm.rank + 1.0))
+            dense_bytes = (1 << 13) * 8
+            expected_wire = sum(
+                get_codec(codec).wire_bytes(b.num_elements)
+                for b in exchange._bucketer.buckets
+            )
+            return (
+                float(np.max(np.abs(result.gradient - 2.5))),
+                result.wire_bytes,
+                expected_wire,
+                dense_bytes,
+            )
+
+        for err, wire_bytes, expected_wire, dense in launch(
+            worker, 4, backend=backend, timeout=120
+        ):
+            assert err < 1e-9
+            assert wire_bytes == expected_wire
+            if codec not in ("none", "topk:ratio=1.0"):
+                assert wire_bytes < dense
+
+    @pytest.mark.parametrize("codec", ["fp16", "topk:ratio=0.5"])
+    def test_partial_exchange_with_compression(self, backend, codec):
+        def worker(comm):
+            from repro.training.exchange import PartialExchange
+
+            exchange = PartialExchange(
+                comm, 512, mode="solo", compression=codec
+            )
+            values = []
+            for _ in range(3):
+                result = exchange.exchange(np.ones(512))
+                assert 0 <= result.num_active <= comm.size
+                values.append(float(result.gradient[0]))
+            exchange.close()
+            # Bounded stale accumulation, as in the uncompressed test.
+            return all(0.0 <= v <= 3.0 + 1e-6 for v in values)
+
+        assert all(launch(worker, 4, backend=backend, timeout=120))
+
 
 # ---------------------------------------------------------------------------
 # failure contract
@@ -441,3 +504,30 @@ class TestRunWorldShim:
         with pytest.deprecated_call():
             results = run_world(3, lambda comm: comm.rank)
         assert results == [0, 1, 2]
+
+    def test_run_world_warning_points_at_launch(self):
+        """The deprecation message must tell callers what to migrate to."""
+        import warnings
+
+        from repro.comm import run_world
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            results = run_world(2, lambda comm: comm.size, channels=("app",))
+        assert results == [2, 2]
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        assert "launch" in message and "run_world" in message
+
+    def test_run_world_matches_launch_results(self):
+        from repro.comm import launch, run_world
+
+        def worker(comm, offset):
+            return comm.rank * 10 + offset
+
+        with pytest.deprecated_call():
+            legacy = run_world(3, worker, 7)
+        assert legacy == launch(worker, 3, 7, backend="thread")
