@@ -1,0 +1,363 @@
+"""Benchmark: transport backends and narrow-dtype reduction kernels.
+
+Acceptance bars of the shared-memory transport PR (ISSUE 5):
+
+1. **Transport**: at P = 8 with a 4 MB gradient, the ``shm`` backend's
+   fused exchange must be >= 1.5x faster than the TCP ``process``
+   backend under the same representative tuned configuration (ring
+   algorithm, 2 MiB fusion buffers, 2 pipeline chunks — the shape the
+   PR-2 autotuner recommends in this size regime).
+2. **Kernels**: the vectorised widen-accumulate-narrow fp16 kernel
+   (:func:`repro.comm.reduce_kernels.reduce_segments`) must be >= 3x
+   faster than the pre-PR scalar ``combine_into`` path (NumPy's native
+   element-at-a-time float16 loop) when folding ``P - 1 = 7`` incoming
+   segments into an accumulator — the shape of a P = 8 tree reduction
+   or a partial collective's stale accumulation.
+
+``python benchmarks/bench_backend_transports.py`` sweeps backend x
+world size x payload, prints the table with implied per-rank exchange
+bandwidth, writes machine-readable ``BENCH_transports.json`` next to
+the repo root (the start of the perf trajectory), and exits non-zero if
+either bar fails.  Under pytest-benchmark the same harnesses are timed
+and asserted.
+
+Note on substrate: this container serialises every rank onto one core,
+so absolute times mix scheduling latency into each hop; the *ratio*
+between transports under identical scheduling is the signal.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.comm import available_backends, launch
+from repro.comm import reduce_kernels
+from repro.comm.reduce_ops import SUM
+from repro.training.exchange import SynchronousExchange
+
+#: Acceptance threshold: shm vs process, P = 8, 4 MB fused exchange.
+TARGET_TRANSPORT_SPEEDUP = 1.5
+#: Acceptance threshold: vectorised fp16 kernel vs scalar combine_into.
+TARGET_KERNEL_SPEEDUP = 3.0
+
+#: The representative tuned exchange configuration of the sweep.
+ALGORITHM = "ring"
+FUSION_THRESHOLD_BYTES = 2 * 1024 * 1024
+PIPELINE_CHUNKS = 2
+
+BACKENDS = ("thread", "process", "shm")
+WORLD_SIZES = (2, 4, 8)
+PAYLOAD_BYTES = (1 << 20, 4 << 20)
+
+#: Output file (repo root), committed as the perf trajectory's anchor.
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_transports.json"
+
+
+def _exchange_worker(comm, nbytes, iterations):
+    exchange = SynchronousExchange(
+        comm,
+        algorithm=ALGORITHM,
+        fusion_threshold_bytes=FUSION_THRESHOLD_BYTES,
+        pipeline_chunks=PIPELINE_CHUNKS,
+    )
+    gradient = np.random.default_rng(comm.rank).standard_normal(nbytes // 8)
+    exchange.exchange(gradient)  # warmup (buffers, rings, sockets)
+    times = []
+    for _ in range(iterations):
+        comm.barrier()
+        start = time.perf_counter()
+        exchange.exchange(gradient)
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def measure_exchange(backend, world_size, nbytes, iterations=6, repeats=3):
+    """Per-exchange wall clock: best iteration across ``repeats`` worlds.
+
+    The exchange completes when the slowest rank holds the averaged
+    gradient, so each iteration's duration is the max across ranks.
+    Every rank of this container shares one core, so any single
+    iteration can eat an unrelated scheduling stall; the minimum over
+    iterations and worlds is the standard least-noise estimator of the
+    intrinsic cost (the same choice the calibration ping-pong makes),
+    and it is applied identically to every backend.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        best = min(best, _measure_exchange_once(backend, world_size, nbytes,
+                                                iterations))
+    return best
+
+
+def _measure_exchange_once(backend, world_size, nbytes, iterations):
+    outputs = launch(
+        _exchange_worker, world_size, nbytes, iterations,
+        backend=backend, timeout=900,
+    )
+    return float(np.min(np.max(np.asarray(outputs), axis=0)))
+
+
+def measure_exchange_pair(backends, world_size, nbytes, iterations=10, repeats=4):
+    """Best exchange time per backend, with the repeats *interleaved*.
+
+    Machine-level drift (host CPU steal, thermal throttling) moves on a
+    seconds timescale; alternating the backends per repeat exposes both
+    to the same drift, making their ratio robust where back-to-back
+    blocks would charge the drift to whichever ran second.
+    """
+    best = {backend: float("inf") for backend in backends}
+    for _ in range(repeats):
+        for backend in backends:
+            best[backend] = min(
+                best[backend],
+                _measure_exchange_once(backend, world_size, nbytes, iterations),
+            )
+    return best
+
+
+def implied_bandwidth_gbps(nbytes, world_size, seconds):
+    """Per-rank wire bandwidth the measured exchange implies (GB/s).
+
+    A ring allreduce moves ``2 * (P - 1) / P * nbytes`` per rank; the
+    number is what the transport actually sustained, scheduling
+    included, making backends comparable at a glance.
+    """
+    wire = 2.0 * (world_size - 1) / world_size * nbytes
+    return wire / seconds / 1e9
+
+
+def run_transport_sweep(backends=BACKENDS, world_sizes=WORLD_SIZES,
+                        payloads=PAYLOAD_BYTES, iterations=10):
+    rows = []
+    live = [b for b in backends if b in available_backends()]
+    for world_size in world_sizes:
+        for nbytes in payloads:
+            timings = measure_exchange_pair(live, world_size, nbytes,
+                                            iterations=iterations)
+            reference = timings.get("process")
+            for backend in live:
+                seconds = timings[backend]
+                rows.append({
+                    "backend": backend,
+                    "world_size": world_size,
+                    "payload_bytes": nbytes,
+                    "seconds": seconds,
+                    "implied_gbps": implied_bandwidth_gbps(
+                        nbytes, world_size, seconds
+                    ),
+                    "speedup_vs_process": (
+                        None if reference is None else reference / seconds
+                    ),
+                })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# fp16 reduction-kernel micro-benchmark
+# ---------------------------------------------------------------------------
+def measure_fp16_kernel(world_size, elements=1 << 18, iterations=40):
+    """Scalar vs vectorised fold of ``P - 1`` fp16 segments.
+
+    The scalar path is the pre-PR ``combine_into``: one native NumPy
+    float16 ufunc call per segment (element-at-a-time conversions).  The
+    vectorised path is :func:`repro.comm.reduce_kernels.reduce_segments`
+    (widen to float32 once, fused cast-and-add per segment, narrow
+    once).  The default operand is 2**18 elements — one fusion bucket
+    of the sweep's 2 MiB threshold at the dense 8 B/element width, i.e.
+    the buffer a per-bucket reduction actually hands the kernel.
+    """
+    rng = np.random.default_rng(0)
+    out = rng.standard_normal(elements).astype(np.float16)
+    segments = [
+        rng.standard_normal(elements).astype(np.float16)
+        for _ in range(max(1, world_size - 1))
+    ]
+
+    def scalar():
+        acc = out.copy()
+        for segment in segments:
+            SUM.ufunc(acc, segment, out=acc)  # the pre-PR in-place path
+        return acc
+
+    def vectorised():
+        return reduce_kernels.reduce_segments(np.add, out.copy(), segments)
+
+    # Interleave the two measurements: machine-level drift then hits
+    # both paths alike and cancels out of the ratio.
+    scalar()
+    vectorised()
+    scalar_seconds = float("inf")
+    vector_seconds = float("inf")
+    for _ in range(iterations):
+        start = time.perf_counter()
+        scalar()
+        scalar_seconds = min(scalar_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        vectorised()
+        vector_seconds = min(vector_seconds, time.perf_counter() - start)
+    return {
+        "world_size": world_size,
+        "elements": elements,
+        "segments": len(segments),
+        "scalar_seconds": scalar_seconds,
+        "vectorized_seconds": vector_seconds,
+        "speedup": scalar_seconds / vector_seconds,
+    }
+
+
+def run_kernel_sweep(world_sizes=WORLD_SIZES):
+    return [measure_fp16_kernel(world_size) for world_size in world_sizes]
+
+
+# ---------------------------------------------------------------------------
+# acceptance + report
+# ---------------------------------------------------------------------------
+def _acceptance(transport_rows, kernel_rows):
+    by_key = {
+        (r["backend"], r["world_size"], r["payload_bytes"]): r
+        for r in transport_rows
+    }
+    shm_row = by_key.get(("shm", 8, 4 << 20))
+    transport_speedup = (
+        None if shm_row is None else shm_row["speedup_vs_process"]
+    )
+    kernel_speedup = next(
+        (k["speedup"] for k in kernel_rows if k["world_size"] == 8), None
+    )
+    return {
+        "shm_vs_process_p8_4mb": transport_speedup,
+        "transport_target": TARGET_TRANSPORT_SPEEDUP,
+        "fp16_kernel_speedup_p8": kernel_speedup,
+        "kernel_target": TARGET_KERNEL_SPEEDUP,
+        "transport_pass": (
+            transport_speedup is not None
+            and transport_speedup >= TARGET_TRANSPORT_SPEEDUP
+        ),
+        "kernel_pass": (
+            kernel_speedup is not None
+            and kernel_speedup >= TARGET_KERNEL_SPEEDUP
+        ),
+    }
+
+
+def run_all(iterations=10, output_path=OUTPUT_PATH):
+    transport_rows = run_transport_sweep(iterations=iterations)
+    kernel_rows = run_kernel_sweep()
+    acceptance = _acceptance(transport_rows, kernel_rows)
+    payload = {
+        "benchmark": "backend_transports",
+        "config": {
+            "algorithm": ALGORITHM,
+            "fusion_threshold_bytes": FUSION_THRESHOLD_BYTES,
+            "pipeline_chunks": PIPELINE_CHUNKS,
+            "iterations": iterations,
+            "cpu_count": os.cpu_count(),
+        },
+        "transports": transport_rows,
+        "kernels": kernel_rows,
+        "acceptance": acceptance,
+    }
+    if output_path is not None:
+        Path(output_path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+def bench_shm_transport_speedup(benchmark):
+    """shm vs TCP process backend at the acceptance point (P=8, 4 MB)."""
+    if "shm" not in available_backends():
+        import pytest
+
+        pytest.skip("shm backend unavailable on this platform")
+
+    def run():
+        process = measure_exchange("process", 8, 4 << 20, iterations=6)
+        shm = measure_exchange("shm", 8, 4 << 20, iterations=6)
+        return process / shm
+
+    speedup = benchmark(run)
+    assert speedup >= TARGET_TRANSPORT_SPEEDUP, (
+        f"shm exchange only {speedup:.2f}x faster than the TCP process "
+        f"backend at P=8 / 4 MB (need >= {TARGET_TRANSPORT_SPEEDUP}x)"
+    )
+
+
+def bench_fp16_kernel_speedup(benchmark):
+    """Vectorised fp16 fold vs the scalar combine_into path at P=8."""
+    row = benchmark(lambda: measure_fp16_kernel(8))
+    assert row["speedup"] >= TARGET_KERNEL_SPEEDUP, (
+        f"vectorised fp16 kernel only {row['speedup']:.2f}x over the "
+        f"scalar path (need >= {TARGET_KERNEL_SPEEDUP}x)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# standalone report
+# ---------------------------------------------------------------------------
+def _format_transports(rows):
+    lines = [
+        f"{'backend':8s} {'P':>2s} {'payload':>8s} {'ms/exchange':>12s} "
+        f"{'GB/s/rank':>10s} {'vs process':>10s}",
+        "-" * 58,
+    ]
+    for r in rows:
+        speedup = r["speedup_vs_process"]
+        lines.append(
+            f"{r['backend']:8s} {r['world_size']:2d} "
+            f"{r['payload_bytes'] / 2**20:6.0f}MB {r['seconds'] * 1e3:12.2f} "
+            f"{r['implied_gbps']:10.2f} "
+            + (f"{speedup:9.2f}x" if speedup is not None else f"{'-':>10s}")
+        )
+    return "\n".join(lines)
+
+
+def _format_kernels(rows):
+    lines = [
+        f"{'P':>2s} {'segments':>8s} {'scalar ms':>10s} {'vector ms':>10s} "
+        f"{'speedup':>8s}",
+        "-" * 44,
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['world_size']:2d} {r['segments']:8d} "
+            f"{r['scalar_seconds'] * 1e3:10.3f} "
+            f"{r['vectorized_seconds'] * 1e3:10.3f} {r['speedup']:7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(
+        f"transport sweep ({ALGORITHM} fused exchange, "
+        f"{FUSION_THRESHOLD_BYTES >> 20} MiB buffers, "
+        f"{PIPELINE_CHUNKS} chunks)\n"
+    )
+    result = run_all()
+    print(_format_transports(result["transports"]))
+    print()
+    print(
+        "fp16 reduce-kernel micro-benchmark (fold P-1 segments of "
+        f"{result['kernels'][0]['elements'] >> 10}K elements)"
+    )
+    print(_format_kernels(result["kernels"]))
+    acceptance = result["acceptance"]
+    print(
+        f"\nacceptance 1: shm vs process, P=8, 4 MB: "
+        f"{acceptance['shm_vs_process_p8_4mb']:.2f}x "
+        f"(need >= {TARGET_TRANSPORT_SPEEDUP}x): "
+        f"{'PASS' if acceptance['transport_pass'] else 'FAIL'}"
+    )
+    print(
+        f"acceptance 2: vectorised fp16 kernel, P=8: "
+        f"{acceptance['fp16_kernel_speedup_p8']:.2f}x "
+        f"(need >= {TARGET_KERNEL_SPEEDUP}x): "
+        f"{'PASS' if acceptance['kernel_pass'] else 'FAIL'}"
+    )
+    print(f"\nwrote {OUTPUT_PATH}")
+    sys.exit(0 if acceptance["transport_pass"] and acceptance["kernel_pass"] else 1)

@@ -57,6 +57,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.comm import reduce_kernels
 from repro.comm.communicator import Communicator
 from repro.comm.reduce_ops import ReduceOp, get_op
 from repro.collectives.topology import (
@@ -140,7 +141,7 @@ def _validate_chunks(n_chunks: int) -> int:
     return n_chunks
 
 
-def _as_float_array(data) -> np.ndarray:
+def _as_float_array(data, copy: bool = True) -> np.ndarray:
     """Owned floating-point working buffer for a reduction.
 
     Narrow float dtypes are *preserved* so that compressed payloads (e.g.
@@ -148,10 +149,18 @@ def _as_float_array(data) -> np.ndarray:
     transmitted — at their encoded width instead of being silently
     upcast; everything else (ints, bools, lists) is promoted to the
     ``float64`` substrate as before.
+
+    ``copy=False`` lets a caller that *owns* the buffer (the bucketed
+    exchange passes freshly packed fusion buffers) skip one full-size
+    copy per collective; the buffer is then reduced in place.  A
+    read-only or non-float input is still copied/converted.
     """
     arr = np.asarray(data)
     if not np.issubdtype(arr.dtype, np.floating):
-        arr = np.asarray(arr, dtype=np.float64)
+        # The dtype conversion already produced an owned buffer.
+        return np.asarray(arr, dtype=np.float64)
+    if not copy and arr.flags.writeable:
+        return arr
     return np.array(arr, copy=True)
 
 
@@ -336,9 +345,19 @@ def reduce(
     if size == 1:
         return acc
     # Children in the *broadcast* tree are the senders in the reduction tree.
-    for child in reversed(binomial_tree_children(rank, size, root)):
+    # A rooted reduction has a single owner per partial result, so narrow
+    # dtypes may accumulate widened (float32) across all children and
+    # narrow once — the multi-segment kernel of repro.comm.reduce_kernels.
+    children = list(reversed(binomial_tree_children(rank, size, root)))
+    widened = reduce_op.accumulator(acc) if len(children) > 1 else None
+    for child in children:
         contribution = comm.recv(source=child, tag=tag, timeout=timeout)
-        acc = reduce_op.combine_into(acc, contribution)
+        if widened is not None:
+            widened.combine(contribution)
+        else:
+            acc = reduce_op.combine_into(acc, contribution)
+    if widened is not None:
+        acc = widened.finish()
     if rank != root:
         parent = binomial_tree_parent(rank, size, root)
         comm.send(acc, parent, tag=tag)
@@ -374,6 +393,7 @@ def allreduce_recursive_doubling(
     op: ReduceOp | str = "sum",
     timeout: Optional[float] = None,
     n_chunks: int = 1,
+    copy: bool = True,
 ) -> np.ndarray:
     """Recursive-doubling allreduce (hypercube exchange).
 
@@ -390,7 +410,7 @@ def allreduce_recursive_doubling(
     reduce_op = get_op(op)
     n_chunks = _validate_chunks(n_chunks)
     rank, size = comm.rank, comm.size
-    acc = _as_float_array(data)
+    acc = _as_float_array(data, copy=copy)
     if size == 1:
         return acc
     flat = acc.reshape(-1)
@@ -432,6 +452,7 @@ def allreduce_ring(
     op: ReduceOp | str = "sum",
     timeout: Optional[float] = None,
     n_chunks: int = 1,
+    copy: bool = True,
 ) -> np.ndarray:
     """Ring allreduce: reduce-scatter then allgather over ``P - 1`` steps each.
 
@@ -449,7 +470,7 @@ def allreduce_ring(
     reduce_op = get_op(op)
     n_chunks = _validate_chunks(n_chunks)
     rank, size = comm.rank, comm.size
-    arr = _as_float_array(data)
+    arr = _as_float_array(data, copy=copy)
     if size == 1:
         return arr
     flat = arr.reshape(-1)
@@ -504,6 +525,7 @@ def allreduce_rabenseifner(
     op: ReduceOp | str = "sum",
     timeout: Optional[float] = None,
     n_chunks: int = 1,
+    copy: bool = True,
 ) -> np.ndarray:
     """Rabenseifner's allreduce (recursive halving + recursive doubling).
 
@@ -521,7 +543,7 @@ def allreduce_rabenseifner(
     reduce_op = get_op(op)
     n_chunks = _validate_chunks(n_chunks)
     rank, size = comm.rank, comm.size
-    arr = _as_float_array(data)
+    arr = _as_float_array(data, copy=copy)
     if size == 1:
         return arr
     flat = arr.reshape(-1)
@@ -662,7 +684,17 @@ def allreduce_compressed_ring(
         _recv_segments(comm, buf, 0, length, pred, epoch, phase, step, n_chunks, timeout)
         return buf
 
+    # Whether the wire payload's elements ARE the decoded values (fp16's
+    # widening cast, the identity codec's float64): only such codecs may
+    # skip decode() on the fast paths below — a float wire dtype alone
+    # is not enough (a future scaled-fp16 codec must keep its decode).
+    cast_decodable = bool(getattr(codec, "wire_is_values", False))
+
     # Reduce-scatter: encoded chunks on the wire, dense accumulation.
+    # For cast-decodable codecs the incoming payload is folded into the
+    # dense accumulator by one fused cast-and-add ufunc call
+    # (:func:`repro.comm.reduce_kernels.accumulate_wire`) — same values
+    # as decode-then-add (the widening cast is exact), one fewer pass.
     for step in range(size - 1):
         send_chunk = (rank - step) % size
         recv_chunk = (rank - step - 1) % size
@@ -672,7 +704,9 @@ def allreduce_compressed_ring(
         )
         lo, hi = bounds[recv_chunk]
         wire_in = recv_wire(hi - lo, _PHASE_RING_RS, step)
-        if hi > lo:
+        if hi > lo and not (
+            cast_decodable and reduce_kernels.accumulate_wire(flat[lo:hi], wire_in)
+        ):
             flat[lo:hi] += decode(wire_in, hi - lo)
 
     # This rank now owns chunk (rank + 1) % size fully reduced: average
@@ -692,10 +726,15 @@ def allreduce_compressed_ring(
         encoded_chunks[recv_chunk] = recv_wire(hi - lo, _PHASE_RING_AG, step)
     # Decode the foreign chunks; the own chunk is re-decoded from its
     # encoded form too, so all ranks hold bit-identical replicas.
+    # Cast-decodable wire payloads widen with one fused casting store.
     for index, wire in encoded_chunks.items():
         lo, hi = bounds[index]
         if hi > lo:
-            flat[lo:hi] = decode(wire, hi - lo)
+            wire_arr = np.asarray(wire)
+            if cast_decodable and np.issubdtype(wire_arr.dtype, np.floating):
+                np.copyto(flat[lo:hi], wire_arr)
+            else:
+                flat[lo:hi] = decode(wire_arr, hi - lo)
     return flat.reshape(arr.shape)
 
 
@@ -715,6 +754,7 @@ def allreduce(
     average: bool = False,
     timeout: Optional[float] = None,
     n_chunks: int = 1,
+    copy: bool = True,
 ) -> np.ndarray:
     """Synchronous allreduce with a selectable algorithm.
 
@@ -735,7 +775,7 @@ def allreduce(
             f"unknown allreduce algorithm {algorithm!r}; "
             f"available: {sorted(ALLREDUCE_ALGORITHMS)}"
         ) from None
-    result = impl(comm, data, op=op, timeout=timeout, n_chunks=n_chunks)
+    result = impl(comm, data, op=op, timeout=timeout, n_chunks=n_chunks, copy=copy)
     if average:
         # The implementations return an owned buffer, so divide in place.
         result /= comm.size

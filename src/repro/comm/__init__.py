@@ -46,9 +46,11 @@ from repro.comm.backend import (
     RouterLike,
     WorldError,
     available_backends,
+    backend_unavailable_reason,
     default_backend_name,
     get_backend,
     launch,
+    mark_backend_unavailable,
     register_backend,
     set_default_backend,
 )
@@ -80,9 +82,11 @@ __all__ = [
     "RouterLike",
     "WorldError",
     "available_backends",
+    "backend_unavailable_reason",
     "default_backend_name",
     "get_backend",
     "launch",
+    "mark_backend_unavailable",
     "register_backend",
     "set_default_backend",
     "ThreadBackend",

@@ -14,7 +14,7 @@ two abstractions only:
   results (or a :class:`WorldError` carrying every failure).
 
 Backends register themselves in a name-keyed registry
-(:func:`register_backend`); the two built-ins are loaded lazily so that
+(:func:`register_backend`); the built-ins are loaded lazily so that
 importing :mod:`repro.comm` never pays for a transport it does not use:
 
 ``"thread"``
@@ -26,20 +26,28 @@ importing :mod:`repro.comm` never pays for a transport it does not use:
     (:class:`repro.comm.process_backend.ProcessBackend`) — true
     parallelism (no shared GIL), pickled control messages and zero-copy
     framed NumPy payloads.
+``"shm"``
+    One OS process per rank over shared-memory ring buffers
+    (:class:`repro.comm.shm_backend.ShmBackend`) — the same process
+    model without the loopback-TCP copies: payloads are written
+    directly into per-pair rings.  Platform-gated: on systems without
+    POSIX shared memory the name is omitted from
+    :func:`available_backends` (see :func:`mark_backend_unavailable`)
+    and resolving it raises :class:`BackendUnavailableError`.
 
 Adding a transport is registering one subclass::
 
     from repro.comm.backend import CommBackend, register_backend
 
-    @register_backend("shm")
-    class ShmBackend(CommBackend):
-        name = "shm"
+    @register_backend("myfabric")
+    class MyFabricBackend(CommBackend):
+        name = "myfabric"
         def run(self, fn, world_size, args, kwargs, *, channels, channel,
                 timeout, default_recv_timeout, **opts):
             ...  # spawn ranks, hand each a Communicator, collect results
 
-after which ``launch(fn, P, backend="shm")``, ``TrainingConfig``'s
-``comm_backend`` field, ``--backend shm`` on the CLI and the tuning
+after which ``launch(fn, P, backend="myfabric")``, ``TrainingConfig``'s
+``comm_backend`` field, ``--backend myfabric`` on the CLI and the tuning
 profile cache all pick it up without further changes.
 
 The process-wide default backend is ``"thread"``; it can be overridden
@@ -204,7 +212,15 @@ _REGISTRY: Dict[str, CommBackend] = {}
 _BUILTIN_MODULES: Dict[str, str] = {
     "thread": "repro.comm.world",
     "process": "repro.comm.process_backend",
+    "shm": "repro.comm.shm_backend",
 }
+
+#: Built-ins whose capability probe failed on this platform, with the
+#: reason.  Such names are *omitted* from :func:`available_backends`;
+#: resolving them raises :class:`BackendUnavailableError` (not the
+#: unknown-name :class:`ValueError`) so callers can distinguish a typo
+#: from a platform limitation.
+_UNAVAILABLE: Dict[str, str] = {}
 
 _default_override: Optional[str] = None
 
@@ -226,15 +242,38 @@ def register_backend(name: str) -> Callable[[Type[CommBackend]], Type[CommBacken
     return decorator
 
 
+def mark_backend_unavailable(name: str, reason: str) -> None:
+    """Record that a built-in backend cannot run on this platform.
+
+    Called by a transport module whose import-time capability probe
+    failed (e.g. :mod:`repro.comm.shm_backend` on platforms without
+    POSIX shared memory) *instead of* registering the backend.  The name
+    disappears from :func:`available_backends` and resolving it raises
+    :class:`BackendUnavailableError` carrying ``reason``.
+    """
+    _UNAVAILABLE[name] = reason
+
+
+def backend_unavailable_reason(name: str) -> Optional[str]:
+    """Why ``name`` is unavailable on this platform (``None`` = it isn't)."""
+    _load_builtins(name)
+    return _UNAVAILABLE.get(name)
+
+
 def _load_builtins(name: Optional[str] = None) -> None:
     wanted = [name] if name in _BUILTIN_MODULES else list(_BUILTIN_MODULES)
     for key in wanted:
-        if key not in _REGISTRY:
+        if key not in _REGISTRY and key not in _UNAVAILABLE:
             importlib.import_module(_BUILTIN_MODULES[key])
 
 
 def available_backends() -> Tuple[str, ...]:
-    """Names of every registered backend (built-ins included)."""
+    """Names of every registered backend (built-ins included).
+
+    Built-ins whose platform probe failed are omitted (the reason is
+    logged at import time and queryable via
+    :func:`backend_unavailable_reason`).
+    """
     _load_builtins()
     return tuple(sorted(_REGISTRY))
 
@@ -272,6 +311,11 @@ def get_backend(backend: Optional[str] = None) -> CommBackend:
     try:
         return _REGISTRY[name]
     except KeyError:
+        if name in _UNAVAILABLE:
+            raise BackendUnavailableError(
+                f"comm backend {name!r} is unavailable on this platform: "
+                f"{_UNAVAILABLE[name]}"
+            ) from None
         raise ValueError(
             f"unknown comm backend {name!r}; available: {list(available_backends())}"
         ) from None

@@ -100,19 +100,36 @@ class Communicator:
         # the receiver can never observe sender-side mutation.
         return copy.deepcopy(payload)
 
+    def _outgoing(self, payload: Any, dest: int) -> Any:
+        """The payload object a send may enqueue for ``dest``.
+
+        Local delivery shares the object with the receiver's mailbox, so
+        it must be copied.  Transports that *frame* remote payloads
+        synchronously inside ``deliver`` (the socket and shared-memory
+        meshes: the bytes are on the wire before the send returns)
+        advertise ``remote_payloads_framed`` and skip the defensive copy
+        for remote destinations — on a 4 MB gradient that is one full
+        memory pass per hop.
+        """
+        if dest != self._rank and getattr(self._router, "remote_payloads_framed", False):
+            return payload
+        return self._copy_payload(payload)
+
     def send(self, payload: Any, dest: int, tag: int = 0) -> None:
-        """Eager blocking send (never blocks: copies and enqueues)."""
+        """Eager blocking send (copies/frames and enqueues)."""
+        dest = int(dest)
         msg = Message(
-            source=self._rank, dest=int(dest), tag=int(tag),
-            payload=self._copy_payload(payload),
+            source=self._rank, dest=dest, tag=int(tag),
+            payload=self._outgoing(payload, dest),
         )
         self._router.deliver(msg, self._channel)
 
     def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
         """Nonblocking send; the returned request is already complete."""
+        dest = int(dest)
         msg = Message(
-            source=self._rank, dest=int(dest), tag=int(tag),
-            payload=self._copy_payload(payload),
+            source=self._rank, dest=dest, tag=int(tag),
+            payload=self._outgoing(payload, dest),
         )
         self._router.deliver(msg, self._channel)
         return SendRequest(msg)

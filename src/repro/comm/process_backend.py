@@ -29,6 +29,14 @@ writes the array's memoryview straight to the socket and the receiver
 reads with ``recv_into`` on a preallocated array — no pickling and no
 intermediate copies of the payload on either side.
 
+The framing (:func:`pack_frame` / :func:`payload_scratch` /
+:func:`payload_finish`) and the endpoint skeleton
+(:class:`MeshEndpoint`: per-channel mailboxes with dynamic
+sub-channels, delivery bookkeeping, the abort/close state machine) are
+shared with the shared-memory transport
+(:mod:`repro.comm.shm_backend`), as is the launcher below — only the
+byte pipe differs between the two.
+
 Failure semantics
 -----------------
 Mirrors the thread backend's :class:`~repro.comm.backend.WorldError`
@@ -38,8 +46,9 @@ every control pipe, which closes the surviving ranks' mailboxes — their
 blocked receives wake with :class:`~repro.comm.mailbox.MailboxClosed`
 instead of hanging.  A rank that dies without reporting (hard crash) is
 detected by process exit and triggers the same abort.  A rank that
-*finishes* simply closes its sockets: peers treat the EOF as a normal
-departure, exactly like a finished thread whose mailbox outlives it.
+*finishes* simply closes its transport: peers treat the EOF (or the
+ring-closed flag, on the shm transport) as a normal departure, exactly
+like a finished thread whose mailbox outlives it.
 """
 
 from __future__ import annotations
@@ -68,7 +77,15 @@ from repro.comm.mailbox import Mailbox, MailboxClosed
 from repro.comm.message import Message
 from repro.comm.router import Channel, DEFAULT_CHANNELS
 
-__all__ = ["ProcessBackend", "SocketEndpoint", "ProcessCrashError"]
+__all__ = [
+    "MeshEndpoint",
+    "ProcessBackend",
+    "ProcessCrashError",
+    "SocketEndpoint",
+    "pack_frame",
+    "payload_finish",
+    "payload_scratch",
+]
 
 #: Payload kind markers of the wire frame.
 _KIND_OBJ = 0
@@ -86,7 +103,7 @@ class ProcessCrashError(RuntimeError):
 
 
 # ---------------------------------------------------------------------------
-# low-level framing helpers
+# low-level framing helpers (shared with the shm transport)
 # ---------------------------------------------------------------------------
 def _read_exact_into(sock: socket.socket, view: memoryview) -> bool:
     """Fill ``view`` from the socket; False on EOF before the first byte.
@@ -131,19 +148,81 @@ def _recv_obj(sock: socket.socket) -> Any:
     return pickle.loads(bytes(body))
 
 
+def pack_frame(message: Message, channel: str) -> Tuple[bytes, Any]:
+    """``(pickled header, body)`` of one wire frame.
+
+    The header is ``(channel, source, dest, tag, seq, kind, dtype,
+    shape, payload_nbytes)``.  NumPy arrays (plain dtypes only) return
+    their raw buffer as the body (``kind="nd"`` — written to the wire
+    without pickling); everything else is pickled (``kind="obj"``).
+    """
+    payload = message.payload
+    if (
+        isinstance(payload, np.ndarray)
+        and not payload.dtype.hasobject
+        and payload.dtype.names is None  # dtype.str drops record fields
+    ):
+        # ascontiguousarray would promote 0-d to 1-d; the header keeps
+        # the true shape so the receiver reconstructs it exactly.
+        arr = payload if payload.flags.c_contiguous else np.ascontiguousarray(payload)
+        header = (
+            channel, message.source, message.dest, message.tag, message.seq,
+            _KIND_ND, arr.dtype.str, payload.shape, int(arr.nbytes),
+        )
+        body: Any = memoryview(arr.reshape(-1)).cast("B")
+    else:
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        header = (
+            channel, message.source, message.dest, message.tag, message.seq,
+            _KIND_OBJ, "", (), len(body),
+        )
+    return pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL), body
+
+
+def payload_scratch(kind: int, dtype: str, nbytes: int) -> Tuple[Any, memoryview]:
+    """Receive-side buffer for one frame's payload.
+
+    Returns ``(scratch, byte view)``: the transport fills the view with
+    the frame's payload bytes (zero-copy for arrays — the view aliases
+    the array's own buffer) and hands the scratch to
+    :func:`payload_finish`.
+    """
+    if kind == _KIND_ND:
+        dt = np.dtype(dtype)
+        flat = np.empty(nbytes // dt.itemsize if dt.itemsize else 0, dtype=dt)
+        return flat, memoryview(flat.view(np.uint8)) if nbytes else memoryview(b"")
+    buf = bytearray(nbytes)
+    return buf, memoryview(buf)
+
+
+def payload_finish(kind: int, shape: Tuple[int, ...], scratch: Any) -> Any:
+    """Turn a filled :func:`payload_scratch` buffer into the payload."""
+    if kind == _KIND_ND:
+        return scratch.reshape(shape)
+    return pickle.loads(bytes(scratch))
+
+
 # ---------------------------------------------------------------------------
-# the per-process endpoint (the "router" of this transport)
+# the shared per-process endpoint skeleton
 # ---------------------------------------------------------------------------
-class SocketEndpoint:
-    """One rank's view of the socket mesh.
+class MeshEndpoint:
+    """One rank's view of a multiprocess mesh (transport-agnostic half).
 
     Implements the :class:`~repro.comm.backend.RouterLike` surface the
     shared :class:`~repro.comm.communicator.Communicator` is built on:
     local mailboxes per channel (dynamic ``"<base>.<suffix>"``
     sub-channels included, mirroring
-    :meth:`repro.comm.router.Router.mailbox`) plus a :meth:`deliver`
-    that frames remote messages onto the destination's socket.
+    :meth:`repro.comm.router.Router.mailbox`), delivery bookkeeping, and
+    the abort/close state machine every multiprocess transport shares.
+    Subclasses implement :meth:`_send_frame` (write one frame to the
+    peer's byte pipe) and the :meth:`_shutdown_transport` /
+    :meth:`_join_receivers` teardown hooks.
     """
+
+    #: Remote payloads are framed (copied onto the wire) synchronously
+    #: inside :meth:`deliver`, so the communicator may skip its
+    #: defensive pre-send copy for remote destinations.
+    remote_payloads_framed = True
 
     def __init__(
         self, rank: int, world_size: int, channels: Sequence[str] = DEFAULT_CHANNELS
@@ -156,12 +235,9 @@ class SocketEndpoint:
         if not self.channels:
             raise ValueError("at least one channel is required")
         self._mailboxes: Dict[str, Mailbox] = {
-            ch: Mailbox(self.rank, ch) for ch in self.channels
+            ch: self._make_mailbox(self.rank, ch) for ch in self.channels
         }
-        self._peers: Dict[int, socket.socket] = {}
-        self._send_locks: Dict[int, threading.Lock] = {}
         self._departed: set[int] = set()
-        self._receivers: List[threading.Thread] = []
         self._seq = itertools.count()
         self._lock = threading.Lock()
         self._message_count = 0
@@ -170,26 +246,21 @@ class SocketEndpoint:
         self._abort_reason: Optional[str] = None
 
     # ----------------------------------------------------------- plumbing
-    def attach_peer(self, peer: int, sock: socket.socket) -> None:
-        """Register the mesh socket for ``peer`` and start its receiver."""
-        sock.settimeout(None)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._peers[peer] = sock
-        self._send_locks[peer] = threading.Lock()
-        thread = threading.Thread(
-            target=self._recv_loop,
-            args=(peer, sock),
-            name=f"sockrecv-r{self.rank}-p{peer}",
-            daemon=True,
-        )
-        self._receivers.append(thread)
-        thread.start()
-
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.world_size:
             raise ValueError(
                 f"rank {rank} out of range for world of size {self.world_size}"
             )
+
+    def _make_mailbox(self, rank: int, channel: str) -> Mailbox:
+        """Mailbox factory hook.
+
+        The shm transport returns work-stealing mailboxes whose blocked
+        receivers pump the rings themselves; the socket transport uses
+        the plain kind (its receiver threads already block in the
+        kernel, which is as direct as a socket wake-up gets).
+        """
+        return Mailbox(rank, channel)
 
     # ------------------------------------------------------------- access
     def mailbox(self, rank: int, channel: str) -> Mailbox:
@@ -197,8 +268,8 @@ class SocketEndpoint:
         self._check_rank(rank)
         if rank != self.rank:
             raise ValueError(
-                f"rank {self.rank} cannot open rank {rank}'s mailbox: the "
-                "process transport only holds local mailboxes"
+                f"rank {self.rank} cannot open rank {rank}'s mailbox: a "
+                "multiprocess transport only holds local mailboxes"
             )
         mailbox = self._mailboxes.get(channel)
         if mailbox is None:
@@ -212,7 +283,7 @@ class SocketEndpoint:
                             f"{self.channels} (plus '<known>.<suffix>' "
                             f"dynamic sub-channels)"
                         )
-                    mailbox = Mailbox(self.rank, channel)
+                    mailbox = self._make_mailbox(self.rank, channel)
                     if self._closed:
                         # Born closed, mirroring Router.close() semantics:
                         # a straggler blocked on a late-created channel is
@@ -224,7 +295,7 @@ class SocketEndpoint:
 
     # ------------------------------------------------------------ deliver
     def deliver(self, message: Message, channel: str) -> None:
-        """Route ``message`` to its destination (local put or socket frame)."""
+        """Route ``message`` to its destination (local put or wire frame)."""
         self._check_rank(message.dest)
         self._check_rank(message.source)
         base = channel.split(".", 1)[0]
@@ -245,101 +316,14 @@ class SocketEndpoint:
         if message.dest == self.rank:
             self.mailbox(self.rank, channel).put(message)
             return
+        if message.dest in self._departed:
+            # The peer already finished and tore its transport down; like
+            # a thread world's mailbox-to-nobody, the send just evaporates.
+            return
         self._send_frame(message, channel)
 
     def _send_frame(self, message: Message, channel: str) -> None:
-        dest = message.dest
-        sock = self._peers.get(dest)
-        if sock is None or dest in self._departed:
-            # The peer already finished and tore its sockets down; like a
-            # thread world's mailbox-to-nobody, the send just evaporates.
-            return
-        payload = message.payload
-        if (
-            isinstance(payload, np.ndarray)
-            and not payload.dtype.hasobject
-            and payload.dtype.names is None  # dtype.str drops record fields
-        ):
-            # ascontiguousarray would promote 0-d to 1-d; the header keeps
-            # the true shape so the receiver reconstructs it exactly.
-            arr = payload if payload.flags.c_contiguous else np.ascontiguousarray(payload)
-            header = (
-                channel, message.source, dest, message.tag, message.seq,
-                _KIND_ND, arr.dtype.str, payload.shape, int(arr.nbytes),
-            )
-            body: Any = memoryview(arr.reshape(-1))
-        else:
-            body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-            header = (
-                channel, message.source, dest, message.tag, message.seq,
-                _KIND_OBJ, "", (), len(body),
-            )
-        head = pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL)
-        lock = self._send_locks[dest]
-        try:
-            with lock:
-                sock.sendall(_HEADER_LEN.pack(len(head)) + head)
-                if len(body):
-                    sock.sendall(body)
-        except OSError:
-            # EPIPE/ECONNRESET: the peer departed between our check and the
-            # write.  Same no-op semantics as above; a *crash* is handled by
-            # the launcher's abort broadcast, not by the send path.
-            self._departed.add(dest)
-
-    # ----------------------------------------------------------- receive
-    def _recv_loop(self, peer: int, sock: socket.socket) -> None:
-        try:
-            while True:
-                head_len_buf = _read_exact(sock, _HEADER_LEN.size)
-                if head_len_buf is None:
-                    break  # orderly EOF at a frame boundary: peer departed
-                (head_len,) = _HEADER_LEN.unpack(head_len_buf)
-                head = _read_exact(sock, head_len)
-                if head is None:
-                    raise ConnectionResetError("EOF inside a frame header")
-                channel, source, dest, tag, seq, kind, dtype, shape, nbytes = (
-                    pickle.loads(bytes(head))
-                )
-                if kind == _KIND_ND:
-                    dt = np.dtype(dtype)
-                    flat = np.empty(nbytes // dt.itemsize if dt.itemsize else 0, dtype=dt)
-                    if nbytes:
-                        # Zero-copy receive: the socket fills the array's
-                        # own buffer, no intermediate bytes object.
-                        if not _read_exact_into(sock, memoryview(flat.view(np.uint8))):
-                            raise ConnectionResetError("EOF inside an array payload")
-                    payload: Any = flat.reshape(shape)
-                else:
-                    body = _read_exact(sock, nbytes) if nbytes else bytearray()
-                    if body is None:
-                        raise ConnectionResetError("EOF inside an object payload")
-                    payload = pickle.loads(bytes(body))
-                msg = Message(source=source, dest=dest, tag=tag, payload=payload, seq=seq)
-                try:
-                    self.mailbox(self.rank, channel).put(msg)
-                except MailboxClosed:
-                    return  # aborted while delivering; drop and exit
-        except OSError:
-            # Reset/teardown on the peer socket (including mid-frame EOF,
-            # which _read_exact_into raises as ConnectionResetError).  A
-            # peer may answer its own close() with RST while our frame is
-            # in flight, so a socket error here is *departure*, never a
-            # world failure: genuine crashes are detected by the
-            # launcher's liveness check, which aborts every rank through
-            # the control pipes.  Mirrors the send path's handling.
-            pass
-        except (EOFError, pickle.UnpicklingError) as exc:
-            # Both processes are alive but the stream is unreadable — the
-            # launcher cannot see this, so wake the local rank ourselves.
-            if not self._closed:
-                self.abort(f"corrupted stream from rank {peer}: {exc}")
-        finally:
-            self._departed.add(peer)
-            try:
-                sock.close()
-            except OSError:
-                pass
+        raise NotImplementedError
 
     # ------------------------------------------------------------- stats
     @property
@@ -371,24 +355,129 @@ class SocketEndpoint:
             mailboxes = list(self._mailboxes.values())
         for mb in mailboxes:
             mb.close()
-        self._shutdown_sockets()
+        self._shutdown_transport()
 
     def close(self) -> None:
         """Orderly teardown after the SPMD function returned.
 
         Mailboxes stay readable (matching a finished thread rank whose
-        queued messages remain inspectable); only the sockets go down,
-        which peers observe as a normal departure.
+        queued messages remain inspectable); only the transport goes
+        down, which peers observe as a normal departure.  Safe after an
+        abort: the transport is already down, but receiver threads are
+        still joined (and transport mappings released) exactly once.
         """
         with self._lock:
-            if self._closed:
-                return
+            already_closed = self._closed
             self._closed = True
-        self._shutdown_sockets()
-        for thread in self._receivers:
-            thread.join(timeout=2.0)
+        if not already_closed:
+            self._shutdown_transport()
+        self._join_receivers()
 
-    def _shutdown_sockets(self) -> None:
+    def _shutdown_transport(self) -> None:
+        raise NotImplementedError
+
+    def _join_receivers(self) -> None:
+        """Wait briefly for receiver threads after an orderly close."""
+
+
+# ---------------------------------------------------------------------------
+# the socket endpoint
+# ---------------------------------------------------------------------------
+class SocketEndpoint(MeshEndpoint):
+    """One rank's view of the TCP socket mesh."""
+
+    def __init__(
+        self, rank: int, world_size: int, channels: Sequence[str] = DEFAULT_CHANNELS
+    ) -> None:
+        super().__init__(rank, world_size, channels)
+        self._peers: Dict[int, socket.socket] = {}
+        self._send_locks: Dict[int, threading.Lock] = {}
+        self._receivers: List[threading.Thread] = []
+
+    # ----------------------------------------------------------- plumbing
+    def attach_peer(self, peer: int, sock: socket.socket) -> None:
+        """Register the mesh socket for ``peer`` and start its receiver."""
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._peers[peer] = sock
+        self._send_locks[peer] = threading.Lock()
+        thread = threading.Thread(
+            target=self._recv_loop,
+            args=(peer, sock),
+            name=f"sockrecv-r{self.rank}-p{peer}",
+            daemon=True,
+        )
+        self._receivers.append(thread)
+        thread.start()
+
+    # --------------------------------------------------------------- send
+    def _send_frame(self, message: Message, channel: str) -> None:
+        dest = message.dest
+        sock = self._peers.get(dest)
+        if sock is None:
+            return
+        head, body = pack_frame(message, channel)
+        lock = self._send_locks[dest]
+        try:
+            with lock:
+                sock.sendall(_HEADER_LEN.pack(len(head)) + head)
+                if len(body):
+                    sock.sendall(body)
+        except OSError:
+            # EPIPE/ECONNRESET: the peer departed between our check and the
+            # write.  Same no-op semantics as a departed peer; a *crash* is
+            # handled by the launcher's abort broadcast, not the send path.
+            self._departed.add(dest)
+
+    # ----------------------------------------------------------- receive
+    def _recv_loop(self, peer: int, sock: socket.socket) -> None:
+        try:
+            while True:
+                head_len_buf = _read_exact(sock, _HEADER_LEN.size)
+                if head_len_buf is None:
+                    break  # orderly EOF at a frame boundary: peer departed
+                (head_len,) = _HEADER_LEN.unpack(head_len_buf)
+                head = _read_exact(sock, head_len)
+                if head is None:
+                    raise ConnectionResetError("EOF inside a frame header")
+                channel, source, dest, tag, seq, kind, dtype, shape, nbytes = (
+                    pickle.loads(bytes(head))
+                )
+                scratch, view = payload_scratch(kind, dtype, nbytes)
+                if nbytes:
+                    # Zero-copy receive: the socket fills the array's
+                    # own buffer, no intermediate bytes object.
+                    if not _read_exact_into(sock, view):
+                        raise ConnectionResetError("EOF inside a frame payload")
+                payload = payload_finish(kind, shape, scratch)
+                msg = Message(source=source, dest=dest, tag=tag, payload=payload, seq=seq)
+                try:
+                    self.mailbox(self.rank, channel).put(msg)
+                except MailboxClosed:
+                    return  # aborted while delivering; drop and exit
+        except OSError:
+            # Reset/teardown on the peer socket (including mid-frame EOF,
+            # which _read_exact_into raises as ConnectionResetError).  A
+            # peer may answer its own close() with RST while our frame is
+            # in flight, so a socket error here is *departure*, never a
+            # world failure: genuine crashes are detected by the
+            # launcher's liveness check, which aborts every rank through
+            # the control pipes.  Mirrors the send path's handling.
+            pass
+        except (EOFError, pickle.UnpicklingError) as exc:
+            # Both processes are alive but the stream is unreadable — the
+            # launcher cannot see this, so wake the local rank ourselves.
+            if not self._closed:
+                self.abort(f"corrupted stream from rank {peer}: {exc}")
+        finally:
+            self._departed.add(peer)
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -------------------------------------------------------------- close
+    def _shutdown_transport(self) -> None:
         for sock in self._peers.values():
             try:
                 sock.shutdown(socket.SHUT_RDWR)
@@ -399,6 +488,10 @@ class SocketEndpoint:
             except OSError:
                 pass
 
+    def _join_receivers(self) -> None:
+        for thread in self._receivers:
+            thread.join(timeout=2.0)
+
 
 # ---------------------------------------------------------------------------
 # rendezvous + mesh establishment (runs inside each rank process)
@@ -406,9 +499,9 @@ class SocketEndpoint:
 def _build_mesh(
     rank: int,
     world_size: int,
+    channels: Sequence[str],
     rendezvous_listener: Optional[socket.socket],
     rendezvous_addr: Tuple[str, int],
-    channels: Sequence[str],
 ) -> SocketEndpoint:
     endpoint = SocketEndpoint(rank, world_size, channels)
     if world_size == 1:
@@ -423,29 +516,9 @@ def _build_mesh(
     my_addr = data_listener.getsockname()
 
     # --- rank-0 rendezvous: collect and broadcast the address map -------
-    if rank == 0:
-        assert rendezvous_listener is not None
-        rendezvous_listener.settimeout(_SETUP_TIMEOUT)
-        addr_map: Dict[int, Tuple[str, int]] = {0: my_addr}
-        conns = []
-        for _ in range(world_size - 1):
-            conn, _ = rendezvous_listener.accept()
-            conn.settimeout(_SETUP_TIMEOUT)
-            peer_rank, peer_addr = _recv_obj(conn)
-            addr_map[int(peer_rank)] = tuple(peer_addr)
-            conns.append(conn)
-        for conn in conns:
-            _send_obj(conn, addr_map)
-            conn.close()
-        rendezvous_listener.close()
-    else:
-        if rendezvous_listener is not None:
-            rendezvous_listener.close()
-        conn = socket.create_connection(rendezvous_addr, timeout=_SETUP_TIMEOUT)
-        conn.settimeout(_SETUP_TIMEOUT)
-        _send_obj(conn, (rank, my_addr))
-        addr_map = _recv_obj(conn)
-        conn.close()
+    addr_map = _rendezvous(
+        rank, world_size, rendezvous_listener, rendezvous_addr, my_addr
+    )
 
     # --- full mesh: dial the higher ranks, accept the lower ones --------
     for peer in range(rank + 1, world_size):
@@ -464,6 +537,45 @@ def _build_mesh(
     return endpoint
 
 
+def _rendezvous(
+    rank: int,
+    world_size: int,
+    rendezvous_listener: Optional[socket.socket],
+    rendezvous_addr: Tuple[str, int],
+    my_payload: Any,
+) -> Dict[int, Any]:
+    """Rank-0 rendezvous: collect every rank's payload, broadcast the map.
+
+    Used by the socket mesh (payloads are data-listener addresses) and
+    as the setup barrier of the shm mesh (payloads are readiness
+    markers, the broadcast doubles as the "all segments exist" signal).
+    """
+    if rank == 0:
+        assert rendezvous_listener is not None
+        rendezvous_listener.settimeout(_SETUP_TIMEOUT)
+        payload_map: Dict[int, Any] = {0: my_payload}
+        conns = []
+        for _ in range(world_size - 1):
+            conn, _ = rendezvous_listener.accept()
+            conn.settimeout(_SETUP_TIMEOUT)
+            peer_rank, peer_payload = _recv_obj(conn)
+            payload_map[int(peer_rank)] = peer_payload
+            conns.append(conn)
+        for conn in conns:
+            _send_obj(conn, payload_map)
+            conn.close()
+        rendezvous_listener.close()
+        return payload_map
+    if rendezvous_listener is not None:
+        rendezvous_listener.close()
+    conn = socket.create_connection(rendezvous_addr, timeout=_SETUP_TIMEOUT)
+    conn.settimeout(_SETUP_TIMEOUT)
+    _send_obj(conn, (rank, my_payload))
+    payload_map = _recv_obj(conn)
+    conn.close()
+    return payload_map
+
+
 # ---------------------------------------------------------------------------
 # rank worker (child process)
 # ---------------------------------------------------------------------------
@@ -476,7 +588,7 @@ def _pickle_safe_exception(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
-def _abort_listener(control, endpoint: SocketEndpoint, done: threading.Event) -> None:
+def _abort_listener(control, endpoint: MeshEndpoint, done: threading.Event) -> None:
     while not done.is_set():
         try:
             if control.poll(0.1):
@@ -493,20 +605,18 @@ def _worker_main(
     fn: Callable[..., Any],
     args: Tuple[Any, ...],
     kwargs: Dict[str, Any],
-    rendezvous_listener: Optional[socket.socket],
-    rendezvous_addr: Tuple[str, int],
+    mesh_builder: Callable[..., MeshEndpoint],
+    mesh_args: Tuple[Any, ...],
     channels: Sequence[str],
     channel: str,
     default_recv_timeout: Optional[float],
     result_conn,
     control_conn,
 ) -> None:
-    endpoint: Optional[SocketEndpoint] = None
+    endpoint: Optional[MeshEndpoint] = None
     done = threading.Event()
     try:
-        endpoint = _build_mesh(
-            rank, world_size, rendezvous_listener, rendezvous_addr, channels
-        )
+        endpoint = mesh_builder(rank, world_size, channels, *mesh_args)
         listener = threading.Thread(
             target=_abort_listener,
             args=(control_conn, endpoint, done),
@@ -551,7 +661,14 @@ def _worker_main(
 # ---------------------------------------------------------------------------
 @register_backend("process")
 class ProcessBackend(CommBackend):
-    """One OS process per rank over a local TCP socket mesh."""
+    """One OS process per rank over a local TCP socket mesh.
+
+    The launcher below — spawn, result collection, liveness checks, the
+    abort broadcast, the hang/timeout handling — is transport-agnostic;
+    the shm backend (:mod:`repro.comm.shm_backend`) subclasses this
+    class and overrides only the ``_setup_world`` / ``_mesh_args`` /
+    ``_cleanup_world`` hooks that describe the byte pipe.
+    """
 
     name = "process"
 
@@ -563,10 +680,36 @@ class ProcessBackend(CommBackend):
             return multiprocessing.get_context("fork")
         except ValueError as exc:  # pragma: no cover - non-POSIX platforms
             raise BackendUnavailableError(
-                "the process backend requires the fork start method "
+                f"the {self.name} backend requires the fork start method "
                 "(POSIX only); use backend='thread' on this platform"
             ) from exc
 
+    # ------------------------------------------------------ transport hooks
+    def _setup_world(self, ctx, world_size: int, opts: Dict[str, Any]) -> Dict[str, Any]:
+        """Allocate launcher-side transport state (inherited via fork)."""
+        if opts:
+            raise TypeError(
+                f"{self.name} backend got unexpected options {sorted(opts)}"
+            )
+        rendezvous = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        rendezvous.bind(("127.0.0.1", 0))
+        rendezvous.listen(world_size)
+        return {"rendezvous": rendezvous, "addr": rendezvous.getsockname()}
+
+    def _mesh_builder(self) -> Callable[..., MeshEndpoint]:
+        return _build_mesh
+
+    def _mesh_args(self, setup: Dict[str, Any], rank: int) -> Tuple[Any, ...]:
+        return (setup["rendezvous"] if rank == 0 else None, setup["addr"])
+
+    def _post_spawn(self, setup: Dict[str, Any]) -> None:
+        """Release launcher copies of resources the children inherited."""
+        setup["rendezvous"].close()
+
+    def _cleanup_world(self, setup: Dict[str, Any]) -> None:
+        """Tear down launcher-side transport state after the world ended."""
+
+    # -------------------------------------------------------------- launch
     def run(
         self,
         fn: Callable[..., Any],
@@ -582,44 +725,53 @@ class ProcessBackend(CommBackend):
     ) -> List[Any]:
         kwargs = kwargs or {}
         ctx = self._context()
+        setup = self._setup_world(ctx, world_size, opts)
+        try:
+            result_pipes = [ctx.Pipe(duplex=False) for _ in range(world_size)]
+            control_pipes = [ctx.Pipe(duplex=False) for _ in range(world_size)]
+            procs = []
+            mesh_builder = self._mesh_builder()
+            for rank in range(world_size):
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        rank,
+                        world_size,
+                        fn,
+                        args,
+                        kwargs,
+                        mesh_builder,
+                        self._mesh_args(setup, rank),
+                        tuple(channels),
+                        channel,
+                        default_recv_timeout,
+                        result_pipes[rank][1],
+                        control_pipes[rank][0],
+                    ),
+                    name=f"rank{rank}",
+                    daemon=True,
+                )
+                procs.append(proc)
+                proc.start()
+            # The children inherited their ends via fork; release the parent's.
+            self._post_spawn(setup)
+            for recv_end, send_end in result_pipes:
+                send_end.close()
+            for recv_end, send_end in control_pipes:
+                recv_end.close()
+            return self._monitor(procs, result_pipes, control_pipes, world_size, timeout)
+        finally:
+            self._cleanup_world(setup)
 
-        rendezvous = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        rendezvous.bind(("127.0.0.1", 0))
-        rendezvous.listen(world_size)
-        rendezvous_addr = rendezvous.getsockname()
-
-        result_pipes = [ctx.Pipe(duplex=False) for _ in range(world_size)]
-        control_pipes = [ctx.Pipe(duplex=False) for _ in range(world_size)]
-        procs = []
-        for rank in range(world_size):
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(
-                    rank,
-                    world_size,
-                    fn,
-                    args,
-                    kwargs,
-                    rendezvous if rank == 0 else None,
-                    rendezvous_addr,
-                    tuple(channels),
-                    channel,
-                    default_recv_timeout,
-                    result_pipes[rank][1],
-                    control_pipes[rank][0],
-                ),
-                name=f"rank{rank}",
-                daemon=True,
-            )
-            procs.append(proc)
-            proc.start()
-        # The children inherited their ends via fork; release the parent's.
-        rendezvous.close()
-        for recv_end, send_end in result_pipes:
-            send_end.close()
-        for recv_end, send_end in control_pipes:
-            recv_end.close()
-
+    # ------------------------------------------------------------- monitor
+    def _monitor(
+        self,
+        procs: List[Any],
+        result_pipes: List[Any],
+        control_pipes: List[Any],
+        world_size: int,
+        timeout: Optional[float],
+    ) -> List[Any]:
         results: List[Any] = [None] * world_size
         reported: Dict[int, bool] = {}
         failures: Dict[int, BaseException] = {}

@@ -12,6 +12,8 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.comm import reduce_kernels
+
 
 @dataclass(frozen=True)
 class ReduceOp:
@@ -66,11 +68,35 @@ class ReduceOp:
         intermediate allocation when the operator has a ufunc.  ``out``
         must be a *writable* array and may be a view (e.g. one pipeline
         segment of a fusion buffer).
+
+        Narrow float dtypes dispatch — by dtype, at call time — to the
+        vectorised widen-combine-narrow kernels of
+        :mod:`repro.comm.reduce_kernels`: NumPy's native ``float16``
+        loops convert element-at-a-time, which made reducing fp16
+        payloads the slowest step of a narrow-dtype exchange.  The
+        kernel result is bit-identical to the native loop.
         """
         if self.ufunc is not None and isinstance(out, np.ndarray):
+            if reduce_kernels.combine_into(self.ufunc, out, other):
+                return out
             return self.ufunc(out, other, out=out)
         out[...] = self.fn(out, np.asarray(other))
         return out
+
+    def accumulator(self, out: np.ndarray):
+        """A widened accumulator over ``out``, or ``None``.
+
+        When ``out`` has a narrow float dtype (and this operator has a
+        ufunc), returns a
+        :class:`repro.comm.reduce_kernels.WidenedAccumulator` that folds
+        many contributions at ``float32`` vector speed and narrows once
+        — the multi-segment form of :meth:`combine_into`.  Float32
+        accumulation is more accurate than (not bit-identical to)
+        stepwise narrow arithmetic, so callers must only use it where no
+        bit-agreement contract with stepwise peers exists (e.g. a
+        rooted reduction).  ``None`` means combine stepwise.
+        """
+        return reduce_kernels.accumulator(self.ufunc, out)
 
     def reduce_many(self, arrays) -> np.ndarray:
         """Reduce an iterable of equally-shaped arrays."""

@@ -116,6 +116,14 @@ class GradientCodec(ABC):
     #: Wire dtype of the payload for reduce-closed codecs (the dtype the
     #: collective reduces in); ``None`` for composite payloads.
     wire_dtype: Optional[np.dtype] = None
+    #: Whether the wire payload's elements *are* the decoded values (a
+    #: value-preserving widening cast reverses :meth:`encode`).  Lets
+    #: collectives fold wire payloads into a dense accumulator with one
+    #: fused cast (:func:`repro.comm.reduce_kernels.accumulate_wire`)
+    #: instead of calling :meth:`decode`.  A codec whose decode applies
+    #: any transform (scaling, offsets, bit reinterpretation) must leave
+    #: this ``False`` even if its wire dtype is a float.
+    wire_is_values: bool = False
     #: Rough per-dense-byte costs of the transform, used by the simtime
     #: cost model (:func:`cost_model`).  Calibrated against ``numpy``
     #: ``astype``/``argpartition`` throughput on commodity CPUs; they

@@ -12,6 +12,7 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro.comm import reduce_kernels
 from repro.compression.base import (
     DENSE_BYTES_PER_ELEMENT,
     EncodedGradient,
@@ -31,6 +32,7 @@ class NoneCodec(GradientCodec):
     lossless = True
     reduce_closed = True
     wire_dtype = np.dtype(np.float64)
+    wire_is_values = True
 
     def encode(self, dense: np.ndarray) -> EncodedGradient:
         arr = self._as_dense(dense)
@@ -58,6 +60,7 @@ class Fp16Codec(GradientCodec):
     name = "fp16"
     reduce_closed = True
     wire_dtype = np.dtype(np.float16)
+    wire_is_values = True
     encode_seconds_per_byte = 2.7e-10
     decode_seconds_per_byte = 1.0e-10
 
@@ -91,16 +94,14 @@ class Bf16Codec(GradientCodec):
 
     def encode(self, dense: np.ndarray) -> EncodedGradient:
         arr = self._as_dense(dense)
-        bits = arr.astype(np.float32).view(np.uint32)
-        # Round to nearest even before truncating the low mantissa bits.
-        rounding = ((bits >> 16) & 1) + np.uint32(0x7FFF)
-        payload = ((bits + rounding) >> 16).astype(np.uint16)
+        # Round to nearest even before truncating the low mantissa bits
+        # (the shared wire transform of repro.comm.reduce_kernels).
+        payload = reduce_kernels.bf16_narrow(arr)
         return EncodedGradient("bf16", arr.size, payload, payload.nbytes)
 
     def decode(self, encoded: EncodedGradient) -> np.ndarray:
         self._check(encoded)
-        bits = np.asarray(encoded.payload, dtype=np.uint16).astype(np.uint32) << 16
-        return bits.view(np.float32).astype(np.float64).reshape(-1)
+        return reduce_kernels.bf16_widen(encoded.payload, dtype=np.float64).reshape(-1)
 
 
 @register_codec("int8")

@@ -243,12 +243,21 @@ class GradientBucketer:
     def num_buckets(self) -> int:
         return len(self.buckets)
 
-    def pack(self, flat_gradient: np.ndarray) -> List[np.ndarray]:
+    def pack(
+        self,
+        flat_gradient: np.ndarray,
+        out: Optional[List[np.ndarray]] = None,
+    ) -> List[np.ndarray]:
         """Slice the flat gradient into per-bucket fusion buffers.
 
         Each buffer is an owned contiguous copy (a real fusion buffer the
         collective can reduce in place), bit-identical to the source
-        elements.
+        elements.  ``out`` recycles a previous ``pack``'s buffer list
+        (same bucketer): the copies then land in already-faulted pages,
+        which is what makes Horovod-style *persistent* fusion buffers
+        cheaper than per-step allocation.  Buffers of the wrong shape or
+        dtype (e.g. replaced by a decode-reduce-encode result) are
+        reallocated transparently.
         """
         flat = np.asarray(flat_gradient).reshape(-1)
         if flat.size != self.num_elements:
@@ -256,7 +265,22 @@ class GradientBucketer:
                 f"flat gradient has {flat.size} elements, bucketer expects "
                 f"{self.num_elements}"
             )
-        return [np.array(flat[b.start : b.stop], copy=True) for b in self.buckets]
+        if out is None or len(out) != self.num_buckets:
+            return [np.array(flat[b.start : b.stop], copy=True) for b in self.buckets]
+        buffers = []
+        for bucket, buf in zip(self.buckets, out):
+            segment = flat[bucket.start : bucket.stop]
+            if (
+                isinstance(buf, np.ndarray)
+                and buf.shape == segment.shape
+                and buf.dtype == segment.dtype
+                and buf.flags.writeable
+            ):
+                np.copyto(buf, segment)
+                buffers.append(buf)
+            else:
+                buffers.append(np.array(segment, copy=True))
+        return buffers
 
     def pack_params(self, gradients: Sequence[np.ndarray]) -> List[np.ndarray]:
         """Pack per-parameter gradient tensors into fusion buffers.

@@ -263,6 +263,10 @@ class SynchronousExchange(GradientExchange):
         self.name = f"sync-{style}"
         self._bucketer = bucketer
         self._step = 0
+        #: Persistent fusion buffers, reused across steps so each
+        #: exchange pays a copy into warm pages instead of fresh
+        #: allocations (and their page faults) per bucket.
+        self._pack_buffers: Optional[List[np.ndarray]] = None
 
     def _ensure_bucketer(self, num_parameters: int) -> GradientBucketer:
         if self._bucketer is None:
@@ -300,7 +304,8 @@ class SynchronousExchange(GradientExchange):
         start = time.perf_counter()
         flat = np.asarray(flat_gradient, dtype=np.float64)
         bucketer = self._ensure_bucketer(flat.size)
-        buffers = bucketer.pack(flat)
+        buffers = bucketer.pack(flat, out=self._pack_buffers)
+        self._pack_buffers = buffers
         if self.style == "horovod":
             order = self._negotiated_order(bucketer.num_buckets)
         else:
@@ -341,6 +346,9 @@ class SynchronousExchange(GradientExchange):
                 algorithm=self.algorithm,
                 average=True,
                 n_chunks=self.pipeline_chunks,
+                # The packed fusion buffer is owned by this exchange;
+                # reducing it in place skips a full-size copy per bucket.
+                copy=False,
             )
             return result, buffer.nbytes
         if self.codec.reduce_closed:

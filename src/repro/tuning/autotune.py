@@ -352,9 +352,19 @@ def tune_with_profile(
 
     Live trials (``live_trials > 0``) run on the backend the profile was
     calibrated against, so measured and modelled times describe the same
-    transport.
+    transport.  When a codec is given, its encode/decode costs come from
+    the profile's live measurements
+    (:meth:`~repro.tuning.calibration.CalibratedProfile.compression_model`)
+    rather than the class-attribute constants.
     """
     kwargs.setdefault("backend", profile.backend)
+    compression = kwargs.get("compression")
+    if compression is not None and kwargs.get("compression_model") is None:
+        from repro.compression import get_codec
+
+        kwargs["compression_model"] = profile.compression_model(
+            get_codec(compression)
+        )
     return autotune(
         profile.params, profile.world_size, gradient_bytes, algorithm, **kwargs
     )
@@ -417,9 +427,11 @@ def resolve_auto_fusion(
     if getattr(config, "compression", None) is not None:
         from repro.compression import get_codec
 
-        compression_model = get_codec(
-            config.compression, **(config.compression_options or {})
-        ).cost_model()
+        # Measured transform costs from the cached profile, not the
+        # codec's hardcoded numpy-throughput constants.
+        compression_model = profile.compression_model(
+            get_codec(config.compression, **(config.compression_options or {}))
+        )
     plan = autotune(
         profile.params,
         config.world_size,

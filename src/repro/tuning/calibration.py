@@ -47,7 +47,7 @@ import json
 import math
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -57,7 +57,9 @@ from repro.simtime.collective_model import allreduce_time
 from repro.simtime.network import LogGPParams
 
 #: Serialisation format version; bump when the profile schema changes.
-PROFILE_VERSION = 1
+#: Version 2 added measured per-codec transform costs (``codec_costs``);
+#: version-1 caches are treated as absent and remeasured once.
+PROFILE_VERSION = 2
 
 
 def supported_backends() -> Tuple[str, ...]:
@@ -477,6 +479,50 @@ def measure_reduce(
     return samples
 
 
+def measure_codec_costs(
+    nbytes: int = 1 << 20,
+    base_iterations: int = 4,
+    codecs: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Measured encode/decode seconds-per-dense-byte of each codec.
+
+    The class-attribute constants on :class:`~repro.compression.base.
+    GradientCodec` are rough numpy-throughput numbers for a commodity
+    CPU; this measures the *live* machine (the box the tuning profile
+    describes) so the autotuner's compression terms use real transform
+    costs.  Costs are per dense byte — the unit the simtime
+    :class:`~repro.simtime.collective_model.CompressionModel` charges.
+
+    The identity codec (``"none"``) is skipped: its wire path moves the
+    dense buffer untransformed and the model charges it nothing.
+    """
+    from repro.compression import available_codecs, get_codec
+
+    if codecs is None:
+        codecs = [name for name in available_codecs() if name != "none"]
+    dense = np.random.default_rng(0).standard_normal(max(1, nbytes // 8))
+    dense_bytes = float(dense.nbytes)
+    costs: Dict[str, Dict[str, float]] = {}
+    for name in codecs:
+        codec = get_codec(name)
+        encoded = codec.encode(dense)  # warmup (and the decode operand)
+        encode_best = float("inf")
+        decode_best = float("inf")
+        codec.decode(encoded)  # warmup
+        for _ in range(max(2, base_iterations)):
+            start = time.perf_counter()
+            encoded = codec.encode(dense)
+            encode_best = min(encode_best, time.perf_counter() - start)
+            start = time.perf_counter()
+            codec.decode(encoded)
+            decode_best = min(decode_best, time.perf_counter() - start)
+        costs[codec.name] = {
+            "encode_seconds_per_byte": encode_best / dense_bytes,
+            "decode_seconds_per_byte": decode_best / dense_bytes,
+        }
+    return costs
+
+
 def measure_allreduce(
     world_size: int,
     sizes: Sequence[int],
@@ -531,7 +577,30 @@ class CalibratedProfile:
     samples: Tuple[CalibrationSample, ...] = ()
     #: Worst relative error of the fitted model on the allreduce samples.
     max_rel_error: float = float("nan")
+    #: Live-measured codec transform costs on this machine, keyed by
+    #: codec name: ``{"fp16": {"encode_seconds_per_byte": ...,
+    #: "decode_seconds_per_byte": ...}, ...}`` (see
+    #: :func:`measure_codec_costs`).  Used by :meth:`compression_model`
+    #: so the autotuner charges measured — not hardcoded — costs.
+    codec_costs: Dict[str, Dict[str, float]] = field(default_factory=dict)
     version: int = PROFILE_VERSION
+
+    def compression_model(self, codec):
+        """Cost-model view of ``codec`` with this machine's measured costs.
+
+        Falls back to the codec's class-attribute constants for any
+        codec the profile has no measurement for (e.g. one registered
+        after the profile was cached).
+        """
+        model = codec.cost_model()
+        measured = (self.codec_costs or {}).get(codec.name)
+        if not measured:
+            return model
+        return replace(
+            model,
+            encode_seconds_per_byte=float(measured["encode_seconds_per_byte"]),
+            decode_seconds_per_byte=float(measured["decode_seconds_per_byte"]),
+        )
 
     def to_dict(self) -> Dict:
         return {
@@ -546,6 +615,7 @@ class CalibratedProfile:
                 "collective_overhead": self.params.collective_overhead,
             },
             "max_rel_error": self.max_rel_error,
+            "codec_costs": self.codec_costs or {},
             "samples": [s.to_dict() for s in self.samples],
         }
 
@@ -564,6 +634,13 @@ class CalibratedProfile:
             algorithm=data.get("algorithm", "recursive_doubling"),
             samples=tuple(CalibrationSample.from_dict(s) for s in data.get("samples", ())),
             max_rel_error=float(data.get("max_rel_error", float("nan"))),
+            codec_costs={
+                str(name): {
+                    "encode_seconds_per_byte": float(cost["encode_seconds_per_byte"]),
+                    "decode_seconds_per_byte": float(cost["decode_seconds_per_byte"]),
+                }
+                for name, cost in (data.get("codec_costs") or {}).items()
+            },
             version=int(data.get("version", 0)),
         )
 
@@ -705,6 +782,9 @@ def calibrate(
         algorithm=algorithm,
         samples=tuple(samples),
         max_rel_error=max_relative_error(samples, params),
+        codec_costs=measure_codec_costs(
+            nbytes=max(sizes), base_iterations=base_iterations
+        ),
     )
     profile.save(profile_path(world_size, backend, cache_dir))
     return profile

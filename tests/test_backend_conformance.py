@@ -5,8 +5,10 @@ semantics through :func:`repro.comm.launch`: MPI-like point-to-point
 messaging with tag/source matching, the channel system (dynamic
 sub-channels included), the synchronous and partial collectives, and the
 ``WorldError`` failure contract.  The tests below parametrize the core
-behaviours over ``["thread", "process"]`` so a new transport (or a
-regression in an existing one) is caught by a single suite.
+behaviours over ``["thread", "process", "shm"]`` so a new transport (or
+a regression in an existing one) is caught by a single suite; the shm
+transport is skip-marked on platforms whose capability probe rejected it
+(no POSIX shared memory / no fork).
 
 The pickle-safety tests are part of the contract: payloads and results
 cross a process boundary on the socket transport, so everything a rank
@@ -37,13 +39,23 @@ from repro.comm import (
     set_default_backend,
 )
 
-BACKENDS = ["thread", "process"]
+BACKENDS = ["thread", "process", "shm"]
 
 pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
+def _skip_if_unavailable(name):
+    if name not in available_backends():
+        from repro.comm.backend import backend_unavailable_reason
+
+        pytest.skip(
+            f"backend {name!r} unavailable: {backend_unavailable_reason(name)}"
+        )
+
+
 @pytest.fixture(params=BACKENDS)
 def backend(request):
+    _skip_if_unavailable(request.param)
     return request.param
 
 
@@ -54,6 +66,17 @@ class TestRegistry:
     def test_builtins_registered(self):
         names = available_backends()
         assert "thread" in names and "process" in names
+        # shm is platform-gated: either registered, or absent with a
+        # recorded reason (and resolving it raises the typed error).
+        if "shm" not in names:
+            from repro.comm.backend import (
+                BackendUnavailableError,
+                backend_unavailable_reason,
+            )
+
+            assert backend_unavailable_reason("shm")
+            with pytest.raises(BackendUnavailableError):
+                get_backend("shm")
 
     def test_get_backend_live_handle(self, backend):
         handle = get_backend(backend)

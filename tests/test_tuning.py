@@ -595,3 +595,91 @@ class TestTuneHarness:
             harness.run(world_sizes=(1,), cache_dir=tmp_path)
         with pytest.raises(ValueError):
             harness.run(world_sizes=(2,), gradient_mb=0.0, cache_dir=tmp_path)
+
+
+class TestCodecCostCalibration:
+    """Live-measured codec transform costs in the cached tuning profile."""
+
+    def test_measure_codec_costs_shape_and_sanity(self):
+        from repro.tuning.calibration import measure_codec_costs
+
+        costs = measure_codec_costs(nbytes=1 << 16, base_iterations=2)
+        assert "none" not in costs  # identity codec is free by definition
+        for name in ("fp16", "bf16", "int8", "topk"):
+            assert name in costs
+            for key in ("encode_seconds_per_byte", "decode_seconds_per_byte"):
+                value = costs[name][key]
+                # Per dense byte on any real machine: positive, far
+                # below a microsecond (that would be < 1 MB/s).
+                assert 0.0 < value < 1e-6, (name, key, value)
+
+    def test_profile_roundtrips_codec_costs(self, tmp_path):
+        costs = {
+            "fp16": {
+                "encode_seconds_per_byte": 3.25e-10,
+                "decode_seconds_per_byte": 1.5e-10,
+            }
+        }
+        profile = _profile(codec_costs=costs)
+        path = profile.save(tmp_path / "thread-p2.json")
+        loaded = CalibratedProfile.load(path)
+        assert loaded.codec_costs == costs
+
+    def test_compression_model_uses_measured_costs(self):
+        from repro.compression import get_codec
+
+        codec = get_codec("fp16")
+        measured = {
+            "fp16": {
+                "encode_seconds_per_byte": 9.9e-9,
+                "decode_seconds_per_byte": 8.8e-9,
+            }
+        }
+        model = _profile(codec_costs=measured).compression_model(codec)
+        assert model.encode_seconds_per_byte == 9.9e-9
+        assert model.decode_seconds_per_byte == 8.8e-9
+        assert model.name == "fp16"
+        assert model.wire_scale == codec.cost_model().wire_scale
+
+    def test_compression_model_falls_back_to_constants(self):
+        from repro.compression import get_codec
+
+        codec = get_codec("bf16")
+        model = _profile(codec_costs={}).compression_model(codec)
+        assert model.encode_seconds_per_byte == codec.encode_seconds_per_byte
+        assert model.decode_seconds_per_byte == codec.decode_seconds_per_byte
+
+    def test_calibrate_stores_costs_in_cache(self, tmp_path):
+        from repro.tuning.calibration import calibrate, load_profile
+
+        profile = calibrate(2, backend="thread", quick=True, cache_dir=tmp_path)
+        assert profile.codec_costs and "fp16" in profile.codec_costs
+        cached = load_profile(2, backend="thread", cache_dir=tmp_path)
+        assert cached is not None
+        assert cached.codec_costs == profile.codec_costs
+
+    def test_tune_with_profile_threads_measured_costs(self):
+        from repro.tuning.autotune import tune_with_profile
+
+        # An absurd measured encode cost must dominate the tuned plan's
+        # predicted time, proving the measured (not hardcoded) numbers
+        # reach the grid search.
+        slow = {
+            "fp16": {
+                "encode_seconds_per_byte": 1e-7,
+                "decode_seconds_per_byte": 1e-7,
+            }
+        }
+        fast = {
+            "fp16": {
+                "encode_seconds_per_byte": 1e-12,
+                "decode_seconds_per_byte": 1e-12,
+            }
+        }
+        plan_slow = tune_with_profile(
+            _profile(codec_costs=slow), 1 << 20, compression="fp16"
+        )
+        plan_fast = tune_with_profile(
+            _profile(codec_costs=fast), 1 << 20, compression="fp16"
+        )
+        assert plan_slow.predicted_time > plan_fast.predicted_time * 10
