@@ -1,0 +1,224 @@
+"""Benchmark: flat vs topology-aware hierarchical fused exchange.
+
+Acceptance bar of the multi-host fabric PR (ISSUE 6): at P = 8 with a
+4 MB gradient on a simulated two-host topology (ranks 0-3 on host 0,
+ranks 4-7 on host 1), the ``hier`` backend's hierarchical fused
+exchange must be >= 1.2x faster than the flat ``process`` backend under
+the same representative tuned configuration (ring algorithm, 2 MiB
+fusion buffers, 2 pipeline chunks).
+
+Both sides of the comparison run real OS processes.  The flat baseline
+pushes every hop of the P-rank ring through the TCP socket mesh; the
+hierarchical side routes intra-host frames over shared-memory rings and
+only the two host leaders' ring over sockets, which is exactly the
+traffic split a real two-host deployment would see (the simulated
+"inter-host" socket is still loopback, so the measured gap is a *lower*
+bound on the real-fabric gap).
+
+``python benchmarks/bench_hierarchical.py`` sweeps world size x
+payload, prints the comparison table, writes machine-readable
+``BENCH_hierarchy.json`` at the repo root, and exits non-zero if the
+bar fails.  Under pytest-benchmark the same harness is timed and
+asserted.
+
+Note on substrate: this container serialises every rank onto one core,
+so absolute times mix scheduling latency into each hop; the *ratio*
+between the two schedules under identical scheduling is the signal.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.comm import available_backends, launch
+from repro.training.exchange import SynchronousExchange
+
+#: Acceptance threshold: hier vs flat process, P = 8, 4 MB, two hosts.
+TARGET_SPEEDUP = 1.2
+
+#: The representative tuned exchange configuration of the sweep.
+ALGORITHM = "ring"
+FUSION_THRESHOLD_BYTES = 2 * 1024 * 1024
+PIPELINE_CHUNKS = 2
+
+WORLD_SIZES = (4, 8)
+PAYLOAD_BYTES = (1 << 20, 4 << 20)
+
+#: Output file (repo root), committed as the perf trajectory's anchor.
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_hierarchy.json"
+
+
+def two_host_topology(world_size):
+    """First half of the ranks on host 0, second half on host 1."""
+    half = world_size // 2
+    return ",".join("0" if r < half else "1" for r in range(world_size))
+
+
+def _exchange_worker(comm, nbytes, iterations):
+    # The exchange discovers the host topology from the communicator's
+    # router: under the hier backend it auto-routes dense buckets to the
+    # two-tier hierarchical allreduce, under the process backend it runs
+    # the flat ring.  One worker, both schedules.
+    exchange = SynchronousExchange(
+        comm,
+        algorithm=ALGORITHM,
+        fusion_threshold_bytes=FUSION_THRESHOLD_BYTES,
+        pipeline_chunks=PIPELINE_CHUNKS,
+    )
+    gradient = np.random.default_rng(comm.rank).standard_normal(nbytes // 8)
+    exchange.exchange(gradient)  # warmup (buffers, rings, sockets)
+    times = []
+    for _ in range(iterations):
+        comm.barrier()
+        start = time.perf_counter()
+        exchange.exchange(gradient)
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def _measure_once(backend, world_size, nbytes, iterations, backend_opts=None):
+    outputs = launch(
+        _exchange_worker, world_size, nbytes, iterations,
+        backend=backend, backend_opts=backend_opts, timeout=900,
+    )
+    # An exchange completes when the slowest rank holds the averaged
+    # gradient; the min over iterations is the least-noise estimator.
+    return float(np.min(np.max(np.asarray(outputs), axis=0)))
+
+
+def measure_pair(world_size, nbytes, iterations=10, repeats=4):
+    """Best flat and hierarchical exchange time, repeats *interleaved*.
+
+    Machine-level drift (CPU steal, thermal throttling) moves on a
+    seconds timescale; alternating the two setups per repeat exposes
+    both to the same drift, keeping their ratio honest.
+    """
+    opts = {"host_topology": two_host_topology(world_size)}
+    flat = hier = float("inf")
+    for _ in range(repeats):
+        flat = min(flat, _measure_once("process", world_size, nbytes,
+                                       iterations))
+        hier = min(hier, _measure_once("hier", world_size, nbytes,
+                                       iterations, backend_opts=opts))
+    return {"process": flat, "hier": hier}
+
+
+def run_sweep(world_sizes=WORLD_SIZES, payloads=PAYLOAD_BYTES, iterations=10):
+    rows = []
+    for world_size in world_sizes:
+        for nbytes in payloads:
+            timings = measure_pair(world_size, nbytes, iterations=iterations)
+            rows.append({
+                "world_size": world_size,
+                "payload_bytes": nbytes,
+                "host_topology": two_host_topology(world_size),
+                "flat_process_seconds": timings["process"],
+                "hier_seconds": timings["hier"],
+                "speedup": timings["process"] / timings["hier"],
+            })
+    return rows
+
+
+def _acceptance(rows):
+    target_row = next(
+        (r for r in rows
+         if r["world_size"] == 8 and r["payload_bytes"] == 4 << 20),
+        None,
+    )
+    speedup = None if target_row is None else target_row["speedup"]
+    return {
+        "hier_vs_flat_process_p8_4mb": speedup,
+        "target": TARGET_SPEEDUP,
+        "pass": speedup is not None and speedup >= TARGET_SPEEDUP,
+    }
+
+
+def run_all(iterations=10, output_path=OUTPUT_PATH):
+    rows = run_sweep(iterations=iterations)
+    acceptance = _acceptance(rows)
+    payload = {
+        "benchmark": "hierarchical_exchange",
+        "config": {
+            "algorithm": ALGORITHM,
+            "fusion_threshold_bytes": FUSION_THRESHOLD_BYTES,
+            "pipeline_chunks": PIPELINE_CHUNKS,
+            "iterations": iterations,
+            "cpu_count": os.cpu_count(),
+        },
+        "rows": rows,
+        "acceptance": acceptance,
+    }
+    if output_path is not None:
+        Path(output_path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry point
+# ---------------------------------------------------------------------------
+def bench_hierarchical_speedup(benchmark):
+    """hier vs flat process at the acceptance point (P=8, 4 MB, 2 hosts)."""
+    if "hier" not in available_backends():
+        import pytest
+
+        pytest.skip("hier backend unavailable on this platform")
+
+    def run():
+        timings = measure_pair(8, 4 << 20, iterations=6, repeats=2)
+        return timings["process"] / timings["hier"]
+
+    speedup = benchmark(run)
+    assert speedup >= TARGET_SPEEDUP, (
+        f"hierarchical exchange only {speedup:.2f}x faster than the flat "
+        f"process backend at P=8 / 4 MB (need >= {TARGET_SPEEDUP}x)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# standalone report
+# ---------------------------------------------------------------------------
+def _format_rows(rows):
+    lines = [
+        f"{'P':>2s} {'payload':>8s} {'hosts':>12s} {'flat ms':>10s} "
+        f"{'hier ms':>10s} {'speedup':>8s}",
+        "-" * 56,
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['world_size']:2d} {r['payload_bytes'] / 2**20:6.0f}MB "
+            f"{r['host_topology']:>12s} "
+            f"{r['flat_process_seconds'] * 1e3:10.2f} "
+            f"{r['hier_seconds'] * 1e3:10.2f} {r['speedup']:7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    if "hier" not in available_backends():
+        from repro.comm import backend_unavailable_reason
+
+        print(
+            "hier backend unavailable on this platform: "
+            f"{backend_unavailable_reason('hier')}"
+        )
+        sys.exit(1)
+    print(
+        f"flat (process) vs hierarchical (hier) fused exchange "
+        f"({ALGORITHM}, {FUSION_THRESHOLD_BYTES >> 20} MiB buffers, "
+        f"{PIPELINE_CHUNKS} chunks, two simulated hosts)\n"
+    )
+    result = run_all()
+    print(_format_rows(result["rows"]))
+    acceptance = result["acceptance"]
+    print(
+        f"\nacceptance: hier vs flat process, P=8, 4 MB, 2 hosts: "
+        f"{acceptance['hier_vs_flat_process_p8_4mb']:.2f}x "
+        f"(need >= {TARGET_SPEEDUP}x): "
+        f"{'PASS' if acceptance['pass'] else 'FAIL'}"
+    )
+    print(f"\nwrote {OUTPUT_PATH}")
+    sys.exit(0 if acceptance["pass"] else 1)

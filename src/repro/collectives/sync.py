@@ -10,6 +10,11 @@ These implement the classic allreduce algorithms referenced by the paper
   bandwidth-optimal for large messages (Horovod's default).
 * **Rabenseifner's algorithm** — recursive-halving reduce-scatter followed
   by recursive-doubling allgather.
+* **hierarchical (two-tier)** — intra-host reduce to a per-host leader,
+  ring exchange among the leaders only, intra-host broadcast back.  The
+  schedule queries the transport's :class:`~repro.collectives.topology.HostTopology`
+  (``comm.router.host_topology``, exposed by the ``hier`` backend) so
+  non-leader ranks never touch an inter-host link.
 
 Non-power-of-two worlds
 -----------------------
@@ -61,8 +66,11 @@ from repro.comm import reduce_kernels
 from repro.comm.communicator import Communicator
 from repro.comm.reduce_ops import ReduceOp, get_op
 from repro.collectives.topology import (
+    HostTopology,
     binomial_tree_children,
     binomial_tree_parent,
+    intra_bcast_edges,
+    intra_reduce_edges,
     largest_power_of_two_leq,
 )
 
@@ -94,6 +102,13 @@ _PHASE_RABEN_RS = 6
 _PHASE_RABEN_AG = 7
 _PHASE_FOLD_IN = 8
 _PHASE_FOLD_OUT = 9
+_PHASE_HIER_REDUCE = 10
+_PHASE_HIER_BCAST = 11
+#: The hierarchical leader exchange reuses the ring algorithms through a
+#: rank-remapped view of the communicator; the inner collective's phases
+#: (``_PHASE_RING_RS``/``_PHASE_RING_AG``) are shifted by this amount so
+#: they land in [12, 14) instead of colliding with the flat phases.
+_HIER_LEADER_PHASE_SHIFT = 8
 
 
 def _next_epoch(comm: Communicator) -> int:
@@ -738,11 +753,230 @@ def allreduce_compressed_ring(
     return flat.reshape(arr.shape)
 
 
+# --------------------------------------------------------------------------
+# hierarchical (two-tier) allreduce
+# --------------------------------------------------------------------------
+def resolve_host_topology(
+    comm: Communicator, topology: Optional[HostTopology] = None
+) -> HostTopology:
+    """The host topology a hierarchical collective should schedule against.
+
+    An explicit ``topology`` wins; otherwise the transport is consulted
+    (``comm.router.host_topology``, exposed by the ``hier`` backend) and
+    the flat single-host topology is the fallback.  A topology sized for
+    a different world is rejected (explicit) or ignored (discovered) —
+    a stale router attribute must not silently corrupt the schedule.
+    """
+    if topology is not None:
+        if topology.world_size != comm.size:
+            raise ValueError(
+                f"host topology covers {topology.world_size} rank(s) but the "
+                f"communicator has {comm.size}"
+            )
+        return topology
+    found = getattr(getattr(comm, "router", None), "host_topology", None)
+    if isinstance(found, HostTopology) and found.world_size == comm.size:
+        return found
+    return HostTopology.single_host(comm.size)
+
+
+class _LeaderView:
+    """Rank- and tag-remapped view of ``comm`` restricted to the host leaders.
+
+    The inter-host stage of the hierarchical allreduce is just a ring
+    collective over the leader ranks, so instead of reimplementing the
+    (intricate, already-tested) ring schedules this view lets them run
+    unchanged: subgroup rank ``i`` is global rank ``leaders[i]``, and
+    tags are translated into the *enclosing* collective's epoch with the
+    ring phases shifted to the hierarchical leader-phase namespace.
+
+    Exactly **one** inner collective may run per view: the inner call
+    allocates epoch 0 on the fresh view, and a second would allocate
+    epoch 1, which the tag translation rejects (it would alias the next
+    outer epoch).
+    """
+
+    def __init__(self, comm: Communicator, leaders: Tuple[int, ...], epoch: int) -> None:
+        self._comm = comm
+        self._leaders = tuple(leaders)
+        self.rank = self._leaders.index(comm.rank)
+        self.size = len(self._leaders)
+        self._epoch = epoch
+
+    def _remap_tag(self, tag: int) -> int:
+        offset = tag - _SYNC_TAG_BASE
+        phase, rest = divmod(offset, _PHASE_STRIDE)
+        round_index, chunk = divmod(rest, _ROUND_STRIDE)
+        # _tag() raises if the shifted phase overflows — which is exactly
+        # what a second inner collective (epoch 1 -> phase >= 16) hits.
+        return _tag(self._epoch, phase + _HIER_LEADER_PHASE_SHIFT, round_index, chunk)
+
+    def send(self, data, dest: int, tag: int = 0) -> None:
+        self._comm.send(data, self._leaders[dest], tag=self._remap_tag(tag))
+
+    def recv(self, source: int, tag: int, timeout: Optional[float] = None):
+        return self._comm.recv(
+            source=self._leaders[source], tag=self._remap_tag(tag), timeout=timeout
+        )
+
+
+def _intra_reduce(
+    comm: Communicator,
+    flat: np.ndarray,
+    topology: HostTopology,
+    epoch: int,
+    n_chunks: int,
+    reduce_op: ReduceOp,
+    timeout: Optional[float],
+) -> None:
+    """Reduce every host's contributions onto its leader (binomial tree)."""
+    rank = comm.rank
+    for round_index, (src, dst) in enumerate(
+        intra_reduce_edges(topology, topology.host(rank))
+    ):
+        if rank == src:
+            _send_segments(
+                comm, flat, 0, flat.size, dst, epoch, _PHASE_HIER_REDUCE,
+                round_index, n_chunks,
+            )
+        elif rank == dst:
+            _recv_segments(
+                comm, flat, 0, flat.size, src, epoch, _PHASE_HIER_REDUCE,
+                round_index, n_chunks, timeout, reduce_op=reduce_op,
+            )
+
+
+def _intra_bcast(
+    comm: Communicator,
+    flat: np.ndarray,
+    topology: HostTopology,
+    epoch: int,
+    n_chunks: int,
+    timeout: Optional[float],
+) -> None:
+    """Broadcast the leader's (reduced) buffer back across its host."""
+    rank = comm.rank
+    for round_index, (src, dst) in enumerate(
+        intra_bcast_edges(topology, topology.host(rank))
+    ):
+        if rank == src:
+            _send_segments(
+                comm, flat, 0, flat.size, dst, epoch, _PHASE_HIER_BCAST,
+                round_index, n_chunks,
+            )
+        elif rank == dst:
+            _recv_segments(
+                comm, flat, 0, flat.size, src, epoch, _PHASE_HIER_BCAST,
+                round_index, n_chunks, timeout,
+            )
+
+
+def allreduce_hierarchical(
+    comm: Communicator,
+    data,
+    op: ReduceOp | str = "sum",
+    timeout: Optional[float] = None,
+    n_chunks: int = 1,
+    copy: bool = True,
+    topology: Optional[HostTopology] = None,
+) -> np.ndarray:
+    """Two-tier allreduce: intra-host reduce, leader ring, intra-host bcast.
+
+    The three stages of the multi-host schedule:
+
+    1. every host reduces onto its leader along the reversed binomial
+       broadcast tree (fast links only, ``O(log n)`` leader receives);
+    2. the leaders — one rank per host — run a ring allreduce among
+       themselves, so each *inter-host* link carries the bandwidth-optimal
+       ``2 (H-1)/H`` payload volume exactly once per direction;
+    3. every leader broadcasts the result back down its host tree.
+
+    With ``topology`` omitted the transport's ``host_topology`` is used
+    (single-host when the transport has none), and a single-host world
+    degenerates to the plain ring allreduce — same result, no extra
+    tree hops.  All replicas receive the leader exchange's bit pattern
+    verbatim, so the replicas agree bit-for-bit just like the flat
+    algorithms.
+    """
+    topology = resolve_host_topology(comm, topology)
+    if topology.is_single_host:
+        return allreduce_ring(
+            comm, data, op=op, timeout=timeout, n_chunks=n_chunks, copy=copy
+        )
+    epoch = _next_epoch(comm)
+    reduce_op = get_op(op)
+    n_chunks = _validate_chunks(n_chunks)
+    acc = _as_float_array(data, copy=copy)
+    flat = acc.reshape(-1)
+
+    _intra_reduce(comm, flat, topology, epoch, n_chunks, reduce_op, timeout)
+    if topology.is_leader(comm.rank):
+        view = _LeaderView(comm, topology.leaders, epoch)
+        allreduce_ring(
+            view, flat, op=reduce_op, timeout=timeout, n_chunks=n_chunks, copy=False
+        )
+    _intra_bcast(comm, flat, topology, epoch, n_chunks, timeout)
+    return flat.reshape(acc.shape)
+
+
+def allreduce_compressed_hierarchical(
+    comm: Communicator,
+    data,
+    codec,
+    average: bool = True,
+    timeout: Optional[float] = None,
+    n_chunks: int = 1,
+    copy: bool = True,
+    topology: Optional[HostTopology] = None,
+) -> np.ndarray:
+    """Two-tier compressed allreduce: dense intra-host, encoded inter-host.
+
+    Compression earns its encode/decode cost only where the wire is the
+    bottleneck, which in a multi-host fabric is the inter-host tier — so
+    the intra-host reduce and broadcast stay dense (shm rings move
+    float64 faster than any codec round-trip) and only the leader ring
+    carries the codec's wire payload, via the same decode-reduce-encode
+    schedule as :func:`allreduce_compressed_ring`.
+
+    ``average`` divides by the **global** world size, applied densely at
+    every leader after the leader exchange (all leaders hold the same
+    bit pattern at that point, and the broadcast forwards leader bytes
+    verbatim, so the replicas stay bit-identical).
+    """
+    topology = resolve_host_topology(comm, topology)
+    if topology.is_single_host:
+        return allreduce_compressed_ring(
+            comm, data, codec, average=average, timeout=timeout,
+            n_chunks=n_chunks, copy=copy,
+        )
+    epoch = _next_epoch(comm)
+    n_chunks = _validate_chunks(n_chunks)
+    reduce_op = get_op("sum")
+    arr = np.asarray(data, dtype=np.float64)
+    if (copy and arr is data) or not arr.flags.writeable:
+        arr = np.array(arr, copy=True)
+    flat = arr.reshape(-1)
+
+    _intra_reduce(comm, flat, topology, epoch, n_chunks, reduce_op, timeout)
+    if topology.is_leader(comm.rank):
+        if topology.num_hosts > 1:
+            view = _LeaderView(comm, topology.leaders, epoch)
+            allreduce_compressed_ring(
+                view, flat, codec, average=False, timeout=timeout,
+                n_chunks=n_chunks, copy=False,
+            )
+        if average:
+            flat /= topology.world_size
+    _intra_bcast(comm, flat, topology, epoch, n_chunks, timeout)
+    return flat.reshape(arr.shape)
+
+
 #: Registry of allreduce algorithms by name.
 ALLREDUCE_ALGORITHMS: Dict[str, Callable] = {
     "recursive_doubling": allreduce_recursive_doubling,
     "ring": allreduce_ring,
     "rabenseifner": allreduce_rabenseifner,
+    "hierarchical": allreduce_hierarchical,
 }
 
 

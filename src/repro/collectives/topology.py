@@ -12,7 +12,8 @@ single source of truth.
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
 
 
 def _validate(size: int, rank: int = 0, root: int = 0) -> None:
@@ -141,3 +142,167 @@ def bcast_order(size: int, root: int = 0) -> List[Tuple[int, int]]:
             raise RuntimeError(f"broadcast tree did not reach ranks {missing}")
         frontier = next_frontier
     return edges
+
+
+# ---------------------------------------------------------------------------
+# Host topology: the rank -> host map that hierarchical collectives query.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HostTopology:
+    """Explicit rank-to-host assignment of a (possibly multi-host) world.
+
+    The topology is the single source of truth the two-tier collectives
+    use to split intra-host from inter-host traffic: every host elects a
+    *leader* (its lowest rank), non-leaders only ever talk to their own
+    leader, and leaders exchange among themselves over the (slow)
+    inter-host links.
+
+    ``host_of`` maps each rank to an opaque host label.  Labels are
+    canonicalised to dense indices ``0..num_hosts-1`` in order of first
+    appearance, so ``HostTopology(["a", "a", "b"])`` and
+    ``HostTopology([0, 0, 1])`` describe the same fabric.
+    """
+
+    #: Canonical rank -> host-index map (dense, first-appearance order).
+    host_of: Tuple[int, ...] = field(default=())
+
+    def __init__(self, host_of: Sequence[object]) -> None:
+        if len(host_of) < 1:
+            raise ValueError("host topology needs at least one rank")
+        canonical: Dict[object, int] = {}
+        dense: List[int] = []
+        for label in host_of:
+            if label not in canonical:
+                canonical[label] = len(canonical)
+            dense.append(canonical[label])
+        object.__setattr__(self, "host_of", tuple(dense))
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def single_host(cls, world_size: int) -> "HostTopology":
+        """All ranks on one host (the degenerate flat topology)."""
+        if world_size < 1:
+            raise ValueError(f"world size must be >= 1, got {world_size}")
+        return cls([0] * world_size)
+
+    @classmethod
+    def from_string(cls, spec: str) -> "HostTopology":
+        """Parse ``"0,0,1,1"``-style rank->host specs (REPRO_HOST_TOPOLOGY).
+
+        Each comma-separated entry is the host label of the rank at that
+        position.  Labels need not be numeric: ``"a,a,b,b"`` works too.
+        """
+        labels = [s.strip() for s in spec.split(",") if s.strip()]
+        if not labels:
+            raise ValueError(f"empty host topology spec {spec!r}")
+        return cls(labels)
+
+    @classmethod
+    def from_hosts(cls, ranks_per_host: Sequence[int]) -> "HostTopology":
+        """Build a topology from per-host rank counts, e.g. ``[3, 1]``."""
+        if not ranks_per_host or any(n < 1 for n in ranks_per_host):
+            raise ValueError(
+                f"ranks_per_host entries must be >= 1, got {list(ranks_per_host)}"
+            )
+        labels: List[int] = []
+        for host, count in enumerate(ranks_per_host):
+            labels.extend([host] * count)
+        return cls(labels)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def world_size(self) -> int:
+        return len(self.host_of)
+
+    @property
+    def num_hosts(self) -> int:
+        return max(self.host_of) + 1
+
+    @property
+    def is_single_host(self) -> bool:
+        return self.num_hosts == 1
+
+    def host(self, rank: int) -> int:
+        """Host index of ``rank``."""
+        _validate(self.world_size, rank)
+        return self.host_of[rank]
+
+    def ranks_on_host(self, host: int) -> Tuple[int, ...]:
+        """All ranks placed on ``host``, in ascending rank order."""
+        if not 0 <= host < self.num_hosts:
+            raise ValueError(f"host {host} out of range for {self.num_hosts} hosts")
+        return tuple(r for r, h in enumerate(self.host_of) if h == host)
+
+    def local_ranks(self, rank: int) -> Tuple[int, ...]:
+        """All ranks sharing ``rank``'s host (including ``rank`` itself)."""
+        return self.ranks_on_host(self.host(rank))
+
+    def local_index(self, rank: int) -> int:
+        """Position of ``rank`` within its host group (0 = the leader)."""
+        return self.local_ranks(rank).index(rank)
+
+    def leader_of(self, host: int) -> int:
+        """The leader (lowest rank) of ``host``."""
+        return self.ranks_on_host(host)[0]
+
+    @property
+    def leaders(self) -> Tuple[int, ...]:
+        """Per-host leader ranks, indexed by host."""
+        return tuple(self.leader_of(h) for h in range(self.num_hosts))
+
+    def is_leader(self, rank: int) -> bool:
+        return self.leader_of(self.host(rank)) == rank
+
+    def leader_index(self, rank: int) -> int:
+        """Host index of a leader ``rank`` (its position in ``leaders``)."""
+        if not self.is_leader(rank):
+            raise ValueError(f"rank {rank} is not a host leader")
+        return self.host(rank)
+
+    def to_string(self) -> str:
+        """Inverse of :meth:`from_string` (canonical labels)."""
+        return ",".join(str(h) for h in self.host_of)
+
+
+def intra_reduce_edges(topology: HostTopology, host: int) -> List[Tuple[int, int]]:
+    """``(sender, receiver)`` edges of the intra-host reduce to the leader.
+
+    The reduction runs the binomial broadcast tree *in reverse*: leaves
+    send first, inner nodes combine their subtree before forwarding, so
+    the leader performs ``O(log n)`` receives instead of ``n - 1``.  The
+    edge list is ordered so every sender appears only after all of its
+    own children have sent (a valid sequential reduce schedule).
+    """
+    local = topology.ranks_on_host(host)
+    n = len(local)
+    if n == 1:
+        return []
+    # Reverse of the broadcast edge order: deepest edges first.
+    edges = bcast_order(n, root=0)
+    return [(local[child], local[parent]) for parent, child in reversed(edges)]
+
+
+def intra_bcast_edges(topology: HostTopology, host: int) -> List[Tuple[int, int]]:
+    """``(sender, receiver)`` edges broadcasting the result from the leader."""
+    local = topology.ranks_on_host(host)
+    if len(local) == 1:
+        return []
+    return [
+        (local[src], local[dst]) for src, dst in bcast_order(len(local), root=0)
+    ]
+
+
+def leader_ring_neighbors(topology: HostTopology, rank: int) -> Tuple[int, int]:
+    """``(predecessor, successor)`` of leader ``rank`` on the leader ring.
+
+    The inter-host reduce-scatter/allgather runs a ring over the leaders
+    only; non-leader ranks never appear on inter-host links.
+    """
+    leaders = topology.leaders
+    idx = topology.leader_index(rank)
+    pred, succ = ring_neighbors(idx, len(leaders))
+    return (leaders[pred], leaders[succ])

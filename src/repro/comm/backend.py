@@ -34,6 +34,18 @@ importing :mod:`repro.comm` never pays for a transport it does not use:
     POSIX shared memory the name is omitted from
     :func:`available_backends` (see :func:`mark_backend_unavailable`)
     and resolving it raises :class:`BackendUnavailableError`.
+``"tcp"``
+    The socket mesh with an explicit *seed rendezvous*
+    (:class:`repro.comm.tcp_backend.TcpBackend`): ranks meet at a
+    caller-provided address (``backend_opts={"seed_addr": ...}`` /
+    ``REPRO_SEED_ADDR``), so several launchers — on one machine or
+    many — can contribute ranks to a single world.
+``"hier"``
+    The two-tier composite (:class:`repro.comm.hier_backend.HierBackend`):
+    intra-host frames ride shared-memory rings, inter-host frames ride
+    sockets, and the endpoint exposes a ``host_topology`` the
+    topology-aware collectives query to keep non-leader traffic off the
+    slow links.  Gated like ``shm`` (it needs the ring transport).
 
 Adding a transport is registering one subclass::
 
@@ -213,6 +225,8 @@ _BUILTIN_MODULES: Dict[str, str] = {
     "thread": "repro.comm.world",
     "process": "repro.comm.process_backend",
     "shm": "repro.comm.shm_backend",
+    "tcp": "repro.comm.tcp_backend",
+    "hier": "repro.comm.hier_backend",
 }
 
 #: Built-ins whose capability probe failed on this platform, with the

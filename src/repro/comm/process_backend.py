@@ -7,14 +7,24 @@ not just in shape.
 
 Topology and rendezvous
 -----------------------
-The launcher forks ``P`` rank processes (``fork`` start method, so the
-SPMD function, closures included, never needs pickling) and keeps one
-control/result pipe pair per rank.  Rank 0 inherits a pre-bound
-rendezvous listener on ``127.0.0.1``; every other rank connects to it,
-registers its own data-listener address, and receives the full
-``rank -> address`` map back.  The data plane is then a full TCP mesh:
-rank ``i`` dials every rank ``j > i`` and accepts from every ``j < i``,
-one socket per pair, ``TCP_NODELAY`` set.
+The launcher spawns ``P`` rank processes (``fork`` start method by
+default, so the SPMD function, closures included, never needs pickling;
+``backend_opts={"start_method": "spawn"}`` selects the pickled entry
+point instead, for macOS/Windows or CUDA-after-fork situations) and
+keeps one control/result pipe pair per rank.  The launcher itself runs
+a *rendezvous service* (:class:`_RendezvousService`) on a loopback
+address; every rank connects to it, registers its own data-listener
+address, and receives the full ``rank -> address`` map back.  Because
+the service lives in the launcher, the worker arguments contain no live
+sockets — they are pickle-clean, which is what makes both ``spawn`` and
+cross-launcher operation (the ``tcp`` backend's seed rendezvous,
+:mod:`repro.comm.tcp_backend`) possible with the same worker entry
+point.  The data plane is then a full TCP mesh: rank ``i`` dials every
+rank ``j > i`` and accepts from every ``j < i``, one socket per pair,
+``TCP_NODELAY`` set.  Bring-up connects retry with bounded backoff
+(:func:`_connect_with_retry`): a rank may dial a peer whose listener is
+not bound yet, and across launchers the seed may come up late — neither
+race should abort the world.
 
 Wire format
 -----------
@@ -53,6 +63,7 @@ like a finished thread whose mailbox outlives it.
 
 from __future__ import annotations
 
+import errno
 import itertools
 import multiprocessing
 import multiprocessing.connection
@@ -82,6 +93,7 @@ __all__ = [
     "ProcessBackend",
     "ProcessCrashError",
     "SocketEndpoint",
+    "SocketPeerMixin",
     "pack_frame",
     "payload_finish",
     "payload_scratch",
@@ -96,6 +108,25 @@ _RANK_ID = struct.Struct("!I")
 
 #: Socket timeout applied during rendezvous and mesh establishment.
 _SETUP_TIMEOUT = 60.0
+
+#: Backoff schedule of the bring-up retry loops (seconds).
+_RETRY_INITIAL_DELAY = 0.02
+_RETRY_MAX_DELAY = 0.5
+
+#: Transient bring-up errnos worth retrying: a listener not bound yet
+#: (ECONNREFUSED), a backlog overflow (ECONNRESET/ECONNABORTED), a port
+#: still in TIME_WAIT (EADDRINUSE) or ephemeral-port pressure
+#: (EADDRNOTAVAIL).  Anything else is a real error and propagates.
+_RETRYABLE_CONNECT_ERRNOS = frozenset(
+    {
+        errno.ECONNREFUSED,
+        errno.ECONNRESET,
+        errno.ECONNABORTED,
+        errno.EADDRNOTAVAIL,
+        errno.ETIMEDOUT,
+        errno.EINTR,
+    }
+)
 
 
 class ProcessCrashError(RuntimeError):
@@ -146,6 +177,68 @@ def _recv_obj(sock: socket.socket) -> Any:
     if body is None:
         raise ConnectionResetError("connection closed during rendezvous")
     return pickle.loads(bytes(body))
+
+
+def _connect_with_retry(
+    addr: Tuple[str, int], timeout: float = _SETUP_TIMEOUT, what: str = "peer"
+) -> socket.socket:
+    """Dial ``addr``, retrying transient bring-up failures with backoff.
+
+    During mesh establishment every connect races the peer's bind: a
+    rank may dial a listener that is not up yet (``ECONNREFUSED``), and
+    across launchers the seed service may start seconds later.  Those
+    races used to abort the whole world; now they retry on a bounded
+    exponential backoff until ``timeout`` expires.
+    """
+    deadline = time.monotonic() + timeout
+    delay = _RETRY_INITIAL_DELAY
+    last: Optional[OSError] = None
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise TimeoutError(
+                f"could not connect to {what} at {addr} within {timeout}s"
+                + (f" (last error: {last})" if last is not None else "")
+            ) from last
+        try:
+            return socket.create_connection(addr, timeout=remaining)
+        except OSError as exc:
+            if (
+                exc.errno not in _RETRYABLE_CONNECT_ERRNOS
+                and not isinstance(exc, (ConnectionError, socket.timeout))
+            ):
+                raise
+            last = exc
+        time.sleep(min(delay, max(0.0, deadline - time.monotonic())))
+        delay = min(delay * 2, _RETRY_MAX_DELAY)
+
+
+def _bind_listener(
+    addr: Tuple[str, int], backlog: int, timeout: float = _SETUP_TIMEOUT
+) -> socket.socket:
+    """Bind a listener at ``addr``, retrying ``EADDRINUSE`` with backoff.
+
+    A fixed seed port may still sit in ``TIME_WAIT`` from the previous
+    run (``SO_REUSEADDR`` covers that case directly) or be held for a
+    moment by a launcher shutting down; both deserve a bounded wait, not
+    an abort.  Ephemeral binds (port 0) never collide and return on the
+    first attempt.
+    """
+    deadline = time.monotonic() + timeout
+    delay = _RETRY_INITIAL_DELAY
+    while True:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind(addr)
+            sock.listen(backlog)
+            return sock
+        except OSError as exc:
+            sock.close()
+            if exc.errno != errno.EADDRINUSE or time.monotonic() + delay >= deadline:
+                raise
+        time.sleep(delay)
+        delay = min(delay * 2, _RETRY_MAX_DELAY)
 
 
 def pack_frame(message: Message, channel: str) -> Tuple[bytes, Any]:
@@ -383,41 +476,54 @@ class MeshEndpoint:
 # ---------------------------------------------------------------------------
 # the socket endpoint
 # ---------------------------------------------------------------------------
-class SocketEndpoint(MeshEndpoint):
-    """One rank's view of the TCP socket mesh."""
+class SocketPeerMixin:
+    """Per-peer socket machinery shared by the flat TCP mesh and the
+    hierarchical endpoint's inter-host links.
 
-    def __init__(
-        self, rank: int, world_size: int, channels: Sequence[str] = DEFAULT_CHANNELS
-    ) -> None:
-        super().__init__(rank, world_size, channels)
-        self._peers: Dict[int, socket.socket] = {}
-        self._send_locks: Dict[int, threading.Lock] = {}
-        self._receivers: List[threading.Thread] = []
+    Mixed into a :class:`MeshEndpoint` subclass; uses its ``rank``,
+    ``mailbox``, ``abort`` and ``_departed`` surfaces.  Attribute names
+    are ``_sock``-prefixed so the shm ring state of a composite endpoint
+    (:mod:`repro.comm.hier_backend`) never collides with them.
+    """
+
+    def _init_socket_peers(self) -> None:
+        self._sock_peers: Dict[int, socket.socket] = {}
+        self._sock_send_locks: Dict[int, threading.Lock] = {}
+        self._sock_receivers: List[threading.Thread] = []
+
+    def _notify_socket_delivery(self) -> None:
+        """Hook run after a socket frame lands in a mailbox.
+
+        The plain socket endpoint needs nothing (its receivers block in
+        the kernel and ``put`` notifies the mailbox condition); the
+        composite endpoint rings its shm doorbell here so a consumer
+        parked on ring starvation wakes for socket arrivals too.
+        """
 
     # ----------------------------------------------------------- plumbing
     def attach_peer(self, peer: int, sock: socket.socket) -> None:
         """Register the mesh socket for ``peer`` and start its receiver."""
         sock.settimeout(None)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._peers[peer] = sock
-        self._send_locks[peer] = threading.Lock()
+        self._sock_peers[peer] = sock
+        self._sock_send_locks[peer] = threading.Lock()
         thread = threading.Thread(
             target=self._recv_loop,
             args=(peer, sock),
             name=f"sockrecv-r{self.rank}-p{peer}",
             daemon=True,
         )
-        self._receivers.append(thread)
+        self._sock_receivers.append(thread)
         thread.start()
 
     # --------------------------------------------------------------- send
-    def _send_frame(self, message: Message, channel: str) -> None:
+    def _send_socket_frame(self, message: Message, channel: str) -> None:
         dest = message.dest
-        sock = self._peers.get(dest)
+        sock = self._sock_peers.get(dest)
         if sock is None:
             return
         head, body = pack_frame(message, channel)
-        lock = self._send_locks[dest]
+        lock = self._sock_send_locks[dest]
         try:
             with lock:
                 sock.sendall(_HEADER_LEN.pack(len(head)) + head)
@@ -455,6 +561,7 @@ class SocketEndpoint(MeshEndpoint):
                     self.mailbox(self.rank, channel).put(msg)
                 except MailboxClosed:
                     return  # aborted while delivering; drop and exit
+                self._notify_socket_delivery()
         except OSError:
             # Reset/teardown on the peer socket (including mid-frame EOF,
             # which _read_exact_into raises as ConnectionResetError).  A
@@ -477,8 +584,8 @@ class SocketEndpoint(MeshEndpoint):
                 pass
 
     # -------------------------------------------------------------- close
-    def _shutdown_transport(self) -> None:
-        for sock in self._peers.values():
+    def _shutdown_socket_peers(self) -> None:
+        for sock in self._sock_peers.values():
             try:
                 sock.shutdown(socket.SHUT_RDWR)
             except OSError:
@@ -488,41 +595,142 @@ class SocketEndpoint(MeshEndpoint):
             except OSError:
                 pass
 
-    def _join_receivers(self) -> None:
-        for thread in self._receivers:
+    def _join_socket_receivers(self) -> None:
+        for thread in self._sock_receivers:
             thread.join(timeout=2.0)
 
 
+class SocketEndpoint(SocketPeerMixin, MeshEndpoint):
+    """One rank's view of the TCP socket mesh."""
+
+    def __init__(
+        self, rank: int, world_size: int, channels: Sequence[str] = DEFAULT_CHANNELS
+    ) -> None:
+        super().__init__(rank, world_size, channels)
+        self._init_socket_peers()
+
+    def _send_frame(self, message: Message, channel: str) -> None:
+        self._send_socket_frame(message, channel)
+
+    def _shutdown_transport(self) -> None:
+        self._shutdown_socket_peers()
+
+    def _join_receivers(self) -> None:
+        self._join_socket_receivers()
+
+
 # ---------------------------------------------------------------------------
-# rendezvous + mesh establishment (runs inside each rank process)
+# rendezvous service (launcher side) + mesh establishment (rank side)
 # ---------------------------------------------------------------------------
+class _RendezvousService:
+    """Launcher-side seed server: collect every rank's payload, broadcast
+    the map.
+
+    Serving the rendezvous from the launcher (instead of a fork-inherited
+    listener inside rank 0) keeps the worker arguments free of live
+    sockets — pickle-clean, so the ``spawn`` start method and the ``tcp``
+    backend's cross-launcher seed use the same worker entry point.  For
+    multi-launcher worlds only the launcher owning the seed address runs
+    a service; every rank of every launcher connects to it as a client.
+    """
+
+    def __init__(
+        self, world_size: int, addr: Tuple[str, int] = ("127.0.0.1", 0)
+    ) -> None:
+        self._world_size = world_size
+        self._listener = _bind_listener(addr, backlog=world_size)
+        #: The address ranks dial (concrete port even for ephemeral binds).
+        self.addr: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._thread = threading.Thread(
+            target=self._serve, name="rendezvous-seed", daemon=True
+        )
+        self._thread.start()
+
+    def _serve(self) -> None:
+        listener = self._listener
+        listener.settimeout(_SETUP_TIMEOUT)
+        payload_map: Dict[int, Any] = {}
+        conns: List[socket.socket] = []
+        try:
+            while len(conns) < self._world_size:
+                conn, _ = listener.accept()
+                conn.settimeout(_SETUP_TIMEOUT)
+                peer_rank, peer_payload = _recv_obj(conn)
+                payload_map[int(peer_rank)] = peer_payload
+                conns.append(conn)
+            for conn in conns:
+                _send_obj(conn, payload_map)
+        except OSError:
+            # Listener closed during teardown, or the accept timed out
+            # because some rank never dialled in; the ranks observe their
+            # own rendezvous failures and report through the launcher.
+            pass
+        finally:
+            for conn in conns:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self._thread.join(timeout=1.0)
+
+
+def _rendezvous(
+    rank: int,
+    world_size: int,
+    rendezvous_addr: Tuple[str, int],
+    my_payload: Any,
+) -> Dict[int, Any]:
+    """Register with the seed service, receive the full payload map back.
+
+    Used by the socket mesh (payloads are data-listener addresses) and
+    as the setup barrier of the shm mesh (payloads are readiness
+    markers, the broadcast doubles as the "all segments exist" signal).
+    The dial retries: across launchers the seed may not be bound yet.
+    """
+    conn = _connect_with_retry(rendezvous_addr, _SETUP_TIMEOUT, what="rendezvous seed")
+    conn.settimeout(_SETUP_TIMEOUT)
+    try:
+        _send_obj(conn, (rank, my_payload))
+        payload_map = _recv_obj(conn)
+    finally:
+        conn.close()
+    if len(payload_map) != world_size:
+        raise RuntimeError(
+            f"rendezvous returned {len(payload_map)} registrations for a "
+            f"world of {world_size}"
+        )
+    return payload_map
+
+
 def _build_mesh(
     rank: int,
     world_size: int,
     channels: Sequence[str],
-    rendezvous_listener: Optional[socket.socket],
     rendezvous_addr: Tuple[str, int],
+    bind_host: str = "127.0.0.1",
 ) -> SocketEndpoint:
     endpoint = SocketEndpoint(rank, world_size, channels)
     if world_size == 1:
-        if rendezvous_listener is not None:
-            rendezvous_listener.close()
         return endpoint
 
-    data_listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-    data_listener.bind(("127.0.0.1", 0))
-    data_listener.listen(world_size)
+    data_listener = _bind_listener((bind_host, 0), backlog=world_size)
     data_listener.settimeout(_SETUP_TIMEOUT)
-    my_addr = data_listener.getsockname()
+    my_addr = data_listener.getsockname()[:2]
 
-    # --- rank-0 rendezvous: collect and broadcast the address map -------
-    addr_map = _rendezvous(
-        rank, world_size, rendezvous_listener, rendezvous_addr, my_addr
-    )
+    # --- seed rendezvous: register, receive the full address map --------
+    addr_map = _rendezvous(rank, world_size, rendezvous_addr, my_addr)
 
     # --- full mesh: dial the higher ranks, accept the lower ones --------
     for peer in range(rank + 1, world_size):
-        sock = socket.create_connection(addr_map[peer], timeout=_SETUP_TIMEOUT)
+        sock = _connect_with_retry(
+            tuple(addr_map[peer]), _SETUP_TIMEOUT, what=f"rank {peer}"
+        )
         sock.sendall(_RANK_ID.pack(rank))
         endpoint.attach_peer(peer, sock)
     for _ in range(rank):
@@ -535,45 +743,6 @@ def _build_mesh(
         endpoint.attach_peer(int(peer), sock)
     data_listener.close()
     return endpoint
-
-
-def _rendezvous(
-    rank: int,
-    world_size: int,
-    rendezvous_listener: Optional[socket.socket],
-    rendezvous_addr: Tuple[str, int],
-    my_payload: Any,
-) -> Dict[int, Any]:
-    """Rank-0 rendezvous: collect every rank's payload, broadcast the map.
-
-    Used by the socket mesh (payloads are data-listener addresses) and
-    as the setup barrier of the shm mesh (payloads are readiness
-    markers, the broadcast doubles as the "all segments exist" signal).
-    """
-    if rank == 0:
-        assert rendezvous_listener is not None
-        rendezvous_listener.settimeout(_SETUP_TIMEOUT)
-        payload_map: Dict[int, Any] = {0: my_payload}
-        conns = []
-        for _ in range(world_size - 1):
-            conn, _ = rendezvous_listener.accept()
-            conn.settimeout(_SETUP_TIMEOUT)
-            peer_rank, peer_payload = _recv_obj(conn)
-            payload_map[int(peer_rank)] = peer_payload
-            conns.append(conn)
-        for conn in conns:
-            _send_obj(conn, payload_map)
-            conn.close()
-        rendezvous_listener.close()
-        return payload_map
-    if rendezvous_listener is not None:
-        rendezvous_listener.close()
-    conn = socket.create_connection(rendezvous_addr, timeout=_SETUP_TIMEOUT)
-    conn.settimeout(_SETUP_TIMEOUT)
-    _send_obj(conn, (rank, my_payload))
-    payload_map = _recv_obj(conn)
-    conn.close()
-    return payload_map
 
 
 # ---------------------------------------------------------------------------
@@ -675,39 +844,62 @@ class ProcessBackend(CommBackend):
     #: Grace period for surviving ranks to drain after an abort broadcast.
     abort_grace: float = 10.0
 
-    def _context(self):
-        try:
-            return multiprocessing.get_context("fork")
-        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
-            raise BackendUnavailableError(
-                f"the {self.name} backend requires the fork start method "
-                "(POSIX only); use backend='thread' on this platform"
-            ) from exc
+    #: Start methods tried (in order) when the caller does not pick one.
+    _START_METHOD_PREFERENCE: Tuple[str, ...] = ("fork", "spawn")
+
+    def _context(self, start_method: Optional[str] = None):
+        if start_method is not None:
+            try:
+                return multiprocessing.get_context(start_method)
+            except ValueError as exc:
+                raise ValueError(
+                    f"unknown multiprocessing start method {start_method!r}; "
+                    f"available: {multiprocessing.get_all_start_methods()}"
+                ) from exc
+        for method in self._START_METHOD_PREFERENCE:
+            try:
+                return multiprocessing.get_context(method)
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                continue
+        raise BackendUnavailableError(  # pragma: no cover - spawn always exists
+            f"the {self.name} backend found no usable start method; "
+            "use backend='thread' on this platform"
+        )
 
     # ------------------------------------------------------ transport hooks
-    def _setup_world(self, ctx, world_size: int, opts: Dict[str, Any]) -> Dict[str, Any]:
-        """Allocate launcher-side transport state (inherited via fork)."""
+    def _reject_unknown_opts(self, opts: Dict[str, Any]) -> None:
         if opts:
             raise TypeError(
                 f"{self.name} backend got unexpected options {sorted(opts)}"
             )
-        rendezvous = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        rendezvous.bind(("127.0.0.1", 0))
-        rendezvous.listen(world_size)
-        return {"rendezvous": rendezvous, "addr": rendezvous.getsockname()}
+
+    def _setup_world(self, ctx, world_size: int, opts: Dict[str, Any]) -> Dict[str, Any]:
+        """Allocate launcher-side transport state.
+
+        Everything handed to the workers afterwards (via
+        :meth:`_mesh_args`) must be picklable: the rendezvous runs as a
+        launcher-side service, so the workers only ever see its address.
+        """
+        self._reject_unknown_opts(opts)
+        if world_size == 1:
+            return {"service": None, "addr": None}
+        service = _RendezvousService(world_size)
+        return {"service": service, "addr": service.addr}
 
     def _mesh_builder(self) -> Callable[..., MeshEndpoint]:
         return _build_mesh
 
     def _mesh_args(self, setup: Dict[str, Any], rank: int) -> Tuple[Any, ...]:
-        return (setup["rendezvous"] if rank == 0 else None, setup["addr"])
+        return (setup["addr"],)
 
     def _post_spawn(self, setup: Dict[str, Any]) -> None:
         """Release launcher copies of resources the children inherited."""
-        setup["rendezvous"].close()
 
     def _cleanup_world(self, setup: Dict[str, Any]) -> None:
         """Tear down launcher-side transport state after the world ended."""
+        service = setup.get("service")
+        if service is not None:
+            service.close()
 
     # -------------------------------------------------------------- launch
     def run(
@@ -724,14 +916,18 @@ class ProcessBackend(CommBackend):
         **opts: Any,
     ) -> List[Any]:
         kwargs = kwargs or {}
-        ctx = self._context()
+        start_method = opts.pop("start_method", None)
+        ctx = self._context(start_method)
         setup = self._setup_world(ctx, world_size, opts)
+        # A launcher may own only a subset of the ranks (the tcp backend's
+        # multi-launcher mode); by default it spawns and monitors them all.
+        local_ranks = list(setup.get("local_ranks") or range(world_size))
         try:
-            result_pipes = [ctx.Pipe(duplex=False) for _ in range(world_size)]
-            control_pipes = [ctx.Pipe(duplex=False) for _ in range(world_size)]
-            procs = []
+            result_pipes = {rank: ctx.Pipe(duplex=False) for rank in local_ranks}
+            control_pipes = {rank: ctx.Pipe(duplex=False) for rank in local_ranks}
+            procs: Dict[int, Any] = {}
             mesh_builder = self._mesh_builder()
-            for rank in range(world_size):
+            for rank in local_ranks:
                 proc = ctx.Process(
                     target=_worker_main,
                     args=(
@@ -751,13 +947,13 @@ class ProcessBackend(CommBackend):
                     name=f"rank{rank}",
                     daemon=True,
                 )
-                procs.append(proc)
+                procs[rank] = proc
                 proc.start()
-            # The children inherited their ends via fork; release the parent's.
+            # The children hold their ends now; release the parent's copies.
             self._post_spawn(setup)
-            for recv_end, send_end in result_pipes:
+            for recv_end, send_end in result_pipes.values():
                 send_end.close()
-            for recv_end, send_end in control_pipes:
+            for recv_end, send_end in control_pipes.values():
                 recv_end.close()
             return self._monitor(procs, result_pipes, control_pipes, world_size, timeout)
         finally:
@@ -766,12 +962,20 @@ class ProcessBackend(CommBackend):
     # ------------------------------------------------------------- monitor
     def _monitor(
         self,
-        procs: List[Any],
-        result_pipes: List[Any],
-        control_pipes: List[Any],
+        procs: Dict[int, Any],
+        result_pipes: Dict[int, Any],
+        control_pipes: Dict[int, Any],
         world_size: int,
         timeout: Optional[float],
     ) -> List[Any]:
+        """Collect results from this launcher's ranks (keys of ``procs``).
+
+        Returns a list indexed by *global* rank; positions owned by
+        another launcher stay ``None``.  Failure semantics are per
+        launcher: each launcher aborts and reports its own ranks, a
+        remote launcher's crash surfaces here as peer departures (or a
+        timeout) on the local ranks.
+        """
         results: List[Any] = [None] * world_size
         reported: Dict[int, bool] = {}
         failures: Dict[int, BaseException] = {}
@@ -783,7 +987,7 @@ class ProcessBackend(CommBackend):
             if aborted:
                 return
             aborted = True
-            for rank in range(world_size):
+            for rank in procs:
                 if rank not in reported:
                     try:
                         control_pipes[rank][1].send("abort")
@@ -807,11 +1011,11 @@ class ProcessBackend(CommBackend):
         deadline = None if timeout is None else time.monotonic() + timeout
         grace_deadline: Optional[float] = None
         timed_out = False
-        while len(reported) < world_size:
-            for rank in range(world_size):
+        while len(reported) < len(procs):
+            for rank in procs:
                 if rank not in reported:
                     _drain(rank)
-            for rank, proc in enumerate(procs):
+            for rank, proc in procs.items():
                 if rank not in reported and not proc.is_alive():
                     _drain(rank)  # result may have raced the exit
                     if rank not in reported:
@@ -825,7 +1029,7 @@ class ProcessBackend(CommBackend):
                 _broadcast_abort()
                 if grace_deadline is None:
                     grace_deadline = time.monotonic() + self.abort_grace
-            if len(reported) >= world_size:
+            if len(reported) >= len(procs):
                 break
             now = time.monotonic()
             if grace_deadline is not None and now >= grace_deadline:
@@ -840,7 +1044,7 @@ class ProcessBackend(CommBackend):
             # Block until a result arrives or a child exits — no busy
             # polling.  A drained-but-alive rank's pipe never re-signals,
             # so only unreported ranks' handles are waited on.
-            pending = [r for r in range(world_size) if r not in reported]
+            pending = [r for r in procs if r not in reported]
             handles: List[Any] = [result_pipes[r][0] for r in pending]
             handles += [procs[r].sentinel for r in pending]
             wait_bounds = [
@@ -853,7 +1057,7 @@ class ProcessBackend(CommBackend):
             )
 
         hung = []
-        for rank, proc in enumerate(procs):
+        for rank, proc in procs.items():
             proc.join(timeout=0.5)
             if proc.is_alive():
                 hung.append(proc.name)
@@ -862,8 +1066,8 @@ class ProcessBackend(CommBackend):
                 if proc.is_alive():  # pragma: no cover - terminate() sufficed so far
                     proc.kill()
                     proc.join(timeout=1.0)
-        for (recv_end, _), (_, send_end) in zip(result_pipes, control_pipes):
-            for conn in (recv_end, send_end):
+        for rank in procs:
+            for conn in (result_pipes[rank][0], control_pipes[rank][1]):
                 try:
                     conn.close()
                 except OSError:

@@ -156,6 +156,16 @@ class _Doorbell:
         os.set_blocking(self._read_fd, False)
         os.set_blocking(self._write_fd, False)
 
+    def __reduce__(self):
+        # Under the spawn start method the worker arguments are pickled;
+        # raw fd numbers would be meaningless in the child, so ship
+        # duplicates through multiprocessing's fd-passing machinery
+        # (DupFd detaches to a valid fd on the receiving side).  Fork
+        # never pickles, so the fast path is unchanged.
+        from multiprocessing.reduction import DupFd
+
+        return (_rebuild_doorbell, (DupFd(self._read_fd), DupFd(self._write_fd)))
+
     def ring(self) -> None:
         try:
             os.write(self._write_fd, b"\0")
@@ -188,6 +198,16 @@ class _Doorbell:
                 os.close(fd)
             except OSError:  # pragma: no cover - already closed
                 pass
+
+
+def _rebuild_doorbell(read_dup, write_dup) -> "_Doorbell":
+    """Reconstruct a :class:`_Doorbell` from pickled fd duplicates."""
+    bell = _Doorbell.__new__(_Doorbell)
+    bell._read_fd = read_dup.detach()
+    bell._write_fd = write_dup.detach()
+    os.set_blocking(bell._read_fd, False)
+    os.set_blocking(bell._write_fd, False)
+    return bell
 
 
 # ---------------------------------------------------------------------------
@@ -907,7 +927,6 @@ def _build_shm_mesh(
     rank: int,
     world_size: int,
     channels: Sequence[str],
-    rendezvous_listener: Optional[socket.socket],
     rendezvous_addr: Tuple[str, int],
     session: str,
     ring_bytes: int,
@@ -916,11 +935,9 @@ def _build_shm_mesh(
 ) -> ShmEndpoint:
     endpoint = ShmEndpoint(rank, world_size, channels, data_events, space_events)
     if world_size == 1:
-        if rendezvous_listener is not None:
-            rendezvous_listener.close()
         return endpoint
 
-    # Create this rank's inbound rings, then rendezvous: the rank-0
+    # Create this rank's inbound rings, then rendezvous: the seed's
     # collect-and-broadcast doubles as the "every segment exists"
     # barrier, so attaching below can never race a missing segment.
     for peer in range(world_size):
@@ -928,7 +945,7 @@ def _build_shm_mesh(
             endpoint.attach_inbound(
                 peer, _Ring.create(segment_name(session, peer, rank), ring_bytes)
             )
-    _rendezvous(rank, world_size, rendezvous_listener, rendezvous_addr, "ready")
+    _rendezvous(rank, world_size, rendezvous_addr, "ready")
     for peer in range(world_size):
         if peer != rank:
             endpoint.attach_outbound(
@@ -977,7 +994,6 @@ class ShmBackend(ProcessBackend):
 
     def _mesh_args(self, setup: Dict[str, Any], rank: int) -> Tuple[Any, ...]:
         return (
-            setup["rendezvous"] if rank == 0 else None,
             setup["addr"],
             setup["session"],
             setup["ring_bytes"],

@@ -81,6 +81,7 @@ def run(
             tune_with_profile(
                 profile, gradient_bytes, algorithm, live_trials=live_trials,
                 compression=compression,
+                ranks_per_host=_resolve_ranks_per_host(profile.backend, world_size),
             )
         )
     return AutotuneResult(
@@ -152,6 +153,28 @@ def report(result: AutotuneResult) -> str:
             "vs. fixed 64 KiB / 1-chunk default (same codec)",
         ),
     ]
+    two_tier = [p for p in result.profiles if p.is_two_tier]
+    if two_tier:
+        parts.append("")
+        parts.append(
+            format_table(
+                ["P", "link", "alpha [us]", "beta [ns/B]", "gamma [ns/B]",
+                 "overhead [us]"],
+                [
+                    (
+                        p.world_size,
+                        link_class,
+                        p.link(link_class).alpha * 1e6,
+                        p.link(link_class).beta * 1e9,
+                        p.link(link_class).gamma * 1e9,
+                        p.link(link_class).collective_overhead * 1e6,
+                    )
+                    for p in two_tier
+                    for link_class in ("intra", "inter")
+                ],
+                title="per-link-class LogGP parameters (two-tier fabric)",
+            )
+        )
     live = [p for p in result.plans if p.measured_time == p.measured_time]
     if live:
         parts.append("")
@@ -182,6 +205,30 @@ def report(result: AutotuneResult) -> str:
         f"fixed 64 KiB / 1-chunk default at every calibrated world size"
     )
     return "\n".join(parts)
+
+
+def _resolve_ranks_per_host(backend: Optional[str], world_size: int):
+    """Host layout the tuner should score for, or ``None`` for flat.
+
+    Only the ``hier`` backend carries a host topology; it is resolved the
+    same way the backend itself resolves it (``REPRO_HOST_TOPOLOGY`` or
+    the single-host default).  An env spec sized for a different world
+    size is ignored rather than raised — each calibrated world size gets
+    the layout that actually applies to it.
+    """
+    if backend != "hier":
+        return None
+    from repro.comm.hier_backend import resolve_topology
+
+    try:
+        topology = resolve_topology(None, world_size)
+    except ValueError:
+        return None
+    if topology.is_single_host:
+        return None
+    return tuple(
+        len(topology.ranks_on_host(host)) for host in range(topology.num_hosts)
+    )
 
 
 def _format_bytes(nbytes: int) -> str:

@@ -315,6 +315,102 @@ def fused_exchange_time(
     return params.collective_overhead + ag_end
 
 
+# ---------------------------------------------------------------------------
+# two-tier (hierarchical) cost model
+# ---------------------------------------------------------------------------
+def _validate_hosts(ranks_per_host: Sequence[int]) -> List[int]:
+    hosts = [int(n) for n in ranks_per_host]
+    if not hosts or any(n < 1 for n in hosts):
+        raise ValueError(
+            f"ranks_per_host entries must be >= 1, got {list(ranks_per_host)}"
+        )
+    return hosts
+
+
+def _intra_tree_rounds(ranks_per_host: Sequence[int]) -> int:
+    """Depth of the deepest intra-host binomial tree (the critical host)."""
+    return max(math.ceil(math.log2(n)) if n > 1 else 0 for n in ranks_per_host)
+
+
+def hierarchical_allreduce_time(
+    nbytes: float,
+    ranks_per_host: Sequence[int],
+    intra: LogGPParams,
+    inter: LogGPParams,
+    n_chunks: int = 1,
+) -> float:
+    """Duration of the two-tier allreduce on a calibrated two-tier fabric.
+
+    Mirrors :func:`repro.collectives.sync.allreduce_hierarchical` with one
+    :class:`LogGPParams` per link class: the intra-host reduce and
+    broadcast trees are charged at the (fast) ``intra`` parameters, the
+    leader ring — one rank per host, carrying the whole payload over the
+    (slow) links — at the ``inter`` parameters.  The critical path runs
+    through the *deepest* host's tree; single-host fabrics degenerate to
+    the flat ring model under ``intra``, exactly like the implementation.
+    """
+    hosts = _validate_hosts(ranks_per_host)
+    if len(hosts) == 1:
+        return allreduce_time(int(nbytes), hosts[0], "ring", intra, n_chunks)
+    rounds = _intra_tree_rounds(hosts)
+    reduce_tree = rounds * _pipelined_round(nbytes, nbytes, n_chunks, intra)
+    bcast_tree = rounds * _pipelined_round(nbytes, 0.0, 1, intra)
+    rs, ag = _ring_phase_times(nbytes, len(hosts), n_chunks, inter)
+    return intra.collective_overhead + reduce_tree + rs + ag + bcast_tree
+
+
+def hierarchical_fused_exchange_time(
+    bucket_bytes: Sequence[float],
+    ranks_per_host: Sequence[int],
+    intra: LogGPParams,
+    inter: LogGPParams,
+    n_chunks: int = 1,
+    inter_scale: float = 1.0,
+) -> float:
+    """Bucketed two-tier exchange with cross-bucket pipelining.
+
+    The intra-host trees and the inter-host leader ring occupy *different*
+    links, so consecutive buckets overlap across all three stages — the
+    three-stage generalisation of :func:`fused_exchange_time`'s
+    recurrence::
+
+        red_end[b] = red_end[b - 1] + RED_b                 (intra links)
+        rs_end[b]  = max(red_end[b], rs_end[b - 1]) + RS_b  (inter links)
+        ag_end[b]  = max(rs_end[b], ag_end[b - 1]) + AG_b + BC_b
+
+    The broadcast of a bucket is charged serially after its allgather
+    (it reuses the intra links the *next* bucket's reduce tree wants, so
+    it does not pipeline for free).  The fixed overhead is paid once.
+
+    ``inter_scale`` shrinks the bytes carried by the leader ring only —
+    the compressed hierarchical exchange keeps the intra tiers dense and
+    puts the codec's wire payload on the inter links alone (see
+    :func:`repro.collectives.sync.allreduce_compressed_hierarchical`);
+    the caller charges the encode/decode transform separately.
+    """
+    if not bucket_bytes:
+        raise ValueError("bucket_bytes must not be empty")
+    if not 0.0 < inter_scale or not math.isfinite(inter_scale):
+        raise ValueError(f"inter_scale must be positive and finite, got {inter_scale}")
+    hosts = _validate_hosts(ranks_per_host)
+    if len(hosts) == 1:
+        return fused_exchange_time(bucket_bytes, hosts[0], "ring", intra, n_chunks)
+    rounds = _intra_tree_rounds(hosts)
+    red_end = 0.0
+    rs_end = 0.0
+    ag_end = 0.0
+    for nbytes in bucket_bytes:
+        reduce_tree = rounds * _pipelined_round(nbytes, nbytes, n_chunks, intra)
+        bcast_tree = rounds * _pipelined_round(nbytes, 0.0, 1, intra)
+        rs, ag = _ring_phase_times(
+            nbytes * inter_scale, len(hosts), n_chunks, inter
+        )
+        red_end = red_end + reduce_tree
+        rs_end = max(red_end, rs_end) + rs
+        ag_end = max(rs_end, ag_end) + ag + bcast_tree
+    return intra.collective_overhead + ag_end
+
+
 def broadcast_time(
     nbytes: int, size: int, params: LogGPParams = DEFAULT_NETWORK
 ) -> float:

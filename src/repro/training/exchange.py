@@ -40,6 +40,18 @@ Per-bucket wait times are reported in
 :attr:`ExchangeResult.bucket_waits` and surface in
 :class:`~repro.training.distributed_sgd.StepStats`.
 
+Multi-host topologies
+---------------------
+When the transport exposes a multi-host
+:class:`~repro.collectives.topology.HostTopology` (the ``hier`` backend's
+``comm.router.host_topology``), the synchronous exchange routes every
+bucket through the two-tier schedules of :mod:`repro.collectives.sync`:
+dense buckets via :func:`~repro.collectives.sync.allreduce_hierarchical`
+and reduce-closed compressed buckets via
+:func:`~repro.collectives.sync.allreduce_compressed_hierarchical`, so
+only one rank per host (its leader) ever touches an inter-host link.  On
+a single-host topology the configured flat ``algorithm`` runs unchanged.
+
 Gradient compression
 --------------------
 Both multi-rank exchanges accept a ``compression`` codec
@@ -83,7 +95,13 @@ import numpy as np
 
 from repro.comm.communicator import Communicator
 from repro.collectives.partial import PartialAllreduce, PartialMode, make_partial_allreduce
-from repro.collectives.sync import allgather, allreduce, allreduce_compressed_ring
+from repro.collectives.sync import (
+    allgather,
+    allreduce,
+    allreduce_compressed_hierarchical,
+    allreduce_compressed_ring,
+    resolve_host_topology,
+)
 from repro.compression import BucketCompressor, GradientCodec, resolve_codec
 from repro.training.bucketing import GradientBucketer
 from repro.tuning.autotune import TunedPlan
@@ -255,6 +273,13 @@ class SynchronousExchange(GradientExchange):
         self.comm = comm
         self.style = style
         self.algorithm = algorithm
+        #: The transport's rank -> host map (single-host unless the
+        #: ``hier`` backend exposes a multi-host ``host_topology``).  On a
+        #: multi-host fabric every bucket is routed through the two-tier
+        #: schedules so non-leader traffic stays off inter-host links;
+        #: the configured ``algorithm`` then applies within a host tier
+        #: only in the degenerate single-host case.
+        self.host_topology = resolve_host_topology(comm)
         self.fusion_buckets = fusion_buckets
         self.fusion_threshold_bytes = fusion_threshold_bytes
         self.pipeline_chunks = pipeline_chunks
@@ -339,11 +364,12 @@ class SynchronousExchange(GradientExchange):
         encoded payloads, then a dense local average (see the module
         docstring).
         """
+        multi_host = not self.host_topology.is_single_host
         if self._compressor is None:
             result = allreduce(
                 self.comm,
                 buffer,
-                algorithm=self.algorithm,
+                algorithm="hierarchical" if multi_host else self.algorithm,
                 average=True,
                 n_chunks=self.pipeline_chunks,
                 # The packed fusion buffer is owned by this exchange;
@@ -359,7 +385,14 @@ class SynchronousExchange(GradientExchange):
             dense = self._compressor.compensate_bucket(b, buffer)
             wire_nbytes = self.codec.wire_bytes(buffer.size)
             self._compressor.bytes_encoded += wire_nbytes
-            result = allreduce_compressed_ring(
+            # On a multi-host fabric only the leader ring carries the
+            # encoded payload; the intra-host hops stay dense (shm rings
+            # move float64 faster than a codec round-trip).
+            compressed_ring = (
+                allreduce_compressed_hierarchical if multi_host
+                else allreduce_compressed_ring
+            )
+            result = compressed_ring(
                 self.comm,
                 dense,
                 self.codec,

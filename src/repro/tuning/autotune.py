@@ -24,7 +24,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
-from repro.simtime.collective_model import CompressionModel, fused_exchange_time
+from repro.simtime.collective_model import (
+    CompressionModel,
+    fused_exchange_time,
+    hierarchical_fused_exchange_time,
+)
 from repro.simtime.network import LogGPParams
 from repro.tuning.calibration import CalibratedProfile, calibrate
 
@@ -65,6 +69,11 @@ class TunedPlan:
     #: Live duration of the fixed default under the same trials (``NaN``
     #: when no live cross-check ran).
     measured_baseline_time: float = float("nan")
+    #: Host topology the plan was scored against (``None`` = flat):
+    #: ranks per host, e.g. ``(4, 4)`` for two hosts of four.  Multi-host
+    #: plans were scored with the two-tier cost model and per-link-class
+    #: parameters.
+    ranks_per_host: Optional[Tuple[int, ...]] = None
 
     @property
     def num_buckets(self) -> int:
@@ -103,6 +112,9 @@ class TunedPlan:
             "baseline_time": self.baseline_time,
             "measured_time": self.measured_time,
             "measured_baseline_time": self.measured_baseline_time,
+            "ranks_per_host": (
+                None if self.ranks_per_host is None else list(self.ranks_per_host)
+            ),
         }
 
     @classmethod
@@ -124,6 +136,11 @@ class TunedPlan:
             measured_time=float(data.get("measured_time", float("nan"))),
             measured_baseline_time=float(
                 data.get("measured_baseline_time", float("nan"))
+            ),
+            ranks_per_host=(
+                None
+                if data.get("ranks_per_host") is None
+                else tuple(int(n) for n in data["ranks_per_host"])
             ),
             _compression_model=model,
         )
@@ -163,16 +180,55 @@ def predict_exchange_time(
     fusion_threshold_bytes: int = DEFAULT_FIXED_THRESHOLD_BYTES,
     pipeline_chunks: int = 1,
     compression: Optional[CompressionModel] = None,
+    ranks_per_host: Optional[Sequence[int]] = None,
+    inter_params: Optional[LogGPParams] = None,
 ) -> float:
     """Modelled duration of one bucketed gradient exchange.
 
     With ``compression``, the fusion threshold budgets the *encoded*
     bucket size (mirroring the exchange's wire-width bucketing), and the
     codec's wire/transform terms enter the cost model.
+
+    ``ranks_per_host`` with more than one host scores the *two-tier*
+    schedules the exchange runs on a multi-host fabric
+    (:func:`~repro.simtime.collective_model.hierarchical_fused_exchange_time`):
+    ``params`` then describes the intra-host tier and ``inter_params``
+    the inter-host tier (a calibrated profile's ``link("inter")``;
+    defaults to ``params``).  Dense and reduce-closed compressed buckets
+    route hierarchically, mirroring
+    :class:`~repro.training.exchange.SynchronousExchange`; codecs on the
+    allgather path stay flat, exactly like the implementation.
     """
     bucket_bytes = plan_bucket_bytes(
         gradient_bytes, fusion_threshold_bytes, compression
     )
+    multi_host = ranks_per_host is not None and len(ranks_per_host) > 1
+    if multi_host and (
+        compression is None or compression.is_identity or compression.reduce_closed
+    ):
+        inter = inter_params if inter_params is not None else params
+        if compression is not None and not compression.is_identity:
+            # Dense intra tiers, encoded leader ring; the leaders pay one
+            # encode + one decode of the dense bucket (reduce-closed).
+            transform = sum(
+                b
+                * (
+                    compression.encode_seconds_per_byte
+                    + compression.decode_seconds_per_byte
+                )
+                for b in bucket_bytes
+            )
+            return transform + hierarchical_fused_exchange_time(
+                bucket_bytes,
+                ranks_per_host,
+                params,
+                inter,
+                n_chunks=pipeline_chunks,
+                inter_scale=compression.wire_scale,
+            )
+        return hierarchical_fused_exchange_time(
+            bucket_bytes, ranks_per_host, params, inter, n_chunks=pipeline_chunks
+        )
     return fused_exchange_time(
         bucket_bytes,
         world_size,
@@ -192,6 +248,7 @@ def _measure_exchange(
     iterations: int = 3,
     backend: Optional[str] = None,
     compression: Optional[str] = None,
+    backend_opts: Optional[Dict] = None,
 ) -> float:
     """Live wall-clock of one synchronous exchange (seconds).
 
@@ -221,7 +278,9 @@ def _measure_exchange(
             best = min(best, time.perf_counter() - start)
         return best
 
-    return float(max(launch(worker, world_size, backend=backend)))
+    return float(
+        max(launch(worker, world_size, backend=backend, backend_opts=backend_opts))
+    )
 
 
 def autotune(
@@ -236,6 +295,8 @@ def autotune(
     backend: Optional[str] = None,
     compression: Optional[str] = None,
     compression_model: Optional[CompressionModel] = None,
+    ranks_per_host: Optional[Sequence[int]] = None,
+    inter_params: Optional[LogGPParams] = None,
 ) -> TunedPlan:
     """Pick ``(fusion_threshold_bytes, pipeline_chunks)`` for one exchange shape.
 
@@ -257,9 +318,22 @@ def autotune(
     the fixed-default baseline is modelled under the *same* codec, and
     live trials run the compressed exchange.  ``compression_model``
     overrides the cost-model view derived from the codec (tests).
+
+    ``ranks_per_host`` (more than one host) scores the grid with the
+    two-tier cost model — ``params`` as the intra tier, ``inter_params``
+    as the inter tier — so the recommendation is a *per-tier* fusion
+    threshold: the knee moves because only the leader ring pays the slow
+    links.  Live trials then run on the matching simulated topology.
     """
     if world_size < 1:
         raise ValueError("size must be >= 1")
+    if ranks_per_host is not None:
+        ranks_per_host = tuple(int(n) for n in ranks_per_host)
+        if sum(ranks_per_host) != world_size:
+            raise ValueError(
+                f"ranks_per_host {list(ranks_per_host)} covers "
+                f"{sum(ranks_per_host)} rank(s), world has {world_size}"
+            )
     if gradient_bytes < 1:
         raise ValueError(f"gradient_bytes must be >= 1, got {gradient_bytes}")
     if live_trials < 0:
@@ -285,6 +359,7 @@ def autotune(
     baseline_time = predict_exchange_time(
         params, world_size, gradient_bytes, algorithm,
         DEFAULT_FIXED_THRESHOLD_BYTES, 1, compression_model,
+        ranks_per_host=ranks_per_host, inter_params=inter_params,
     )
 
     # Score the grid; dedupe candidates that bucket identically.
@@ -297,6 +372,7 @@ def autotune(
             predicted = predict_exchange_time(
                 params, world_size, gradient_bytes, algorithm, threshold, n_chunks,
                 compression_model,
+                ranks_per_host=ranks_per_host, inter_params=inter_params,
             )
             if key not in seen or predicted < seen[key][0]:
                 seen[key] = (predicted, threshold, n_chunks)
@@ -306,17 +382,26 @@ def autotune(
     measured_baseline = float("nan")
     predicted, threshold, n_chunks = ranked[0]
     if live_trials > 0 and world_size > 1:
+        backend_opts = None
+        if backend == "hier" and ranks_per_host is not None and len(ranks_per_host) > 1:
+            # Trials must run on the topology the grid was scored for.
+            spec = ",".join(
+                str(host) for host, n in enumerate(ranks_per_host) for _ in range(n)
+            )
+            backend_opts = {"host_topology": spec}
         num_elements = max(1, gradient_bytes // _BYTES_PER_ELEMENT)
         trials = []
         for cand_predicted, cand_threshold, cand_chunks in ranked[:live_trials]:
             elapsed = _measure_exchange(
                 world_size, num_elements, algorithm, cand_threshold, cand_chunks,
                 iterations=live_iterations, backend=backend, compression=compression,
+                backend_opts=backend_opts,
             )
             trials.append((elapsed, cand_predicted, cand_threshold, cand_chunks))
         measured_baseline = _measure_exchange(
             world_size, num_elements, algorithm, DEFAULT_FIXED_THRESHOLD_BYTES, 1,
             iterations=live_iterations, backend=backend, compression=compression,
+            backend_opts=backend_opts,
         )
         measured_time, predicted, threshold, n_chunks = min(trials)
         # The fixed default was measured too: if every candidate loses to
@@ -338,6 +423,7 @@ def autotune(
         baseline_time=float(baseline_time),
         measured_time=measured_time,
         measured_baseline_time=measured_baseline,
+        ranks_per_host=ranks_per_host,
         _compression_model=compression_model,
     )
 
@@ -358,6 +444,9 @@ def tune_with_profile(
     rather than the class-attribute constants.
     """
     kwargs.setdefault("backend", profile.backend)
+    # Two-tier profiles supply the inter-host link class for multi-host
+    # (ranks_per_host) scoring; a no-op for flat topologies.
+    kwargs.setdefault("inter_params", profile.link("inter"))
     compression = kwargs.get("compression")
     if compression is not None and kwargs.get("compression_model") is None:
         from repro.compression import get_codec

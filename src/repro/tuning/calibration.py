@@ -35,6 +35,20 @@ The joint weighted least-squares fit (:func:`fit_loggp`) minimises
 ones, and clamps the parameters non-negative (a
 :class:`~repro.simtime.network.LogGPParams` rejects negative values).
 
+Per-link-class calibration (two-tier fabrics)
+---------------------------------------------
+The ``hier`` backend's links come in two classes with wildly different
+costs: shm rings within a host, sockets between hosts.  One LogGP fit
+cannot describe both, so version-3 profiles carry ``link_params`` — the
+standard sweep (run under the backend's default single-host topology,
+i.e. pure shm) fits the ``"intra"`` class, and a second ping-pong sweep
+under :func:`cross_host_topology` (every pair straddling a simulated
+host boundary) fits the ``"inter"`` class.  The autotuner feeds both
+into the two-tier cost model
+(:func:`repro.simtime.collective_model.hierarchical_fused_exchange_time`)
+to pick per-tier fusion thresholds; single-tier backends expose the same
+parameters under both keys.
+
 Profiles are JSON-serialisable and cached under a configurable directory
 (``REPRO_TUNING_CACHE_DIR`` or ``~/.cache/repro/tuning``), keyed by
 backend and world size, so a training run pays the measurement cost once
@@ -58,8 +72,13 @@ from repro.simtime.network import LogGPParams
 
 #: Serialisation format version; bump when the profile schema changes.
 #: Version 2 added measured per-codec transform costs (``codec_costs``);
-#: version-1 caches are treated as absent and remeasured once.
-PROFILE_VERSION = 2
+#: version 3 added per-link-class parameters (``link_params``: separate
+#: ``intra``/``inter`` LogGP fits for two-tier fabrics).  Old-version
+#: caches are treated as absent and remeasured once.
+PROFILE_VERSION = 3
+
+#: The link classes a two-tier profile distinguishes.
+LINK_CLASSES = ("intra", "inter")
 
 
 def supported_backends() -> Tuple[str, ...]:
@@ -423,17 +442,21 @@ def measure_pingpong(
     sizes: Sequence[int],
     base_iterations: int = 8,
     backend: Optional[str] = None,
+    backend_opts: Optional[Dict] = None,
 ) -> List[CalibrationSample]:
     """Concurrent pairwise ping-pong inside a ``world_size`` world.
 
     All pairs exchange simultaneously so the per-message cost includes
     the scheduling (and, on the thread backend, GIL) contention a
-    collective at this world size sees.
+    collective at this world size sees.  ``backend_opts`` is forwarded
+    to the launch (e.g. a ``host_topology`` that makes every pair an
+    inter-host pair — see :func:`measure_inter_link`).
     """
     from repro.comm.backend import launch
 
     outputs = launch(
-        _pingpong_worker, world_size, sizes, base_iterations, backend=backend
+        _pingpong_worker, world_size, sizes, base_iterations, backend=backend,
+        backend_opts=backend_opts,
     )
     samples = []
     for nbytes in sizes:
@@ -561,6 +584,53 @@ def measure_allreduce(
     return samples
 
 
+def cross_host_topology(world_size: int) -> str:
+    """A rank -> host spec under which every ping-pong pair crosses hosts.
+
+    The ping-pong pairs ranks ``(0, 1), (2, 3), ...`` (partner =
+    ``rank ^ 1``), so alternating host labels put each pair's ranks on
+    different hosts: every measured message travels an inter-host link
+    of the ``hier`` transport (a loopback socket when the topology is
+    simulated on one machine, the real fabric across machines).
+    """
+    return ",".join(str(r % 2) for r in range(world_size))
+
+
+def measure_inter_link(
+    world_size: int,
+    sizes: Sequence[int],
+    base_iterations: int = 8,
+    backend: str = "hier",
+    reduce_samples: Optional[Sequence[CalibrationSample]] = None,
+    anchor: Optional[LogGPParams] = None,
+) -> LogGPParams:
+    """Fit the *inter-host* link class of a two-tier backend.
+
+    Runs the concurrent pairwise ping-pong under
+    :func:`cross_host_topology` — every pair straddles the simulated
+    host boundary, so ``alpha``/``beta`` describe the socket tier —
+    and fits them jointly with (shared, link-independent) local
+    ``reduce`` samples.  The fixed ``collective_overhead`` has no
+    inter-link anchor (the hierarchical collective arms once, on the
+    intra tier), so it is inherited from ``anchor`` when given.
+    """
+    samples = list(
+        measure_pingpong(
+            world_size, sizes, base_iterations=base_iterations, backend=backend,
+            backend_opts={"host_topology": cross_host_topology(world_size)},
+        )
+    )
+    if reduce_samples is None:
+        reduce_samples = measure_reduce(
+            sizes, base_iterations=base_iterations, world_size=world_size
+        )
+    samples += list(reduce_samples)
+    fitted = fit_loggp(samples)
+    if anchor is not None:
+        fitted = replace(fitted, collective_overhead=anchor.collective_overhead)
+    return fitted
+
+
 # ---------------------------------------------------------------------------
 # profiles and the cache
 # ---------------------------------------------------------------------------
@@ -583,7 +653,26 @@ class CalibratedProfile:
     #: :func:`measure_codec_costs`).  Used by :meth:`compression_model`
     #: so the autotuner charges measured — not hardcoded — costs.
     codec_costs: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Per-link-class parameters of a two-tier fabric, keyed by
+    #: :data:`LINK_CLASSES` (``"intra"``/``"inter"``).  Single-tier
+    #: backends store ``params`` under both keys (or leave the dict
+    #: empty — :meth:`link` falls back to ``params``), so every profile
+    #: answers per-tier queries.
+    link_params: Dict[str, LogGPParams] = field(default_factory=dict)
     version: int = PROFILE_VERSION
+
+    def link(self, link_class: str) -> LogGPParams:
+        """Parameters of one link class (``params`` when unmeasured)."""
+        if link_class not in LINK_CLASSES:
+            raise ValueError(
+                f"unknown link class {link_class!r}; expected one of {LINK_CLASSES}"
+            )
+        return self.link_params.get(link_class, self.params)
+
+    @property
+    def is_two_tier(self) -> bool:
+        """Whether the intra and inter tiers were measured separately."""
+        return self.link("intra") != self.link("inter")
 
     def compression_model(self, codec):
         """Cost-model view of ``codec`` with this machine's measured costs.
@@ -616,6 +705,15 @@ class CalibratedProfile:
             },
             "max_rel_error": self.max_rel_error,
             "codec_costs": self.codec_costs or {},
+            "link_params": {
+                name: {
+                    "alpha": p.alpha,
+                    "beta": p.beta,
+                    "gamma": p.gamma,
+                    "collective_overhead": p.collective_overhead,
+                }
+                for name, p in (self.link_params or {}).items()
+            },
             "samples": [s.to_dict() for s in self.samples],
         }
 
@@ -640,6 +738,15 @@ class CalibratedProfile:
                     "decode_seconds_per_byte": float(cost["decode_seconds_per_byte"]),
                 }
                 for name, cost in (data.get("codec_costs") or {}).items()
+            },
+            link_params={
+                str(name): LogGPParams(
+                    alpha=float(p["alpha"]),
+                    beta=float(p["beta"]),
+                    gamma=float(p["gamma"]),
+                    collective_overhead=float(p["collective_overhead"]),
+                )
+                for name, p in (data.get("link_params") or {}).items()
             },
             version=int(data.get("version", 0)),
         )
@@ -769,12 +876,26 @@ def calibrate(
     samples += measure_pingpong(
         world_size, sizes, base_iterations=base_iterations, backend=backend
     )
-    samples += measure_reduce(sizes, base_iterations=base_iterations, world_size=world_size)
+    reduce_samples = measure_reduce(
+        sizes, base_iterations=base_iterations, world_size=world_size
+    )
+    samples += reduce_samples
     samples += measure_allreduce(
         world_size, sizes, algorithm=algorithm, base_iterations=base_iterations,
         backend=backend,
     )
     params = fit_loggp(samples)
+    # Per-link-class parameters.  The main sweep above ran the backend's
+    # default topology — single-host for ``hier``, i.e. pure shm rings —
+    # so its fit IS the intra-host tier.  Two-tier backends additionally
+    # measure the inter-host tier over a simulated cross-host topology;
+    # single-tier backends see the same parameters through both keys.
+    link_params = {"intra": params, "inter": params}
+    if backend == "hier":
+        link_params["inter"] = measure_inter_link(
+            world_size, sizes, base_iterations=base_iterations, backend=backend,
+            reduce_samples=reduce_samples, anchor=params,
+        )
     profile = CalibratedProfile(
         backend=backend,
         world_size=world_size,
@@ -785,6 +906,7 @@ def calibrate(
         codec_costs=measure_codec_costs(
             nbytes=max(sizes), base_iterations=base_iterations
         ),
+        link_params=link_params,
     )
     profile.save(profile_path(world_size, backend, cache_dir))
     return profile

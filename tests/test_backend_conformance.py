@@ -5,10 +5,15 @@ semantics through :func:`repro.comm.launch`: MPI-like point-to-point
 messaging with tag/source matching, the channel system (dynamic
 sub-channels included), the synchronous and partial collectives, and the
 ``WorldError`` failure contract.  The tests below parametrize the core
-behaviours over ``["thread", "process", "shm"]`` so a new transport (or
-a regression in an existing one) is caught by a single suite; the shm
-transport is skip-marked on platforms whose capability probe rejected it
-(no POSIX shared memory / no fork).
+behaviours over ``["thread", "process", "shm", "tcp", "hier"]`` so a new
+transport (or a regression in an existing one) is caught by a single
+suite; the shm-based transports (``shm`` and the hierarchical ``hier``)
+are skip-marked on platforms whose capability probe rejected them (no
+POSIX shared memory / no fork).  The ``tcp`` backend runs here in its
+single-launcher shape (ephemeral loopback seed); ``hier`` runs under its
+default single-host topology, so the conformance contract covers its
+pure-shm fast path while the dedicated multi-host tests exercise the
+mixed fabric.
 
 The pickle-safety tests are part of the contract: payloads and results
 cross a process boundary on the socket transport, so everything a rank
@@ -39,7 +44,7 @@ from repro.comm import (
     set_default_backend,
 )
 
-BACKENDS = ["thread", "process", "shm"]
+BACKENDS = ["thread", "process", "shm", "tcp", "hier"]
 
 pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
@@ -65,18 +70,20 @@ def backend(request):
 class TestRegistry:
     def test_builtins_registered(self):
         names = available_backends()
-        assert "thread" in names and "process" in names
-        # shm is platform-gated: either registered, or absent with a
-        # recorded reason (and resolving it raises the typed error).
-        if "shm" not in names:
-            from repro.comm.backend import (
-                BackendUnavailableError,
-                backend_unavailable_reason,
-            )
+        assert "thread" in names and "process" in names and "tcp" in names
+        # shm (and hier, which rides on it) is platform-gated: either
+        # registered, or absent with a recorded reason (and resolving it
+        # raises the typed error).
+        for gated in ("shm", "hier"):
+            if gated not in names:
+                from repro.comm.backend import (
+                    BackendUnavailableError,
+                    backend_unavailable_reason,
+                )
 
-            assert backend_unavailable_reason("shm")
-            with pytest.raises(BackendUnavailableError):
-                get_backend("shm")
+                assert backend_unavailable_reason(gated)
+                with pytest.raises(BackendUnavailableError):
+                    get_backend(gated)
 
     def test_get_backend_live_handle(self, backend):
         handle = get_backend(backend)

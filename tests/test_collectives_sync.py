@@ -106,3 +106,98 @@ class TestBroadcastReduceAllgather:
         for r in results:
             assert r.shape == (3, 5)
             assert np.allclose(r, 6)
+
+
+class TestHierarchicalAllreduce:
+    """Two-tier allreduce under explicit multi-host topologies.
+
+    The conformance suite covers the single-host fallback (and the
+    ``ALLREDUCE_ALGORITHMS`` parametrization above runs it at every
+    size); these tests pin the genuinely hierarchical schedules at the
+    non-uniform layouts 3+1 and 4+2+2.
+    """
+
+    @pytest.mark.parametrize("hosts", [(3, 1), (2, 2), (4, 2, 2)])
+    @pytest.mark.parametrize("n_chunks", [1, 3])
+    def test_matches_numpy_sum(self, hosts, n_chunks):
+        from repro.collectives.topology import HostTopology
+        from repro.collectives.sync import allreduce_hierarchical
+
+        size = sum(hosts)
+        topology = HostTopology.from_hosts(hosts)
+        elements = 23
+
+        def worker(comm):
+            data = np.arange(elements, dtype=np.float64) + comm.rank
+            return allreduce_hierarchical(
+                comm, data, n_chunks=n_chunks, topology=topology
+            )
+
+        expected = sum(np.arange(elements) + r for r in range(size))
+        for r in launch(worker, size):
+            assert np.allclose(r, expected)
+
+    def test_registry_routes_and_averages(self):
+        def worker(comm):
+            return allreduce(
+                comm, np.full(5, comm.rank + 1.0),
+                algorithm="hierarchical", average=True,
+            )
+
+        for r in launch(worker, 4):
+            assert np.allclose(r, 2.5)
+
+    def test_back_to_back_hierarchical_and_ring(self):
+        from repro.collectives.topology import HostTopology
+        from repro.collectives.sync import allreduce_hierarchical
+
+        topology = HostTopology.from_hosts((3, 1))
+
+        def worker(comm):
+            first = allreduce_hierarchical(
+                comm, np.array([float(comm.rank)]), topology=topology
+            )
+            second = allreduce(comm, np.array([float(comm.rank * 10)]),
+                               algorithm="ring")
+            third = allreduce_hierarchical(
+                comm, np.array([1.0]), topology=topology
+            )
+            return float(first[0]), float(second[0]), float(third[0])
+
+        for first, second, third in launch(worker, 4):
+            assert (first, second, third) == (6.0, 60.0, 4.0)
+
+    @pytest.mark.parametrize("hosts", [(3, 1), (4, 2, 2)])
+    def test_compressed_replicas_bit_identical(self, hosts):
+        from repro.collectives.topology import HostTopology
+        from repro.collectives.sync import allreduce_compressed_hierarchical
+        from repro.compression import get_codec
+
+        size = sum(hosts)
+        topology = HostTopology.from_hosts(hosts)
+        codec = get_codec("fp16")
+
+        def worker(comm):
+            data = np.full(64, comm.rank + 1.0)
+            return allreduce_compressed_hierarchical(
+                comm, data, codec, average=True, topology=topology
+            )
+
+        results = launch(worker, size)
+        expected = sum(range(1, size + 1)) / size
+        assert len({r.tobytes() for r in results}) == 1  # exact replicas
+        for r in results:
+            assert np.allclose(r, expected, atol=1e-2)
+
+    def test_topology_size_mismatch_rejected(self):
+        from repro.collectives.topology import HostTopology
+        from repro.collectives.sync import allreduce_hierarchical
+
+        topology = HostTopology.from_hosts((3, 1))
+
+        def worker(comm):
+            with pytest.raises(ValueError):
+                allreduce_hierarchical(comm, np.ones(4), topology=topology)
+            return True
+
+        assert all(launch(worker, 2))

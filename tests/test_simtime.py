@@ -25,7 +25,12 @@ from repro.simtime import (
     solo_allreduce_latencies,
     synchronous_allreduce_latencies,
 )
-from repro.simtime.collective_model import quorum_allreduce_latencies
+from repro.simtime.collective_model import (
+    fused_exchange_time,
+    hierarchical_allreduce_time,
+    hierarchical_fused_exchange_time,
+    quorum_allreduce_latencies,
+)
 from repro.simtime.skew import delayed_subset
 
 
@@ -59,6 +64,73 @@ class TestNetworkModel:
     def test_broadcast_and_activation(self):
         assert broadcast_time(16, 1) == 0.0
         assert activation_time(32) > activation_time(2) > 0
+
+
+class TestTwoTierModel:
+    """The hierarchical (intra-host tree + leader-ring) latency model."""
+
+    SLOW_INTER = LogGPParams(
+        alpha=100e-6, beta=20e-9, gamma=2e-9, collective_overhead=10e-6
+    )
+
+    def test_single_host_degenerates_to_flat_ring(self):
+        nbytes = 1024 * 1024
+        assert hierarchical_allreduce_time(
+            nbytes, [8], DEFAULT_NETWORK, self.SLOW_INTER, n_chunks=2
+        ) == allreduce_time(nbytes, 8, "ring", DEFAULT_NETWORK, n_chunks=2)
+        buckets = [256 * 1024] * 4
+        assert hierarchical_fused_exchange_time(
+            buckets, [8], DEFAULT_NETWORK, self.SLOW_INTER, n_chunks=2
+        ) == fused_exchange_time(buckets, 8, "ring", DEFAULT_NETWORK, n_chunks=2)
+
+    def test_grows_with_bytes_and_slower_inter_link(self):
+        fast = hierarchical_allreduce_time(
+            64 * 1024, [4, 4], DEFAULT_NETWORK, DEFAULT_NETWORK
+        )
+        slow = hierarchical_allreduce_time(
+            64 * 1024, [4, 4], DEFAULT_NETWORK, self.SLOW_INTER
+        )
+        big = hierarchical_allreduce_time(
+            4 * 1024 * 1024, [4, 4], DEFAULT_NETWORK, self.SLOW_INTER
+        )
+        assert 0 < fast < slow < big
+
+    def test_hierarchy_beats_flat_ring_over_slow_links(self):
+        # Over a fabric where every hop pays the slow inter-host link, a
+        # flat 8-rank ring sends 2(P-1)/P of the data across it; the
+        # hierarchical schedule only crosses it on the 2-leader ring.
+        nbytes = 4 * 1024 * 1024
+        flat_over_slow = allreduce_time(nbytes, 8, "ring", self.SLOW_INTER)
+        hier = hierarchical_allreduce_time(
+            nbytes, [4, 4], DEFAULT_NETWORK, self.SLOW_INTER
+        )
+        assert hier < flat_over_slow
+
+    def test_inter_scale_shrinks_leader_ring_only(self):
+        buckets = [512 * 1024] * 4
+        full = hierarchical_fused_exchange_time(
+            buckets, [4, 4], DEFAULT_NETWORK, self.SLOW_INTER
+        )
+        compressed = hierarchical_fused_exchange_time(
+            buckets, [4, 4], DEFAULT_NETWORK, self.SLOW_INTER, inter_scale=0.25
+        )
+        assert 0 < compressed < full
+
+    def test_non_uniform_hosts_accepted(self):
+        t = hierarchical_allreduce_time(
+            1024 * 1024, (4, 2, 2), DEFAULT_NETWORK, self.SLOW_INTER
+        )
+        assert t > 0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            hierarchical_allreduce_time(1024, [], DEFAULT_NETWORK, self.SLOW_INTER)
+        with pytest.raises(ValueError):
+            hierarchical_allreduce_time(1024, [2, 0], DEFAULT_NETWORK, self.SLOW_INTER)
+        with pytest.raises(ValueError):
+            hierarchical_fused_exchange_time(
+                [1024], [2, 2], DEFAULT_NETWORK, self.SLOW_INTER, inter_scale=0.0
+            )
 
 
 class TestEngine:

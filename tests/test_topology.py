@@ -6,13 +6,17 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.collectives.topology import (
+    HostTopology,
     bcast_order,
     binomial_tree_children,
     binomial_tree_level,
     binomial_tree_parent,
     hypercube_neighbors,
+    intra_bcast_edges,
+    intra_reduce_edges,
     is_power_of_two,
     largest_power_of_two_leq,
+    leader_ring_neighbors,
     recursive_doubling_rounds,
     ring_neighbors,
     tree_depth,
@@ -105,3 +109,126 @@ class TestMisc:
         assert largest_power_of_two_leq(9) == 8
         with pytest.raises(ValueError):
             largest_power_of_two_leq(0)
+
+
+# The non-uniform layouts the hierarchical schedules must get right:
+# a 3+1 world (one host degenerates to a lone leader) and a 4+2+2 world
+# (three hosts of different sizes, leader ring of length 3).
+THREE_PLUS_ONE = HostTopology([0, 0, 0, 1])
+FOUR_TWO_TWO = HostTopology([0, 0, 0, 0, 1, 1, 2, 2])
+
+
+class TestHostTopology:
+    def test_labels_canonicalised_in_first_appearance_order(self):
+        assert HostTopology(["a", "a", "b"]).host_of == (0, 0, 1)
+        assert HostTopology(["b", "a", "b"]).host_of == (0, 1, 0)
+        assert HostTopology(["x", "y"]) == HostTopology([7, 3])
+
+    def test_string_roundtrip(self):
+        topo = HostTopology.from_string("node1, node1, node2, node1")
+        assert topo.host_of == (0, 0, 1, 0)
+        assert HostTopology.from_string(topo.to_string()) == topo
+        with pytest.raises(ValueError):
+            HostTopology.from_string(" , ,")
+
+    def test_from_hosts_matches_explicit_labels(self):
+        assert HostTopology.from_hosts([3, 1]) == THREE_PLUS_ONE
+        assert HostTopology.from_hosts([4, 2, 2]) == FOUR_TWO_TWO
+        with pytest.raises(ValueError):
+            HostTopology.from_hosts([2, 0, 1])
+
+    def test_single_host_is_degenerate(self):
+        topo = HostTopology.single_host(4)
+        assert topo.is_single_host
+        assert topo.leaders == (0,)
+        assert intra_reduce_edges(HostTopology([0]), 0) == []
+        assert intra_bcast_edges(HostTopology([0]), 0) == []
+
+    def test_three_plus_one_rank_queries(self):
+        topo = THREE_PLUS_ONE
+        assert topo.world_size == 4 and topo.num_hosts == 2
+        assert not topo.is_single_host
+        assert topo.ranks_on_host(0) == (0, 1, 2)
+        assert topo.ranks_on_host(1) == (3,)
+        assert topo.leaders == (0, 3)
+        assert [topo.is_leader(r) for r in range(4)] == [True, False, False, True]
+        assert topo.local_index(2) == 2 and topo.local_index(3) == 0
+        assert topo.leader_index(3) == 1
+        with pytest.raises(ValueError):
+            topo.leader_index(1)  # not a leader
+
+    def test_four_two_two_rank_queries(self):
+        topo = FOUR_TWO_TWO
+        assert topo.world_size == 8 and topo.num_hosts == 3
+        assert topo.ranks_on_host(1) == (4, 5)
+        assert topo.leaders == (0, 4, 6)
+        assert topo.local_ranks(7) == (6, 7)
+        assert topo.host(5) == 1
+
+    @pytest.mark.parametrize("topo", [THREE_PLUS_ONE, FOUR_TWO_TWO])
+    def test_intra_reduce_schedule_is_valid(self, topo):
+        for host in range(topo.num_hosts):
+            local = set(topo.ranks_on_host(host))
+            leader = topo.leader_of(host)
+            edges = intra_reduce_edges(topo, host)
+            # Every non-leader sends exactly once; nothing leaves the host.
+            senders = [src for src, _ in edges]
+            assert sorted(senders) == sorted(local - {leader})
+            assert all(src in local and dst in local for src, dst in edges)
+            # Sequential validity: once a rank has sent, its partial sum
+            # has left — it must not receive afterwards.
+            done = set()
+            for src, dst in edges:
+                assert dst not in done
+                done.add(src)
+            assert leader not in done
+
+    @pytest.mark.parametrize("topo", [THREE_PLUS_ONE, FOUR_TWO_TWO])
+    def test_intra_bcast_reaches_host_from_leader(self, topo):
+        for host in range(topo.num_hosts):
+            local = set(topo.ranks_on_host(host))
+            leader = topo.leader_of(host)
+            reached = {leader}
+            for src, dst in intra_bcast_edges(topo, host):
+                assert src in reached  # senders already hold the result
+                assert dst not in reached
+                reached.add(dst)
+            assert reached == local
+
+    @pytest.mark.parametrize("topo", [THREE_PLUS_ONE, FOUR_TWO_TWO])
+    def test_reduce_is_reversed_bcast(self, topo):
+        for host in range(topo.num_hosts):
+            down = intra_bcast_edges(topo, host)
+            up = intra_reduce_edges(topo, host)
+            assert up == [(dst, src) for src, dst in reversed(down)]
+
+    def test_leader_ring(self):
+        assert leader_ring_neighbors(THREE_PLUS_ONE, 0) == (3, 3)
+        assert leader_ring_neighbors(THREE_PLUS_ONE, 3) == (0, 0)
+        assert leader_ring_neighbors(FOUR_TWO_TWO, 0) == (6, 4)
+        assert leader_ring_neighbors(FOUR_TWO_TWO, 4) == (0, 6)
+        assert leader_ring_neighbors(FOUR_TWO_TWO, 6) == (4, 0)
+        with pytest.raises(ValueError):
+            leader_ring_neighbors(FOUR_TWO_TWO, 5)  # not a leader
+
+    @given(
+        counts=st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=5)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_schedules_cover_any_layout(self, counts):
+        topo = HostTopology.from_hosts(counts)
+        assert topo.world_size == sum(counts)
+        covered = set()
+        for host in range(topo.num_hosts):
+            local = set(topo.ranks_on_host(host))
+            assert covered.isdisjoint(local)
+            covered |= local
+            reached = {topo.leader_of(host)}
+            for src, dst in intra_bcast_edges(topo, host):
+                assert src in reached
+                reached.add(dst)
+            assert reached == local
+        assert covered == set(range(topo.world_size))
+        assert topo.leaders == tuple(
+            min(topo.ranks_on_host(h)) for h in range(topo.num_hosts)
+        )

@@ -409,6 +409,99 @@ class TestAutotune:
 
 
 # ---------------------------------------------------------------------------
+# two-tier fabrics: per-link-class profiles and topology-aware tuning
+# ---------------------------------------------------------------------------
+SLOW_INTER = LogGPParams(
+    alpha=50e-6, beta=10e-9, gamma=1e-9, collective_overhead=20e-6
+)
+
+
+def _two_tier_profile(world_size=4):
+    intra = LogGPParams()
+    return _profile(
+        world_size=world_size,
+        backend="hier",
+        link_params={"intra": intra, "inter": SLOW_INTER},
+    )
+
+
+class TestTwoTierProfiles:
+    def test_link_accessor_and_two_tier_flag(self):
+        flat = _profile()
+        assert not flat.is_two_tier
+        assert flat.link("intra") == flat.params  # fallback, no link table
+        two = _two_tier_profile()
+        assert two.is_two_tier
+        assert two.link("inter") == SLOW_INTER
+        with pytest.raises(ValueError, match="link class"):
+            two.link("warp")
+
+    def test_two_tier_json_round_trip(self, tmp_path):
+        profile = _two_tier_profile()
+        path = profile.save(profile_path(4, backend="hier", cache_dir=tmp_path))
+        loaded = CalibratedProfile.load(path)
+        assert loaded == profile
+        assert loaded.link("inter") == SLOW_INTER
+        assert loaded.is_two_tier
+
+    def test_autotune_validates_ranks_per_host(self):
+        with pytest.raises(ValueError, match="ranks_per_host"):
+            autotune(DEFAULT_NETWORK, 4, 1024 * 1024, ranks_per_host=(3, 2))
+
+    def test_plan_scores_hierarchical_model(self):
+        plan = autotune(
+            DEFAULT_NETWORK, 8, 2 * 1024 * 1024,
+            ranks_per_host=(4, 4), inter_params=SLOW_INTER,
+        )
+        assert plan.ranks_per_host == (4, 4)
+        assert plan.predicted_time == pytest.approx(
+            predict_exchange_time(
+                DEFAULT_NETWORK, 8, 2 * 1024 * 1024, "ring",
+                plan.fusion_threshold_bytes, plan.pipeline_chunks,
+                ranks_per_host=(4, 4), inter_params=SLOW_INTER,
+            )
+        )
+        assert plan.speedup >= 1.0
+
+    def test_slower_inter_link_costs_more(self):
+        flat = predict_exchange_time(DEFAULT_NETWORK, 8, 4 * 1024 * 1024)
+        hier_fast = predict_exchange_time(
+            DEFAULT_NETWORK, 8, 4 * 1024 * 1024,
+            ranks_per_host=(4, 4), inter_params=DEFAULT_NETWORK,
+        )
+        hier_slow = predict_exchange_time(
+            DEFAULT_NETWORK, 8, 4 * 1024 * 1024,
+            ranks_per_host=(4, 4), inter_params=SLOW_INTER,
+        )
+        assert hier_slow > hier_fast
+        assert flat > 0 and hier_fast > 0
+
+    def test_ranks_per_host_round_trips_in_plan(self):
+        plan = autotune(
+            DEFAULT_NETWORK, 4, 1024 * 1024,
+            ranks_per_host=[3, 1], inter_params=SLOW_INTER,
+        )
+        restored = TunedPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert restored.ranks_per_host == (3, 1)
+        flat_plan = autotune(DEFAULT_NETWORK, 4, 1024 * 1024)
+        assert TunedPlan.from_dict(
+            json.loads(json.dumps(flat_plan.to_dict()))
+        ).ranks_per_host is None
+
+    def test_tune_with_profile_threads_inter_link(self):
+        plan = tune_with_profile(_two_tier_profile(), 1024 * 1024,
+                                 ranks_per_host=(2, 2))
+        assert plan.ranks_per_host == (2, 2)
+        assert plan.predicted_time == pytest.approx(
+            predict_exchange_time(
+                _two_tier_profile().params, 4, 1024 * 1024, "ring",
+                plan.fusion_threshold_bytes, plan.pipeline_chunks,
+                ranks_per_host=(2, 2), inter_params=SLOW_INTER,
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
 # "auto" resolution through config / runner / exchange
 # ---------------------------------------------------------------------------
 class TestAutoResolution:
