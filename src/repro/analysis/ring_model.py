@@ -1,0 +1,434 @@
+"""Bounded model checker for the shm SPSC ring doorbell protocol.
+
+The shared-memory transport (:mod:`repro.comm.shm_backend`) moves frames
+through single-producer/single-consumer byte rings: free-running ``head``
+/ ``tail`` counters, data copied *before* the tail is published, and a
+flag → re-check → sleep doorbell discipline on both sides (the
+``consumer_waiting`` / ``producer_waiting`` header cells plus the
+``data_event`` / ``space_event`` doorbells).  Production code backstops
+every sleep with a bounded slice (``_WAIT_SLICE``), so a protocol bug
+would degrade into latency rather than a visible hang — which is exactly
+why testing cannot find one.  This module proves the discipline needs no
+timeout at all.
+
+:class:`RingModel` is a faithful abstraction of one ring: the producer
+and consumer are small state machines whose steps (copy, publish tail,
+set waiting flag, re-check, sleep, ring doorbell, read, advance head)
+are individually atomic, and :func:`explore` enumerates **every**
+interleaving of those steps by breadth-first search over the joint state
+space.  Three properties are checked on every reachable state:
+
+* **no torn frame** — a consumer read observes exactly the byte stream
+  the producer copied: a cell whose byte was not yet copied when the
+  tail covering it was published is a torn read.
+* **no lost wakeup / deadlock** — in every terminal state (no step
+  enabled) the producer has published everything and the consumer has
+  drained everything.  Sleeps are modelled as *unbounded* waits on a
+  sticky doorbell, so a schedule in which one side sleeps through a
+  missed doorbell is a reachable deadlock, not a latency blip.
+* **bounded counters** — ``head <= tail <= head + capacity`` always.
+
+:func:`verify_ring_protocol` checks the healthy protocol over a grid of
+capacities and frame layouts *and* re-runs the exploration on three
+seeded protocol mutations — consumer parks without the re-check
+(classic lost wakeup), producer never rings the doorbell, tail published
+before the copy (torn frame) — asserting each is caught.  A model that
+accepts broken protocols proves nothing; the mutations are the model's
+own test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+# producer program counters
+P_TRY, P_COPY, P_PUB, P_BELL, P_FLAG, P_RECHECK, P_SLEEP, P_DONE = range(8)
+# consumer program counters
+C_TRY, C_SIG, C_ARM, C_RECHECK, C_SLEEP, C_DONE = range(6)
+
+_P_NAMES = ("p_try", "p_copy", "p_publish", "p_bell", "p_flag", "p_recheck",
+            "p_sleep", "p_done")
+_C_NAMES = ("c_read", "c_signal", "c_arm", "c_recheck", "c_sleep", "c_done")
+
+#: Sentinel for a ring cell whose byte has not been copied yet.
+STALE = -1
+
+
+@dataclass(frozen=True)
+class RingConfig:
+    """One model-checking scenario: a ring geometry plus optional bugs.
+
+    ``frame_sizes`` is the byte length of each frame the producer streams
+    (doorbells ring at frame boundaries, mirroring ``_send_frame``'s
+    one-ring-per-frame rule).  The three mutation flags re-introduce
+    bugs the real protocol is built to exclude.
+    """
+
+    capacity: int
+    frame_sizes: Tuple[int, ...]
+    skip_consumer_recheck: bool = False
+    skip_doorbell: bool = False
+    publish_before_copy: bool = False
+
+    @property
+    def label(self) -> str:
+        bugs = [
+            name
+            for name, on in (
+                ("skip-recheck", self.skip_consumer_recheck),
+                ("skip-doorbell", self.skip_doorbell),
+                ("publish-before-copy", self.publish_before_copy),
+            )
+            if on
+        ]
+        tag = f",{'+'.join(bugs)}" if bugs else ""
+        return (
+            f"cap={self.capacity},frames={list(self.frame_sizes)}{tag}"
+        )
+
+
+@dataclass(frozen=True)
+class RingState:
+    """One joint state of the producer/consumer/ring system.
+
+    ``head`` / ``tail`` are the free-running byte counters of the real
+    ring; ``cells`` holds, per buffer slot, the stream index of the byte
+    last copied there (:data:`STALE` before any copy).  ``copied`` is the
+    producer's private count of bytes whose data is in the buffer —
+    ``tail`` trails it in the healthy protocol and leads it under the
+    ``publish_before_copy`` mutation.
+    """
+
+    head: int
+    tail: int
+    cells: Tuple[int, ...]
+    copied: int
+    cwait: int
+    pwait: int
+    data_ev: int
+    space_ev: int
+    p_pc: int
+    c_pc: int
+    pending: int  # bytes of the in-flight write_some span
+
+
+@dataclass
+class ModelViolation:
+    """A property violation with the interleaving that reaches it."""
+
+    config: RingConfig
+    kind: str  # "torn-frame" | "deadlock" | "bound"
+    detail: str
+    trace: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        steps = " -> ".join(self.trace) if self.trace else "(initial)"
+        return f"[{self.kind}] {self.config.label}: {self.detail}\n  trace: {steps}"
+
+
+@dataclass
+class ExploreResult:
+    config: RingConfig
+    states: int
+    violations: List[ModelViolation]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _frame_ends(frame_sizes: Tuple[int, ...]) -> Tuple[int, ...]:
+    ends, acc = [], 0
+    for s in frame_sizes:
+        acc += s
+        ends.append(acc)
+    return tuple(ends)
+
+
+def explore(config: RingConfig, max_states: int = 2_000_000) -> ExploreResult:
+    """Enumerate every interleaving of the ring protocol under ``config``."""
+    if config.capacity < 1:
+        raise ValueError(f"ring capacity must be >= 1, got {config.capacity}")
+    if any(s < 1 for s in config.frame_sizes):
+        raise ValueError(
+            f"frame sizes must be >= 1, got {list(config.frame_sizes)}"
+        )
+    cap = config.capacity
+    total = sum(config.frame_sizes)
+    frame_ends = set(_frame_ends(config.frame_sizes))
+
+    initial = RingState(
+        head=0, tail=0, cells=(STALE,) * cap, copied=0,
+        cwait=0, pwait=0, data_ev=0, space_ev=0,
+        p_pc=P_TRY, c_pc=C_TRY, pending=0,
+    )
+    violations: List[ModelViolation] = []
+    # parent pointers for counterexample traces
+    parent: Dict[RingState, Tuple[Optional[RingState], str]] = {initial: (None, "")}
+
+    def trace_to(state: RingState, last: str) -> List[str]:
+        steps = [last]
+        node = state
+        while True:
+            prev, label = parent[node]
+            if prev is None:
+                break
+            steps.append(label)
+            node = prev
+        steps.reverse()
+        return steps
+
+    def report(kind: str, detail: str, state: RingState, step: str) -> None:
+        if len(violations) < 8:
+            violations.append(
+                ModelViolation(config, kind, detail, trace_to(state, step))
+            )
+
+    def successors(s: RingState) -> List[Tuple[str, RingState]]:
+        out: List[Tuple[str, RingState]] = []
+
+        # ----------------------------------------------------- producer
+        if s.p_pc == P_TRY:
+            if s.copied >= total and s.tail >= total:
+                out.append(("p_done", _r(s, p_pc=P_DONE)))
+            else:
+                free = cap - (s.tail - s.head)
+                if free > 0:
+                    out.append(("p_try", _r(s, p_pc=P_COPY)))
+                else:
+                    # Full ring: the one mid-frame point that must wake
+                    # the consumer (``_write_all``'s full-ring doorbell).
+                    ev = s.data_ev or (s.cwait and not config.skip_doorbell)
+                    out.append(("p_full", _r(s, data_ev=int(ev), p_pc=P_FLAG)))
+        elif s.p_pc == P_COPY:
+            # At entry ``tail == copied`` (the previous span committed).
+            free = cap - (s.tail - s.head)
+            if free <= 0:
+                out.append(("p_copy_retry", _r(s, p_pc=P_TRY)))
+            else:
+                span = min(free, total - s.copied)
+                if config.publish_before_copy:
+                    # Mutated order: tail published now, data copied in a
+                    # later step — the window a concurrent read turns
+                    # into a torn frame.
+                    out.append(("p_publish_early", _r(
+                        s, tail=s.tail + span, pending=span, p_pc=P_PUB,
+                    )))
+                else:
+                    cells = list(s.cells)
+                    for i in range(span):
+                        cells[(s.copied + i) % cap] = s.copied + i
+                    out.append(("p_copy", _r(
+                        s, cells=tuple(cells), copied=s.copied + span,
+                        pending=span, p_pc=P_PUB,
+                    )))
+        elif s.p_pc == P_PUB:
+            if config.publish_before_copy:
+                cells = list(s.cells)
+                for i in range(s.pending):
+                    cells[(s.copied + i) % cap] = s.copied + i
+                out.append(("p_copy_late", _r(
+                    s, cells=tuple(cells), copied=s.copied + s.pending,
+                    p_pc=P_BELL,
+                )))
+            else:
+                out.append(("p_publish", _r(
+                    s, tail=s.tail + s.pending, p_pc=P_BELL,
+                )))
+        elif s.p_pc == P_BELL:
+            # ``_send_frame`` rings once per frame, after the last byte,
+            # as a step separate from the publish (the consumer may arm
+            # in between — its re-check is what keeps that safe).
+            crossed = any(s.tail - s.pending < end <= s.tail
+                          for end in frame_ends)
+            ev = s.data_ev
+            if crossed and s.cwait and not config.skip_doorbell:
+                ev = 1
+            out.append(("p_bell", _r(
+                s, data_ev=ev, pending=0, p_pc=P_TRY,
+            )))
+        elif s.p_pc == P_FLAG:
+            out.append(("p_flag", _r(s, pwait=1, p_pc=P_RECHECK)))
+        elif s.p_pc == P_RECHECK:
+            # The producer-side re-check mirrors ``_write_all``: flag,
+            # re-check writable, only then sleep.  (The symmetric
+            # consumer-side mutation is the interesting one; the producer
+            # re-check is kept faithful in every config.)
+            if cap - (s.tail - s.head) > 0:
+                out.append(("p_recheck_hit", _r(s, pwait=0, p_pc=P_TRY)))
+            else:
+                out.append(("p_recheck_miss", _r(s, p_pc=P_SLEEP)))
+        elif s.p_pc == P_SLEEP:
+            if s.space_ev:
+                out.append(("p_wake", _r(
+                    s, space_ev=0, pwait=0, p_pc=P_TRY,
+                )))
+
+        # ----------------------------------------------------- consumer
+        if s.c_pc == C_TRY:
+            span = s.tail - s.head
+            if span > 0:
+                bad = None
+                for i in range(span):
+                    want = s.head + i
+                    got = s.cells[want % cap]
+                    if got != want:
+                        bad = (want, got)
+                        break
+                if bad is not None:
+                    return [("c_read_torn", None)]  # violation marker
+                out.append(("c_read", _r(s, head=s.head + span, c_pc=C_SIG)))
+            elif s.head >= total:
+                out.append(("c_done", _r(s, c_pc=C_DONE)))
+            else:
+                # Observing emptiness and arming the waiting flag are
+                # distinct steps, as in ``_park`` (the pump pass saw
+                # nothing, *then* the flags go up): a publish can land in
+                # between, which is exactly why the armed re-check exists.
+                out.append(("c_empty", _r(s, c_pc=C_ARM)))
+        elif s.c_pc == C_SIG:
+            ev = s.space_ev or s.pwait
+            out.append(("c_signal", _r(s, space_ev=int(ev), c_pc=C_TRY)))
+        elif s.c_pc == C_ARM:
+            out.append(("c_arm", _r(s, cwait=1, c_pc=C_RECHECK)))
+        elif s.c_pc == C_RECHECK:
+            if config.skip_consumer_recheck:
+                out.append(("c_park_blind", _r(s, c_pc=C_SLEEP)))
+            elif s.tail != s.head:
+                out.append(("c_recheck_hit", _r(s, cwait=0, c_pc=C_TRY)))
+            else:
+                out.append(("c_recheck_miss", _r(s, c_pc=C_SLEEP)))
+        elif s.c_pc == C_SLEEP:
+            if s.data_ev:
+                out.append(("c_wake", _r(s, data_ev=0, cwait=0, c_pc=C_TRY)))
+
+        return out
+
+    frontier = [initial]
+    seen = {initial}
+    states = 0
+    while frontier:
+        s = frontier.pop()
+        states += 1
+        if states > max_states:
+            raise RuntimeError(
+                f"ring model exceeded {max_states} states for {config.label}; "
+                f"shrink the capacity/frame grid"
+            )
+        if not (s.head <= s.tail <= s.head + cap):
+            report("bound", f"head={s.head} tail={s.tail} cap={cap}", s, "(state)")
+            continue
+        succ = successors(s)
+        if succ and succ[0][1] is None:
+            span = s.tail - s.head
+            torn = [
+                (s.head + i, s.cells[(s.head + i) % cap])
+                for i in range(span)
+                if s.cells[(s.head + i) % cap] != s.head + i
+            ]
+            report(
+                "torn-frame",
+                f"read of bytes [{s.head}, {s.tail}) observes "
+                f"{torn[0][1] if torn else '?'} at stream index {torn[0][0]}: "
+                f"tail published before the data was copied",
+                s, "c_read",
+            )
+            continue
+        if not succ:
+            done = s.p_pc == P_DONE and s.c_pc == C_DONE
+            if not done:
+                who = []
+                if s.p_pc != P_DONE:
+                    who.append(f"producer at {_P_NAMES[s.p_pc]} "
+                               f"(published {s.tail}/{total})")
+                if s.c_pc != C_DONE:
+                    who.append(f"consumer at {_C_NAMES[s.c_pc]} "
+                               f"(drained {s.head}/{total})")
+                report(
+                    "deadlock",
+                    "terminal state with work remaining — lost wakeup: "
+                    + "; ".join(who),
+                    s, "(terminal)",
+                )
+            continue
+        for label, nxt in succ:
+            if nxt not in seen:
+                seen.add(nxt)
+                parent[nxt] = (s, label)
+                frontier.append(nxt)
+    return ExploreResult(config=config, states=states, violations=violations)
+
+
+def _r(s: RingState, **changes) -> RingState:
+    fields = dict(
+        head=s.head, tail=s.tail, cells=s.cells, copied=s.copied,
+        cwait=s.cwait, pwait=s.pwait, data_ev=s.data_ev,
+        space_ev=s.space_ev, p_pc=s.p_pc, c_pc=s.c_pc, pending=s.pending,
+    )
+    fields.update(changes)
+    return RingState(**fields)
+
+
+#: Healthy geometries: capacity 1 forces the full-ring doorbell path on
+#: every byte; the larger rings exercise wrap-around and multi-byte spans.
+HEALTHY_CONFIGS: Tuple[RingConfig, ...] = (
+    RingConfig(capacity=1, frame_sizes=(1, 1, 1)),
+    RingConfig(capacity=1, frame_sizes=(2, 1)),
+    RingConfig(capacity=2, frame_sizes=(1, 2, 1)),
+    RingConfig(capacity=2, frame_sizes=(3,)),
+    RingConfig(capacity=3, frame_sizes=(2, 2, 2)),
+    RingConfig(capacity=3, frame_sizes=(1, 3, 1)),
+)
+
+#: Each protocol mutation paired with the violation it must produce.
+MUTATION_CONFIGS: Tuple[Tuple[RingConfig, str], ...] = (
+    (RingConfig(capacity=2, frame_sizes=(1, 2, 1),
+                skip_consumer_recheck=True), "deadlock"),
+    (RingConfig(capacity=1, frame_sizes=(2, 1),
+                skip_doorbell=True), "deadlock"),
+    (RingConfig(capacity=2, frame_sizes=(1, 2, 1),
+                publish_before_copy=True), "torn-frame"),
+)
+
+
+def verify_ring_protocol():
+    """Model-check the healthy protocol and the seeded mutations.
+
+    Returns ``CaseResult`` rows (the schedule verifier's report type):
+    one per healthy geometry (must be violation-free) and one per
+    mutation (must be caught with the expected violation kind).
+    """
+    from repro.analysis.schedule_verifier import CaseResult, Violation
+
+    results: List[CaseResult] = []
+    for config in HEALTHY_CONFIGS:
+        res = explore(config)
+        name = f"ring-model[{config.label}]"
+        results.append(CaseResult(
+            name=name,
+            world_size=2,
+            violations=[
+                Violation(name, "deadlock" if v.kind != "torn-frame" else "match",
+                          str(v))
+                for v in res.violations
+            ],
+            num_events=res.states,
+        ))
+    for config, expected_kind in MUTATION_CONFIGS:
+        res = explore(config)
+        name = f"ring-model-self-test[{config.label}->{expected_kind}]"
+        hits = [v for v in res.violations if v.kind == expected_kind]
+        if hits:
+            results.append(CaseResult(name, 2, num_events=res.states))
+        else:
+            results.append(CaseResult(
+                name, 2,
+                violations=[Violation(
+                    name, "self-test",
+                    f"mutation {config.label} was not caught as "
+                    f"{expected_kind!r}; saw {[v.kind for v in res.violations]}",
+                )],
+                num_events=res.states,
+            ))
+    return results

@@ -53,6 +53,8 @@ EXPERIMENTS: Dict[str, str] = {
     "scaling": "strong/weak scaling projections",
     "fusion": "fused/chunked gradient-exchange pipeline vs. unfused baseline",
     "tune": "calibrate the LogGP model to a comm backend and auto-tune fusion",
+    "verify": "statically verify collective schedules, tags and the shm ring",
+    "lint": "repo-specific AST lint (tag discipline, shm cleanup, framing)",
 }
 
 
@@ -197,6 +199,26 @@ def _build_parser() -> argparse.ArgumentParser:
                    "exchanges on the calibrated backend")
     _add_backend_argument(p, "comm backend the calibration sweep measures")
     _add_compression_argument(p, "gradient codec the fusion grid is tuned for")
+
+    p = sub.add_parser("verify", help=EXPERIMENTS["verify"])
+    p.add_argument(
+        "--world-sizes", type=str, default="2,3,4,5,7,8,16,64",
+        help="comma-separated world sizes of the schedule sweep",
+    )
+    p.add_argument("--no-exchange", action="store_true",
+                   help="skip the fused SynchronousExchange plan cases")
+    p.add_argument("--no-ring-model", action="store_true",
+                   help="skip the shm SPSC ring protocol model checker")
+    p.add_argument("--no-self-test", action="store_true",
+                   help="skip the seeded-mutant checker self-tests")
+    p.add_argument("-q", "--quiet", action="store_true",
+                   help="print violations only, not the per-case table")
+
+    p = sub.add_parser("lint", help=EXPERIMENTS["lint"])
+    p.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
     return parser
 
 
@@ -326,6 +348,34 @@ def main(argv: Optional[List[str]] = None) -> int:
             compression=args.compression,
         )
         print(autotune_experiment.report(result))
+    elif args.command == "verify":
+        from repro.analysis import schedule_verifier
+
+        world_sizes = _parse_int_list(parser, "--world-sizes", args.world_sizes, 2)
+        report = schedule_verifier.verify(
+            world_sizes=world_sizes,
+            include_exchange=not args.no_exchange,
+            include_ring_model=not args.no_ring_model,
+            include_self_test=not args.no_self_test,
+            progress=None if args.quiet else print,
+        )
+        if args.quiet:
+            for violation in report.violations:
+                print(violation)
+            passed = sum(1 for r in report.results if r.ok)
+            print(f"verified {len(report.results)} case(s): {passed} passed, "
+                  f"{len(report.results) - passed} failed")
+        else:
+            print(report.summary())
+        return 0 if report.ok else 1
+    elif args.command == "lint":
+        from repro.analysis.lint import lint_paths
+
+        findings = lint_paths(args.paths)
+        for finding in findings:
+            print(finding)
+        print(f"linted {', '.join(args.paths)}: {len(findings)} finding(s)")
+        return 0 if not findings else 1
     else:  # pragma: no cover - argparse already rejects unknown commands
         parser.error(f"unknown command {args.command!r}")
     return 0

@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.comm import tags
 from repro.comm.communicator import Communicator
 from repro.comm.message import ANY_TAG
 from repro.comm.reduce_ops import ReduceOp, SUM, get_op
@@ -47,10 +48,10 @@ from repro.comm.router import Channel
 from repro.collectives.sync import allreduce_recursive_doubling
 from repro.utils.rng import seeded_rng
 
-#: Tag base of activation messages; one tag per round.
-_ACTIVATION_TAG_BASE = 100_000_000
-#: Tag base of quorum arrival notifications; one tag per round.
-_ARRIVAL_TAG_BASE = 200_000_000
+# Tag bases come from the global tag-region map (one tag per round in
+# each region); the underscored aliases are kept for existing callers.
+_ACTIVATION_TAG_BASE = tags.PARTIAL_ACTIVATION_TAG_BASE
+_ARRIVAL_TAG_BASE = tags.PARTIAL_ARRIVAL_TAG_BASE
 
 
 class PartialMode(str, enum.Enum):
@@ -368,10 +369,10 @@ class PartialAllreduce:
     # progress thread
     # ------------------------------------------------------------------
     def _activation_tag(self, round_index: int) -> int:
-        return _ACTIVATION_TAG_BASE + round_index
+        return tags.partial_activation_tag(round_index)
 
     def _arrival_tag(self, round_index: int) -> int:
-        return _ARRIVAL_TAG_BASE + round_index
+        return tags.partial_arrival_tag(round_index)
 
     def _designated_initiator(self, round_index: int) -> int:
         """Initiator (majority) / coordinator (quorum) of ``round_index``.
@@ -533,18 +534,28 @@ class PartialAllreduce:
     def _forward_activation(
         self, round_index: int, initiator: int, incoming_distance: int
     ) -> None:
-        """Send activation messages along the dissemination pattern.
+        """Send activation messages along the binomial broadcast tree.
 
         A rank activated via distance class ``k`` forwards to the ranks at
-        distances ``2^j`` for ``j > k``; the initiator (``k == -1``)
-        forwards to every distance class.  This is the union-of-binomial-
-        trees broadcast of Section 4.1.1.
+        offsets ``2^j`` beyond it for ``j > k``; the initiator (``k == -1``)
+        forwards to every distance class.  Offsets are measured from the
+        initiator and **never wrap**: a rank only forwards while
+        ``offset + 2^j < P``, so each offset in ``[1, P)`` has exactly one
+        parent (strip the top set bit) and activation reaches every rank
+        under *any* message delivery order.  The earlier ``mod P`` variant
+        aliased two tree positions onto one rank at non-power-of-two sizes;
+        a rank whose first activation arrived via the aliased (higher)
+        class then skipped its low-class forwards and could strand part of
+        the world — found by the static schedule verifier's delivery-order
+        exploration (``repro.analysis.schedule_verifier``).
         """
         act_tag = self._activation_tag(round_index)
+        offset = (self.rank - initiator) % self.size
         for j in range(incoming_distance + 1, self._depth):
-            dest = (self.rank + (1 << j)) % self.size
-            if dest == self.rank:
-                continue
+            target = offset + (1 << j)
+            if target >= self.size:
+                break
+            dest = (initiator + target) % self.size
             self.comm_act.send(("activate", round_index, j, initiator), dest, tag=act_tag)
 
 
@@ -598,5 +609,5 @@ def make_partial_allreduce(
         return MajorityAllreduce(comm, shape, **kwargs)
     quorum = kwargs.pop("quorum", None)
     if quorum is None:
-        raise ValueError("quorum mode requires a 'quorum' argument")
+        raise ValueError(f"mode {mode!r} requires a 'quorum' argument, got {kwargs!r}")
     return QuorumAllreduce(comm, shape, quorum=quorum, **kwargs)

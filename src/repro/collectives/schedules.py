@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.comm import tags
 from repro.comm.reduce_ops import ReduceOp, get_op
 from repro.collectives.topology import (
     binomial_tree_children,
@@ -231,9 +232,9 @@ def build_solo_allreduce_schedule(
     size: int,
     round_index: int,
     op: ReduceOp | str = "sum",
-    activation_tag_base: int = 10_000_000,
-    reduction_tag_base: int = 20_000_000,
-    tags_per_round: int = 64,
+    activation_tag_base: int = tags.SOLO_ACTIVATION_TAG_BASE,
+    reduction_tag_base: int = tags.SOLO_REDUCTION_TAG_BASE,
+    tags_per_round: int = tags.SOLO_TAGS_PER_ROUND,
     name: Optional[str] = None,
 ) -> Schedule:
     """Build the complete solo-allreduce schedule of Fig. 6 for one rank.
@@ -251,8 +252,17 @@ def build_solo_allreduce_schedule(
     sched = Schedule(
         name or f"solo-allreduce[rank={rank},round={round_index}]", persistent=True
     )
-    act_tag = activation_tag_base + round_index * tags_per_round
-    red_tag = reduction_tag_base + round_index * tags_per_round
+    if activation_tag_base == tags.SOLO_ACTIVATION_TAG_BASE:
+        # Minting through the region helper bounds round_index so a
+        # long-lived persistent schedule can never creep into the
+        # neighbouring reduction region.
+        act_tag = tags.solo_activation_tag(round_index, tags_per_round)
+    else:
+        act_tag = activation_tag_base + round_index * tags_per_round
+    if reduction_tag_base == tags.SOLO_REDUCTION_TAG_BASE:
+        red_tag = tags.solo_reduction_tag_base(round_index, tags_per_round)
+    else:
+        red_tag = reduction_tag_base + round_index * tags_per_round
     names = build_activation_schedule(sched, rank, size, act_tag)
     build_recursive_doubling_allreduce_schedule(
         sched, rank, size, red_tag, op=op, after=names.activated

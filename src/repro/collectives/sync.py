@@ -62,7 +62,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.comm import reduce_kernels
+from repro.comm import reduce_kernels, tags
 from repro.comm.communicator import Communicator
 from repro.comm.reduce_ops import ReduceOp, get_op
 from repro.collectives.topology import (
@@ -74,21 +74,18 @@ from repro.collectives.topology import (
     largest_power_of_two_leq,
 )
 
-#: Base of the tag space used by synchronous collectives.
-_SYNC_TAG_BASE = 2_000_000_000
-#: Pipeline segments addressable within one round.
-_TAG_MAX_CHUNKS = 4_096
-#: Rounds addressable within one phase (supports ring worlds to P = 2^17).
-_TAG_MAX_ROUNDS = 1 << 17
-#: Algorithm phases addressable within one epoch.
-_TAG_MAX_PHASES = 16
-
-#: Tag stride between consecutive rounds (one slot per pipeline chunk).
-_ROUND_STRIDE = _TAG_MAX_CHUNKS
-#: Tag stride between consecutive phases.
-_PHASE_STRIDE = _TAG_MAX_ROUNDS * _ROUND_STRIDE
-#: Tag stride reserved per collective invocation (epoch).
-_EPOCH_STRIDE = _TAG_MAX_PHASES * _PHASE_STRIDE
+# The layout constants live in the global tag-region map
+# (:mod:`repro.comm.tags`) so the static schedule verifier decodes tags
+# from the same table that mints them; the historical underscored names
+# are kept as aliases for callers and tests.
+_SYNC_TAG_BASE = tags.SYNC_TAG_BASE
+_TAG_MAX_CHUNKS = tags.SYNC_MAX_CHUNKS
+_TAG_MAX_ROUNDS = tags.SYNC_MAX_ROUNDS
+_TAG_MAX_PHASES = tags.SYNC_MAX_PHASES
+_TAG_MAX_EPOCHS = tags.SYNC_MAX_EPOCHS
+_ROUND_STRIDE = tags.SYNC_ROUND_STRIDE
+_PHASE_STRIDE = tags.SYNC_PHASE_STRIDE
+_EPOCH_STRIDE = tags.SYNC_EPOCH_STRIDE
 
 # Phase identifiers (one namespace per algorithm phase; a collective may
 # use several, rounds are numbered independently inside each).
@@ -124,29 +121,12 @@ def _next_epoch(comm: Communicator) -> int:
     return next(counter)
 
 
-def _tag(epoch: int, phase: int, round_index: int, chunk: int = 0) -> int:
-    """Tag of pipeline segment ``chunk`` of ``round_index`` in ``phase``.
-
-    Raises :class:`ValueError` when any field overflows its stride — an
-    overflow would alias another phase/epoch's messages (the tag-collision
-    bug this layout replaces), so it must never be silent.
-    """
-    if not 0 <= phase < _TAG_MAX_PHASES:
-        raise ValueError(f"collective phase {phase} outside [0, {_TAG_MAX_PHASES})")
-    if not 0 <= round_index < _TAG_MAX_ROUNDS:
-        raise ValueError(
-            f"collective round {round_index} outside [0, {_TAG_MAX_ROUNDS}); "
-            f"world size exceeds the tag layout's round capacity"
-        )
-    if not 0 <= chunk < _TAG_MAX_CHUNKS:
-        raise ValueError(f"pipeline chunk {chunk} outside [0, {_TAG_MAX_CHUNKS})")
-    return (
-        _SYNC_TAG_BASE
-        + epoch * _EPOCH_STRIDE
-        + phase * _PHASE_STRIDE
-        + round_index * _ROUND_STRIDE
-        + chunk
-    )
+#: Tag of pipeline segment ``chunk`` of ``round_index`` in ``phase``.
+#: Raises :class:`ValueError` when any field — epoch included — overflows
+#: its stride: an overflow would alias another phase/epoch's messages
+#: (the tag-collision bug this layout replaces), so it must never be
+#: silent.  Implemented by the global tag-region map.
+_tag = tags.sync_tag
 
 
 def _validate_chunks(n_chunks: int) -> int:

@@ -170,7 +170,7 @@ class HostTopology:
 
     def __init__(self, host_of: Sequence[object]) -> None:
         if len(host_of) < 1:
-            raise ValueError("host topology needs at least one rank")
+            raise ValueError(f"host topology needs at least one rank, got {host_of!r}")
         canonical: Dict[object, int] = {}
         dense: List[int] = []
         for label in host_of:

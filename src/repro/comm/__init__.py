@@ -33,6 +33,7 @@ pickle-safety is part of the payload contract so the same program runs
 on every transport.
 """
 
+from repro.comm import tags
 from repro.comm.message import Message, ANY_SOURCE, ANY_TAG
 from repro.comm.mailbox import Mailbox, MailboxClosed
 from repro.comm.router import Router, Channel
@@ -57,6 +58,7 @@ from repro.comm.backend import (
 from repro.comm.world import ThreadBackend, ThreadWorld, run_world
 
 __all__ = [
+    "tags",
     "Message",
     "ANY_SOURCE",
     "ANY_TAG",

@@ -13,6 +13,7 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro.comm import tags
 from repro.comm.message import ANY_SOURCE, ANY_TAG, Message
 from repro.comm.requests import RecvRequest, Request, SendRequest
 from repro.comm.router import Channel, Router
@@ -27,8 +28,9 @@ class CommTimeoutError(TimeoutError):
 #: a generous-but-finite timeout converts them into actionable errors.
 DEFAULT_TIMEOUT = 120.0
 
-# Reserved tag space for the dissemination barrier.
-_BARRIER_TAG_BASE = 1_000_000_000
+# Reserved tag space for the dissemination barrier (from the global
+# tag-region map; alias kept for existing callers).
+_BARRIER_TAG_BASE = tags.BARRIER_TAG_BASE
 
 
 class Communicator:
@@ -189,7 +191,7 @@ class Communicator:
         while dist < size:
             dest = (self._rank + dist) % size
             src = (self._rank - dist) % size
-            tag = _BARRIER_TAG_BASE + epoch * 64 + k
+            tag = tags.barrier_tag(epoch, k)
             self.send(("barrier", epoch, k), dest, tag=tag)
             self.recv(source=src, tag=tag, timeout=timeout)
             dist <<= 1

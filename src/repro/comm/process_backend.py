@@ -326,7 +326,7 @@ class MeshEndpoint:
         self.world_size = int(world_size)
         self.channels: Tuple[str, ...] = tuple(channels)
         if not self.channels:
-            raise ValueError("at least one channel is required")
+            raise ValueError(f"at least one channel is required, got {channels!r}")
         self._mailboxes: Dict[str, Mailbox] = {
             ch: self._make_mailbox(self.rank, ch) for ch in self.channels
         }

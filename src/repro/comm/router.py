@@ -52,7 +52,7 @@ class Router:
         self.world_size = int(world_size)
         self.channels: Tuple[str, ...] = tuple(channels)
         if not self.channels:
-            raise ValueError("at least one channel is required")
+            raise ValueError(f"at least one channel is required, got {channels!r}")
         self._mailboxes: Dict[Tuple[int, str], Mailbox] = {
             (rank, ch): Mailbox(rank, ch)
             for rank in range(self.world_size)

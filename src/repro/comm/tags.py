@@ -1,0 +1,307 @@
+"""The global tag-region map: every reserved tag range, declared once.
+
+Three subsystems of this codebase number their messages out of disjoint
+integer tag ranges: the persistent solo/majority schedules
+(:mod:`repro.collectives.schedules`), the partial-collective progress
+thread (:mod:`repro.collectives.partial`), the dissemination barrier
+(:mod:`repro.comm.communicator`) and the synchronous collectives
+(:mod:`repro.collectives.sync`).  Historically each declared its own
+magic base constant, and nothing asserted that the ranges stay disjoint —
+PR 1 fixed one silent collision found the hard way at P > 512.
+
+This module is now the single source of truth.  Every reserved region is
+a :class:`TagRegion` row in :data:`TAG_REGIONS`; the owning modules
+import their bases from here, tags are minted through the helpers below
+(which refuse to leave their region), and
+:func:`check_region_disjointness` — run at import time and again by
+``python -m repro verify`` — proves the table is pairwise disjoint.
+
+Layout (all bounds half-open)::
+
+    [0,            10_000_000)   free for applications (user tags)
+    [10_000_000,   20_000_000)   solo-schedule activation messages
+    [20_000_000,  100_000_000)   solo-schedule reduction rounds
+    [100_000_000, 200_000_000)   partial-collective activation broadcast
+    [200_000_000, 300_000_000)   partial-collective quorum arrivals
+    [1_000_000_000, 2_000_000_000)   dissemination barrier
+    [2_000_000_000, 2_000_000_000 + 2^62)   synchronous collectives
+
+The synchronous region additionally carries an internal
+``(epoch, phase, round, chunk)`` field layout, declared here so both the
+collectives and the static schedule verifier
+(:mod:`repro.analysis.schedule_verifier`) can mint *and* decode tags from
+the same constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# region table
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TagRegion:
+    """One reserved, half-open ``[lo, hi)`` range of the global tag space."""
+
+    name: str
+    lo: int
+    hi: int
+    description: str
+
+    def __contains__(self, tag: int) -> bool:
+        return self.lo <= tag < self.hi
+
+    @property
+    def span(self) -> int:
+        """Number of distinct tags the region can hold."""
+        return self.hi - self.lo
+
+    def check(self, tag: int, what: str) -> int:
+        """Return ``tag`` if it lies inside this region, else raise."""
+        if tag not in self:
+            raise ValueError(
+                f"{what} tag {tag} escapes the {self.name!r} region "
+                f"[{self.lo}, {self.hi})"
+            )
+        return tag
+
+
+# -- solo/majority persistent schedules (repro.collectives.schedules) -------
+SOLO_ACTIVATION_TAG_BASE = 10_000_000
+SOLO_REDUCTION_TAG_BASE = 20_000_000
+#: Tags reserved per persistent-schedule round (activation + log2(P) rounds).
+SOLO_TAGS_PER_ROUND = 64
+
+# -- partial collectives (repro.collectives.partial) ------------------------
+PARTIAL_ACTIVATION_TAG_BASE = 100_000_000
+PARTIAL_ARRIVAL_TAG_BASE = 200_000_000
+
+# -- dissemination barrier (repro.comm.communicator) ------------------------
+BARRIER_TAG_BASE = 1_000_000_000
+#: Tags reserved per barrier epoch (one per dissemination round; 64 rounds
+#: covers any world size below 2^64).
+BARRIER_TAGS_PER_EPOCH = 64
+
+# -- synchronous collectives (repro.collectives.sync) -----------------------
+SYNC_TAG_BASE = 2_000_000_000
+#: Pipeline segments addressable within one round.
+SYNC_MAX_CHUNKS = 4_096
+#: Rounds addressable within one phase (supports ring worlds to P = 2^17).
+SYNC_MAX_ROUNDS = 1 << 17
+#: Algorithm phases addressable within one epoch.
+SYNC_MAX_PHASES = 16
+#: Tag stride between consecutive rounds (one slot per pipeline chunk).
+SYNC_ROUND_STRIDE = SYNC_MAX_CHUNKS
+#: Tag stride between consecutive phases.
+SYNC_PHASE_STRIDE = SYNC_MAX_ROUNDS * SYNC_ROUND_STRIDE
+#: Tag stride reserved per collective invocation (epoch).
+SYNC_EPOCH_STRIDE = SYNC_MAX_PHASES * SYNC_PHASE_STRIDE
+#: Collective invocations addressable per communicator.  2^29 epochs keep
+#: the largest sync tag below 2^63, so tags stay exact in the int64/u64
+#: headers of the framing transports; at one collective per millisecond
+#: that is ~17 years of uptime before the (loud) overflow error.
+SYNC_MAX_EPOCHS = 1 << 29
+
+SOLO_ACTIVATION = TagRegion(
+    "solo-activation",
+    SOLO_ACTIVATION_TAG_BASE,
+    SOLO_REDUCTION_TAG_BASE,
+    "activation messages of the persistent solo/majority schedules",
+)
+SOLO_REDUCTION = TagRegion(
+    "solo-reduction",
+    SOLO_REDUCTION_TAG_BASE,
+    PARTIAL_ACTIVATION_TAG_BASE,
+    "recursive-doubling rounds of the persistent solo/majority schedules",
+)
+PARTIAL_ACTIVATION = TagRegion(
+    "partial-activation",
+    PARTIAL_ACTIVATION_TAG_BASE,
+    PARTIAL_ARRIVAL_TAG_BASE,
+    "dissemination-broadcast activations of the partial collectives",
+)
+PARTIAL_ARRIVAL = TagRegion(
+    "partial-arrival",
+    PARTIAL_ARRIVAL_TAG_BASE,
+    300_000_000,
+    "quorum arrival notifications of the partial collectives",
+)
+BARRIER = TagRegion(
+    "barrier",
+    BARRIER_TAG_BASE,
+    SYNC_TAG_BASE,
+    "dissemination-barrier token exchange",
+)
+SYNC = TagRegion(
+    "sync-collectives",
+    SYNC_TAG_BASE,
+    SYNC_TAG_BASE + SYNC_MAX_EPOCHS * SYNC_EPOCH_STRIDE,
+    "synchronous collectives: (epoch, phase, round, chunk) layout",
+)
+
+#: Every reserved region, in ascending order of base.  ``[0, 10_000_000)``
+#: is deliberately absent: it is free for application-level tags.
+TAG_REGIONS: Tuple[TagRegion, ...] = (
+    SOLO_ACTIVATION,
+    SOLO_REDUCTION,
+    PARTIAL_ACTIVATION,
+    PARTIAL_ARRIVAL,
+    BARRIER,
+    SYNC,
+)
+
+
+def region(name: str) -> TagRegion:
+    """Look up a region by name."""
+    for reg in TAG_REGIONS:
+        if reg.name == name:
+            return reg
+    raise KeyError(f"unknown tag region {name!r}; known: "
+                   f"{[r.name for r in TAG_REGIONS]}")
+
+
+def region_of(tag: int) -> Optional[TagRegion]:
+    """The reserved region containing ``tag``, or ``None`` (user space)."""
+    for reg in TAG_REGIONS:
+        if tag in reg:
+            return reg
+    return None
+
+
+def check_region_disjointness() -> None:
+    """Prove the region table is well-formed and pairwise disjoint.
+
+    Raises :class:`ValueError` on any malformed or overlapping pair; runs
+    at import time so a bad edit to the table can never ship silently.
+    """
+    for reg in TAG_REGIONS:
+        if reg.lo < 0 or reg.hi <= reg.lo:
+            raise ValueError(
+                f"malformed tag region {reg.name!r}: [{reg.lo}, {reg.hi})"
+            )
+    ordered = sorted(TAG_REGIONS, key=lambda r: r.lo)
+    for a, b in zip(ordered, ordered[1:]):
+        if b.lo < a.hi:
+            raise ValueError(
+                f"tag regions {a.name!r} [{a.lo}, {a.hi}) and "
+                f"{b.name!r} [{b.lo}, {b.hi}) overlap"
+            )
+
+
+# ---------------------------------------------------------------------------
+# tag minting helpers (each refuses to leave its region)
+# ---------------------------------------------------------------------------
+class SyncTagFields(NamedTuple):
+    """Decoded ``(epoch, phase, round, chunk)`` fields of a sync tag."""
+
+    epoch: int
+    phase: int
+    round_index: int
+    chunk: int
+
+
+def sync_tag(epoch: int, phase: int, round_index: int, chunk: int = 0) -> int:
+    """Tag of pipeline segment ``chunk`` of ``round_index`` in ``phase``.
+
+    Raises :class:`ValueError` when any field — including ``epoch`` —
+    overflows its stride: an overflow would alias another phase/epoch's
+    messages (the tag-collision bug this layout replaces), so it must
+    never be silent.
+    """
+    if not 0 <= epoch < SYNC_MAX_EPOCHS:
+        raise ValueError(
+            f"collective epoch {epoch} outside [0, {SYNC_MAX_EPOCHS}); "
+            f"the per-communicator collective counter overflowed its tag field"
+        )
+    if not 0 <= phase < SYNC_MAX_PHASES:
+        raise ValueError(f"collective phase {phase} outside [0, {SYNC_MAX_PHASES})")
+    if not 0 <= round_index < SYNC_MAX_ROUNDS:
+        raise ValueError(
+            f"collective round {round_index} outside [0, {SYNC_MAX_ROUNDS}); "
+            f"world size exceeds the tag layout's round capacity"
+        )
+    if not 0 <= chunk < SYNC_MAX_CHUNKS:
+        raise ValueError(f"pipeline chunk {chunk} outside [0, {SYNC_MAX_CHUNKS})")
+    return (
+        SYNC_TAG_BASE
+        + epoch * SYNC_EPOCH_STRIDE
+        + phase * SYNC_PHASE_STRIDE
+        + round_index * SYNC_ROUND_STRIDE
+        + chunk
+    )
+
+
+def decode_sync_tag(tag: int) -> SyncTagFields:
+    """Invert :func:`sync_tag`; raises if ``tag`` is not a sync tag."""
+    SYNC.check(tag, "sync-collective")
+    offset = tag - SYNC_TAG_BASE
+    epoch, rest = divmod(offset, SYNC_EPOCH_STRIDE)
+    phase, rest = divmod(rest, SYNC_PHASE_STRIDE)
+    round_index, chunk = divmod(rest, SYNC_ROUND_STRIDE)
+    return SyncTagFields(epoch, phase, round_index, chunk)
+
+
+def partial_activation_tag(round_index: int) -> int:
+    """Activation tag of partial-collective round ``round_index``."""
+    if round_index < 0:
+        raise ValueError(f"partial-collective round must be >= 0, got {round_index}")
+    return PARTIAL_ACTIVATION.check(
+        PARTIAL_ACTIVATION_TAG_BASE + round_index, "partial-activation"
+    )
+
+
+def partial_arrival_tag(round_index: int) -> int:
+    """Quorum-arrival tag of partial-collective round ``round_index``."""
+    if round_index < 0:
+        raise ValueError(f"partial-collective round must be >= 0, got {round_index}")
+    return PARTIAL_ARRIVAL.check(
+        PARTIAL_ARRIVAL_TAG_BASE + round_index, "partial-arrival"
+    )
+
+
+def barrier_tag(epoch: int, round_index: int) -> int:
+    """Tag of dissemination-barrier round ``round_index`` in ``epoch``."""
+    if round_index < 0 or round_index >= BARRIER_TAGS_PER_EPOCH:
+        raise ValueError(
+            f"barrier round {round_index} outside [0, {BARRIER_TAGS_PER_EPOCH})"
+        )
+    max_epochs = BARRIER.span // BARRIER_TAGS_PER_EPOCH
+    if not 0 <= epoch < max_epochs:
+        raise ValueError(
+            f"barrier epoch {epoch} outside [0, {max_epochs}); "
+            f"the per-communicator barrier counter overflowed its tag region"
+        )
+    return BARRIER.check(
+        BARRIER_TAG_BASE + epoch * BARRIER_TAGS_PER_EPOCH + round_index, "barrier"
+    )
+
+
+def solo_activation_tag(round_index: int,
+                        tags_per_round: int = SOLO_TAGS_PER_ROUND) -> int:
+    """Activation tag of persistent-schedule round ``round_index``."""
+    if round_index < 0:
+        raise ValueError(f"schedule round must be >= 0, got {round_index}")
+    return SOLO_ACTIVATION.check(
+        SOLO_ACTIVATION_TAG_BASE + round_index * tags_per_round, "solo-activation"
+    )
+
+
+def solo_reduction_tag_base(round_index: int,
+                            tags_per_round: int = SOLO_TAGS_PER_ROUND) -> int:
+    """Base tag of the reduction rounds of persistent-schedule round
+    ``round_index``; the schedule adds ``1 + k`` for doubling round ``k``,
+    which stays inside the round's ``tags_per_round`` slot block."""
+    if round_index < 0:
+        raise ValueError(f"schedule round must be >= 0, got {round_index}")
+    base = SOLO_REDUCTION_TAG_BASE + round_index * tags_per_round
+    SOLO_REDUCTION.check(base, "solo-reduction")
+    SOLO_REDUCTION.check(base + tags_per_round - 1, "solo-reduction")
+    return base
+
+
+# Prove the table is sound before anyone mints a tag from it.
+check_region_disjointness()

@@ -107,7 +107,7 @@ class TcpBackend(ProcessBackend):
         else:
             local = sorted({int(r) for r in local_ranks})
             if not local:
-                raise ValueError("local_ranks must name at least one rank")
+                raise ValueError(f"local_ranks must name at least one rank, got {local_ranks!r}")
             bad = [r for r in local if not 0 <= r < world_size]
             if bad:
                 raise ValueError(
@@ -115,8 +115,9 @@ class TcpBackend(ProcessBackend):
                 )
             if seed is None:
                 raise ValueError(
-                    "multi-launcher mode (local_ranks) requires an explicit "
-                    "seed_addr shared by every launcher"
+                    f"multi-launcher mode (local_ranks={local!r}) requires an "
+                    f"explicit seed_addr shared by every launcher "
+                    f"(backend opt or ${SEED_ADDR_ENV_VAR})"
                 )
 
         service = None

@@ -197,7 +197,9 @@ class GradientCodec(ABC):
     def _as_dense(dense: np.ndarray) -> np.ndarray:
         arr = np.asarray(dense, dtype=np.float64).reshape(-1)
         if arr.size < 1:
-            raise ValueError("cannot encode an empty gradient buffer")
+            raise ValueError(
+                f"cannot encode an empty gradient buffer (shape {np.shape(dense)})"
+            )
         return arr
 
     def _check(self, encoded: EncodedGradient) -> EncodedGradient:
@@ -297,7 +299,10 @@ def get_codec(
     """
     if isinstance(spec, GradientCodec):
         if options:
-            raise ValueError("cannot pass options together with a codec instance")
+            raise ValueError(
+                f"cannot pass options {options!r} together with a codec instance "
+                f"({spec.name!r})"
+            )
         return spec
     name, inline = parse_codec_spec(spec) if spec is not None else ("none", {})
     inline.update(options)

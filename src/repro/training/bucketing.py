@@ -115,7 +115,7 @@ class GradientBucketer:
     ) -> None:
         sizes = [int(s) for s in param_sizes]
         if not sizes:
-            raise ValueError("param_sizes must not be empty")
+            raise ValueError(f"param_sizes must not be empty, got {param_sizes!r}")
         if any(s < 1 for s in sizes):
             raise ValueError(f"parameter sizes must be >= 1, got {sizes}")
         if fusion_threshold_bytes < 1:
@@ -290,8 +290,8 @@ class GradientBucketer:
         """
         if any(not b.param_indices for b in self.buckets):
             raise ValueError(
-                "this bucketer was built from element ranges, not parameter "
-                "sizes; use pack() with the flat gradient instead"
+                f"this bucketer ({self.num_buckets} bucket(s)) was built from element "
+                f"ranges, not parameter sizes; use pack() with the flat gradient instead"
             )
         flats = [np.asarray(g).reshape(-1) for g in gradients]
         buffers = []

@@ -147,15 +147,18 @@ class TrainingConfig:
 
     def validate(self) -> None:
         if self.world_size < 1:
-            raise ValueError("world_size must be >= 1")
+            raise ValueError(f"world_size must be >= 1, got {self.world_size}")
         if self.comm_backend is not None:
             from repro.comm.backend import get_backend
 
             get_backend(self.comm_backend)  # raises ValueError on unknown names
         if self.epochs < 1:
-            raise ValueError("epochs must be >= 1")
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
         if self.global_batch_size < self.world_size:
-            raise ValueError("global_batch_size must be >= world_size")
+            raise ValueError(
+                f"global_batch_size must be >= world_size "
+                f"({self.world_size}), got {self.global_batch_size}"
+            )
         if self.mode not in VALID_MODES:
             raise ValueError(f"mode must be one of {VALID_MODES}, got {self.mode!r}")
         if self.sync_style not in VALID_SYNC_STYLES:
@@ -172,13 +175,16 @@ class TrainingConfig:
                     f"quorum mode requires 1 <= quorum <= {self.world_size}, got {self.quorum}"
                 )
         if self.learning_rate <= 0:
-            raise ValueError("learning_rate must be positive")
+            raise ValueError(f"learning_rate must be positive, got {self.learning_rate}")
         if self.time_scale < 0:
-            raise ValueError("time_scale must be non-negative")
+            raise ValueError(f"time_scale must be non-negative, got {self.time_scale}")
         if self.model_sync_period_epochs is not None and self.model_sync_period_epochs < 1:
-            raise ValueError("model_sync_period_epochs must be >= 1 or None")
+            raise ValueError(
+                f"model_sync_period_epochs must be >= 1 or None, "
+                f"got {self.model_sync_period_epochs}"
+            )
         if self.fusion_buckets < 1:
-            raise ValueError("fusion_buckets must be >= 1")
+            raise ValueError(f"fusion_buckets must be >= 1, got {self.fusion_buckets}")
         if isinstance(self.fusion_threshold_bytes, str):
             if self.fusion_threshold_bytes != "auto":
                 raise ValueError(
@@ -186,7 +192,10 @@ class TrainingConfig:
                     f"got {self.fusion_threshold_bytes!r}"
                 )
         elif self.fusion_threshold_bytes is not None and self.fusion_threshold_bytes < 1:
-            raise ValueError("fusion_threshold_bytes must be >= 1, None or 'auto'")
+            raise ValueError(
+                f"fusion_threshold_bytes must be >= 1, None or 'auto', "
+                f"got {self.fusion_threshold_bytes!r}"
+            )
         if isinstance(self.pipeline_chunks, str):
             if self.pipeline_chunks != "auto":
                 raise ValueError(
@@ -194,7 +203,9 @@ class TrainingConfig:
                     f"got {self.pipeline_chunks!r}"
                 )
         elif self.pipeline_chunks < 1:
-            raise ValueError("pipeline_chunks must be >= 1 or 'auto'")
+            raise ValueError(
+                f"pipeline_chunks must be >= 1 or 'auto', got {self.pipeline_chunks!r}"
+            )
         if self.compression is not None or self.compression_options:
             from repro.compression import get_codec
 

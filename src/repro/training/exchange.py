@@ -264,12 +264,12 @@ class SynchronousExchange(GradientExchange):
         if style not in ("deep500", "horovod"):
             raise ValueError(f"unknown synchronous style {style!r}")
         if fusion_buckets < 1:
-            raise ValueError("fusion_buckets must be >= 1")
+            raise ValueError(f"fusion_buckets must be >= 1, got {fusion_buckets}")
         fusion_threshold_bytes, pipeline_chunks = _apply_plan(
             plan, comm, fusion_threshold_bytes, pipeline_chunks
         )
         if pipeline_chunks < 1:
-            raise ValueError("pipeline_chunks must be >= 1")
+            raise ValueError(f"pipeline_chunks must be >= 1, got {pipeline_chunks}")
         self.comm = comm
         self.style = style
         self.algorithm = algorithm
@@ -475,7 +475,7 @@ class PartialExchange(GradientExchange):
         compression_options: Optional[Dict] = None,
     ) -> None:
         if num_parameters < 1:
-            raise ValueError("num_parameters must be >= 1")
+            raise ValueError(f"num_parameters must be >= 1, got {num_parameters}")
         fusion_threshold_bytes, pipeline_chunks = _apply_plan(
             plan, comm, fusion_threshold_bytes, pipeline_chunks
         )

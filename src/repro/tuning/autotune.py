@@ -326,7 +326,7 @@ def autotune(
     links.  Live trials then run on the matching simulated topology.
     """
     if world_size < 1:
-        raise ValueError("size must be >= 1")
+        raise ValueError(f"size must be >= 1, got {world_size}")
     if ranks_per_host is not None:
         ranks_per_host = tuple(int(n) for n in ranks_per_host)
         if sum(ranks_per_host) != world_size:
@@ -341,7 +341,10 @@ def autotune(
     thresholds = tuple(thresholds) if thresholds is not None else DEFAULT_THRESHOLD_GRID
     chunks = tuple(chunks) if chunks is not None else DEFAULT_CHUNK_GRID
     if not thresholds or not chunks:
-        raise ValueError("thresholds and chunks must not be empty")
+        raise ValueError(
+            f"thresholds and chunks must not be empty, "
+            f"got {thresholds!r} / {chunks!r}"
+        )
     if any(t < 1 for t in thresholds):
         raise ValueError(f"fusion thresholds must be >= 1, got {list(thresholds)}")
     if any(c < 1 for c in chunks):

@@ -1,0 +1,202 @@
+"""Repo lint rules: each fires on a synthetic snippet, and src/ is clean."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import lint_paths, lint_source
+
+
+def _lint(snippet: str, path: str) -> list:
+    return lint_source(textwrap.dedent(snippet), path)
+
+
+# ---------------------------------------------------------------------------
+# literal-tag
+# ---------------------------------------------------------------------------
+def test_literal_tag_fires_on_raw_constants():
+    findings = _lint(
+        """
+        def f(comm):
+            comm.send(x, 1, tag=12345)
+            comm.recv(source=0, tag=99)
+        """,
+        "src/repro/collectives/thing.py",
+    )
+    assert [f.rule for f in findings] == ["literal-tag", "literal-tag"]
+
+
+def test_literal_tag_allows_defaults_and_minted_tags():
+    findings = _lint(
+        """
+        def f(comm):
+            comm.send(x, 1, tag=0)
+            comm.recv(source=0, tag=-1)
+            comm.send(x, 1, tag=tags.sync_tag(0, 1, 2))
+            comm.probe(0, some_tag)
+        """,
+        "src/repro/collectives/thing.py",
+    )
+    assert findings == []
+
+
+def test_literal_tag_checks_positional_arguments():
+    findings = _lint(
+        "def f(comm):\n    comm.send(x, 1, 777)\n",
+        "src/repro/collectives/thing.py",
+    )
+    assert [f.rule for f in findings] == ["literal-tag"]
+
+
+def test_literal_tag_exempts_the_tag_table_itself():
+    findings = _lint(
+        "def f(comm):\n    comm.send(x, 1, tag=777)\n",
+        "src/repro/comm/tags.py",
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# shm-unlink
+# ---------------------------------------------------------------------------
+def test_shm_create_without_unlink_fires():
+    findings = _lint(
+        """
+        def make():
+            return SharedMemory(name="x", create=True, size=64)
+        """,
+        "src/repro/comm/somewhere.py",
+    )
+    assert [f.rule for f in findings] == ["shm-unlink"]
+
+
+def test_shm_create_with_unlink_passes():
+    findings = _lint(
+        """
+        def make():
+            return SharedMemory(name="x", create=True, size=64)
+
+        def cleanup(seg):
+            seg.unlink()
+        """,
+        "src/repro/comm/somewhere.py",
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# pickle-ndarray
+# ---------------------------------------------------------------------------
+def test_pickle_of_arrayish_name_fires_in_transports():
+    findings = _lint(
+        """
+        def pack(payload):
+            return pickle.dumps(payload)
+        """,
+        "src/repro/comm/process_backend.py",
+    )
+    assert [f.rule for f in findings] == ["pickle-ndarray"]
+
+
+def test_pickle_with_ndarray_dispatch_passes():
+    findings = _lint(
+        """
+        def pack(payload):
+            if isinstance(payload, np.ndarray):
+                return frame(payload)
+            return pickle.dumps(payload)
+        """,
+        "src/repro/comm/process_backend.py",
+    )
+    assert findings == []
+
+
+def test_pickle_rule_is_scoped_to_transports():
+    findings = _lint(
+        "def pack(payload):\n    return pickle.dumps(payload)\n",
+        "src/repro/training/runner.py",
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# silent-array-copy
+# ---------------------------------------------------------------------------
+def test_np_array_without_copy_fires_in_hot_paths():
+    findings = _lint(
+        "def f(x):\n    return np.array(x)\n",
+        "src/repro/collectives/sync.py",
+    )
+    assert [f.rule for f in findings] == ["silent-array-copy"]
+
+
+def test_np_array_literal_and_explicit_copy_pass():
+    findings = _lint(
+        """
+        def f(x):
+            a = np.array([1.0, 2.0])
+            b = np.array((x, x))
+            c = np.array(x, copy=True)
+            d = np.asarray(x)
+            return a, b, c, d
+        """,
+        "src/repro/collectives/sync.py",
+    )
+    assert findings == []
+
+
+def test_np_array_rule_scoped_to_hot_packages():
+    findings = _lint(
+        "def f(x):\n    return np.array(x)\n",
+        "src/repro/experiments/fig9.py",
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# valueerror-no-value
+# ---------------------------------------------------------------------------
+def test_constant_valueerror_fires():
+    findings = _lint(
+        """
+        def f(x):
+            if x < 0:
+                raise ValueError("x must be >= 0")
+        """,
+        "src/repro/collectives/sync.py",
+    )
+    assert [f.rule for f in findings] == ["valueerror-no-value"]
+
+
+def test_interpolated_valueerror_passes():
+    findings = _lint(
+        """
+        def f(x):
+            if x < 0:
+                raise ValueError(f"x must be >= 0, got {x}")
+            if x > 9:
+                raise ValueError("too big: %r" % x)
+        """,
+        "src/repro/collectives/sync.py",
+    )
+    assert findings == []
+
+
+def test_valueerror_rule_scoped_out_of_experiments():
+    findings = _lint(
+        'def f():\n    raise ValueError("nope")\n',
+        "src/repro/experiments/fig9.py",
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# the repo itself is clean
+# ---------------------------------------------------------------------------
+def test_src_tree_lints_clean():
+    src = Path(__file__).resolve().parent.parent / "src"
+    if not src.is_dir():
+        pytest.skip("src/ layout not present")
+    findings = lint_paths([str(src)])
+    assert findings == [], [str(f) for f in findings]
