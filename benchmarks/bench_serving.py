@@ -1,0 +1,133 @@
+"""Benchmark: the online serving tier (ISSUE 8 deliverable).
+
+Measures sustained request throughput and tail latency of the
+``repro.serving`` stack in two regimes on each backend:
+
+* **idle** — serve-only (``train_ranks=0``): the replicas never swap,
+  every request is served on the version-0 weights; and
+* **under training** — serve-while-train (``train_ranks=1``): a trainer
+  shares the fabric, publishes a weight set every few steps, and the
+  replicas hot-swap between batches while requests keep flowing.
+
+``python benchmarks/bench_serving.py`` prints the table and writes
+machine-readable ``BENCH_serving.json`` at the repo root.  It exits
+non-zero if any run drops a request or (in the under-training regime)
+the served model version never advances beyond the seed weights — the
+two properties the subsystem exists to provide.
+
+Note on substrate: this container serialises every rank onto one core,
+so the trainer, the replicas and the client threads time-share it;
+absolute latencies include that scheduling noise.  The signal is the
+idle-vs-training *delta* on the same backend and that completion stays
+at 100% through hot swaps.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.comm import available_backends
+from repro.serving import ServingConfig, Workload, serve
+from repro.serving.server import format_report
+
+BACKENDS = ("thread", "process")
+NUM_REQUESTS = 200
+CLIENTS = 4
+TRAIN_STEPS = 150
+PUBLISH_EVERY = 5
+
+#: Output file (repo root), committed as the serving perf anchor.
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def run_once(backend: str, train_ranks: int) -> dict:
+    config = ServingConfig(
+        replicas=2,
+        train_ranks=train_ranks,
+        comm_backend=backend,
+        input_dim=64,
+        max_batch_size=8,
+        max_queue_delay_s=0.002,
+        train_steps=TRAIN_STEPS,
+        train_batch_size=16,
+        publish_every_steps=PUBLISH_EVERY,
+    )
+    report = serve(
+        config,
+        Workload(num_requests=NUM_REQUESTS, clients=CLIENTS, timeout_s=120.0),
+        timeout=600.0,
+    )
+    workload = report.workload or {}
+    return {
+        "backend": backend,
+        "regime": "under_training" if train_ranks else "idle",
+        "train_ranks": train_ranks,
+        "replicas": config.replicas,
+        "offered": workload.get("offered"),
+        "completed": report.completed_requests,
+        "requests_per_s": report.requests_per_s,
+        "latency_p50_s": report.p50_s,
+        "latency_p99_s": report.p99_s,
+        "latency_mean_s": workload.get("latency_mean_s"),
+        "versions_served": report.versions_served,
+        "swaps_applied": sum(r["swaps_applied"] for r in report.replicas),
+        "report": format_report(report),
+    }
+
+
+def main() -> int:
+    rows = []
+    failures = []
+    for backend in BACKENDS:
+        if backend not in available_backends():
+            print(f"-- skipping unavailable backend {backend!r}")
+            continue
+        for train_ranks in (0, 1):
+            row = run_once(backend, train_ranks)
+            rows.append(row)
+            print(row["report"])
+            print()
+            if row["completed"] != NUM_REQUESTS:
+                failures.append(
+                    f"{backend}/{row['regime']}: dropped "
+                    f"{NUM_REQUESTS - row['completed']} request(s)"
+                )
+            if train_ranks and (
+                not row["versions_served"] or row["versions_served"][-1] <= 0
+            ):
+                failures.append(
+                    f"{backend}/{row['regime']}: served version never advanced "
+                    f"(saw {row['versions_served']})"
+                )
+
+    print(f"{'backend':<9} {'regime':<15} {'req/s':>8} {'p50 ms':>8} {'p99 ms':>8} "
+          f"{'versions served':>16}")
+    for row in rows:
+        print(
+            f"{row['backend']:<9} {row['regime']:<15} "
+            f"{row['requests_per_s']:>8.0f} "
+            f"{1e3 * row['latency_p50_s']:>8.2f} "
+            f"{1e3 * row['latency_p99_s']:>8.2f} "
+            f"{len(row['versions_served']):>16}"
+        )
+
+    payload = {
+        "benchmark": "serving",
+        "config": {
+            "num_requests": NUM_REQUESTS,
+            "clients": CLIENTS,
+            "train_steps": TRAIN_STEPS,
+            "publish_every_steps": PUBLISH_EVERY,
+        },
+        "runs": [{k: v for k, v in row.items() if k != "report"} for row in rows],
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT_PATH}")
+
+    for failure in failures:
+        print(f"FAILED: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

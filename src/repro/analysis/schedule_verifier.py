@@ -35,7 +35,9 @@ algorithms (with chunk pipelining and non-uniform
 :class:`~repro.collectives.topology.HostTopology` layouts for the
 hierarchical schedule), broadcast, reduce, allgather, the barrier, the
 compressed ring, fused :class:`~repro.training.exchange.SynchronousExchange`
-plans — plus purely static checks of the partial dissemination pattern
+plans, the serving tier's request/response + hot-swap round trip
+(:func:`repro.serving.protocol.serving_round_trip`) — plus purely static
+checks of the partial dissemination pattern
 and the persistent solo schedules.  :func:`self_test` proves the checkers
 have teeth: each deliberately broken schedule (dropped receive, reused
 tag, swapped ring neighbour, double-counted term, tag outside its
@@ -405,6 +407,7 @@ def check_reduction_coverage(
 # ---------------------------------------------------------------------------
 _REGIONS_SYNC = frozenset({tags.SYNC.name})
 _REGIONS_BARRIER = frozenset({tags.BARRIER.name})
+_REGIONS_SERVING = frozenset({tags.SERVING.name})
 
 
 @dataclass
@@ -596,6 +599,22 @@ def build_cases(size: int, include_exchange: bool = True) -> List[VerifyCase]:
         regions=_REGIONS_BARRIER,
     ))
 
+    # The serving tier's request/response + hot-swap + stop schedule
+    # (frontend fan-out, replica responses, publisher weight shipments
+    # and announcements) — every receive source-explicit, every tag from
+    # the serving region.  Each replica doubles its inputs, so the
+    # frontend's total is exactly num_requests * (num_requests + 1).
+    def fn_serving(comm):
+        from repro.serving.protocol import serving_round_trip
+        return serving_round_trip(comm, num_requests=4, num_swaps=2)
+    cases.append(VerifyCase(
+        name="serving[round-trip]",
+        world_size=size,
+        fn=fn_serving,
+        expected=lambda rank, _p=size: 20 if rank == _p - 1 else None,
+        regions=_REGIONS_SERVING,
+    ))
+
     if include_exchange and size <= 8:
         n = size + 15
         exchange_total = expected_sum(size, n=n)
@@ -692,6 +711,11 @@ def check_tag_layout() -> CaseResult:
             tags.PARTIAL_ACTIVATION.span)),
         ("solo round", lambda: tags.solo_activation_tag(
             tags.SOLO_ACTIVATION.span)),
+        ("serving request seq", lambda: tags.serving_request_tag(-1)),
+        ("serving response seq", lambda: tags.serving_response_tag(-1)),
+        ("serving swap version", lambda: tags.serving_swap_tag(-1)),
+        ("serving control kind", lambda: tags.serving_control_tag(
+            tags.SERVING_CONTROL_CAPACITY)),
     ]
     for label, mint in overflowing:
         try:

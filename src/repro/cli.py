@@ -53,6 +53,8 @@ EXPERIMENTS: Dict[str, str] = {
     "scaling": "strong/weak scaling projections",
     "fusion": "fused/chunked gradient-exchange pipeline vs. unfused baseline",
     "tune": "calibrate the LogGP model to a comm backend and auto-tune fusion",
+    "serve": "online inference tier: dynamic batching + replica routing + "
+    "live weight hot-swap (serve-while-train on any backend)",
     "verify": "statically verify collective schedules, tags and the shm ring",
     "lint": "repo-specific AST lint (tag discipline, shm cleanup, framing)",
 }
@@ -199,6 +201,43 @@ def _build_parser() -> argparse.ArgumentParser:
                    "exchanges on the calibrated backend")
     _add_backend_argument(p, "comm backend the calibration sweep measures")
     _add_compression_argument(p, "gradient codec the fusion grid is tuned for")
+
+    p = sub.add_parser("serve", help=EXPERIMENTS["serve"])
+    p.add_argument("--replicas", type=int, default=2,
+                   help="number of model-replica ranks")
+    p.add_argument("--train-ranks", type=int, default=1,
+                   help="training ranks co-scheduled on the fabric "
+                   "(0 = serve-only, weights stay at version 0)")
+    p.add_argument("--requests", type=int, default=64,
+                   help="total closed-loop requests the workload offers")
+    p.add_argument("--clients", type=int, default=4,
+                   help="concurrent closed-loop client threads")
+    p.add_argument("--max-batch-size", type=int, default=8,
+                   help="dynamic-batching size bound")
+    p.add_argument("--max-queue-delay-ms", type=float, default=5.0,
+                   help="dynamic-batching latency bound (SLO knob)")
+    p.add_argument("--max-queue-depth", type=int, default=256,
+                   help="admission-control queue bound (backpressure beyond it)")
+    p.add_argument("--max-staleness", type=int, default=None,
+                   help="refuse to serve when more than K versions behind "
+                   "(default: serve at any staleness)")
+    p.add_argument("--train-steps", type=int, default=50,
+                   help="steps each trainer runs before leaving the world")
+    p.add_argument("--publish-every", type=int, default=5,
+                   help="hot-swap publish period in trainer steps")
+    p.add_argument("--input-dim", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="whole-world timeout in seconds")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report as JSON instead of the table")
+    p.add_argument("--assert-p99-s", type=float, default=None,
+                   help="exit non-zero unless request p99 latency is under "
+                   "this many seconds (CI smoke gate)")
+    p.add_argument("--assert-version-advance", action="store_true",
+                   help="exit non-zero unless the served model version "
+                   "advanced beyond 0 mid-run (CI smoke gate)")
+    _add_backend_argument(p, "comm backend hosting trainers, replicas and frontend")
 
     p = sub.add_parser("verify", help=EXPERIMENTS["verify"])
     p.add_argument(
@@ -348,6 +387,60 @@ def main(argv: Optional[List[str]] = None) -> int:
             compression=args.compression,
         )
         print(autotune_experiment.report(result))
+    elif args.command == "serve":
+        import json
+
+        from repro.serving import ServingConfig, Workload, serve
+        from repro.serving.server import format_report
+
+        if args.max_queue_delay_ms < 0:
+            parser.error("--max-queue-delay-ms must be >= 0")
+        config = ServingConfig(
+            replicas=args.replicas,
+            train_ranks=args.train_ranks,
+            comm_backend=args.backend,
+            max_batch_size=args.max_batch_size,
+            max_queue_delay_s=args.max_queue_delay_ms / 1e3,
+            max_queue_depth=args.max_queue_depth,
+            max_staleness_versions=args.max_staleness,
+            train_steps=args.train_steps,
+            publish_every_steps=args.publish_every,
+            input_dim=args.input_dim,
+            seed=args.seed,
+        )
+        try:
+            config.validate()
+        except ValueError as exc:
+            parser.error(str(exc))
+        report = serve(
+            config,
+            Workload(num_requests=args.requests, clients=args.clients),
+            timeout=args.timeout,
+        )
+        print(json.dumps(report.to_dict(), indent=2) if args.json
+              else format_report(report))
+        failures = []
+        if args.assert_p99_s is not None:
+            p99 = report.p99_s
+            if p99 is None or p99 > args.assert_p99_s:
+                failures.append(
+                    f"p99 latency {p99} s exceeds bound {args.assert_p99_s} s"
+                )
+        if args.assert_version_advance:
+            if not report.versions_served or report.versions_served[-1] <= 0:
+                failures.append(
+                    f"served versions {report.versions_served} never advanced "
+                    "beyond the seed weights"
+                )
+        ci_mode = args.assert_p99_s is not None or args.assert_version_advance
+        if ci_mode and report.completed_requests < args.requests:
+            failures.append(
+                f"only {report.completed_requests}/{args.requests} requests "
+                "completed"
+            )
+        for failure in failures:
+            print(f"ASSERTION FAILED: {failure}")
+        return 0 if not failures else 1
     elif args.command == "verify":
         from repro.analysis import schedule_verifier
 

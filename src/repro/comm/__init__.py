@@ -55,6 +55,7 @@ from repro.comm.backend import (
     register_backend,
     set_default_backend,
 )
+from repro.comm.subworld import SubsetCommunicator, split_world
 from repro.comm.world import ThreadBackend, ThreadWorld, run_world
 
 __all__ = [
@@ -91,6 +92,8 @@ __all__ = [
     "mark_backend_unavailable",
     "register_backend",
     "set_default_backend",
+    "SubsetCommunicator",
+    "split_world",
     "ThreadBackend",
     "ThreadWorld",
     "run_world",

@@ -23,6 +23,8 @@ Layout (all bounds half-open)::
     [20_000_000,  100_000_000)   solo-schedule reduction rounds
     [100_000_000, 200_000_000)   partial-collective activation broadcast
     [200_000_000, 300_000_000)   partial-collective quorum arrivals
+    [300_000_000, 400_000_000)   serving tier (requests, responses,
+                                 weight hot-swap, control)
     [1_000_000_000, 2_000_000_000)   dissemination barrier
     [2_000_000_000, 2_000_000_000 + 2^62)   synchronous collectives
 
@@ -80,6 +82,26 @@ SOLO_TAGS_PER_ROUND = 64
 PARTIAL_ACTIVATION_TAG_BASE = 100_000_000
 PARTIAL_ARRIVAL_TAG_BASE = 200_000_000
 
+# -- serving tier (repro.serving) -------------------------------------------
+SERVING_TAG_BASE = 300_000_000
+#: Inference batch requests, frontend -> replica; one tag slot per batch
+#: sequence number, recycled modulo the capacity.
+SERVING_REQUEST_TAG_BASE = SERVING_TAG_BASE
+SERVING_REQUEST_CAPACITY = 40_000_000
+#: Inference batch responses, replica -> frontend; a response echoes the
+#: sequence number (and thus the tag slot) of the request it answers.
+SERVING_RESPONSE_TAG_BASE = SERVING_REQUEST_TAG_BASE + SERVING_REQUEST_CAPACITY
+SERVING_RESPONSE_CAPACITY = 40_000_000
+#: Weight hot-swap payloads and version announcements, publisher ->
+#: replica/frontend; one tag slot per model version, recycled modulo the
+#: capacity.
+SERVING_SWAP_TAG_BASE = SERVING_RESPONSE_TAG_BASE + SERVING_RESPONSE_CAPACITY
+SERVING_SWAP_CAPACITY = 10_000_000
+#: Serving control messages (stop, health probes).
+SERVING_CONTROL_TAG_BASE = SERVING_SWAP_TAG_BASE + SERVING_SWAP_CAPACITY
+#: Control kinds addressable within the control block.
+SERVING_CONTROL_CAPACITY = 10_000_000
+
 # -- dissemination barrier (repro.comm.communicator) ------------------------
 BARRIER_TAG_BASE = 1_000_000_000
 #: Tags reserved per barrier epoch (one per dissemination round; 64 rounds
@@ -130,6 +152,12 @@ PARTIAL_ARRIVAL = TagRegion(
     300_000_000,
     "quorum arrival notifications of the partial collectives",
 )
+SERVING = TagRegion(
+    "serving",
+    SERVING_TAG_BASE,
+    SERVING_CONTROL_TAG_BASE + SERVING_CONTROL_CAPACITY,
+    "serving tier: inference requests/responses, weight hot-swap, control",
+)
 BARRIER = TagRegion(
     "barrier",
     BARRIER_TAG_BASE,
@@ -150,6 +178,7 @@ TAG_REGIONS: Tuple[TagRegion, ...] = (
     SOLO_REDUCTION,
     PARTIAL_ACTIVATION,
     PARTIAL_ARRIVAL,
+    SERVING,
     BARRIER,
     SYNC,
 )
@@ -261,6 +290,59 @@ def partial_arrival_tag(round_index: int) -> int:
     return PARTIAL_ARRIVAL.check(
         PARTIAL_ARRIVAL_TAG_BASE + round_index, "partial-arrival"
     )
+
+
+def serving_request_tag(batch_seq: int) -> int:
+    """Tag of inference batch request ``batch_seq`` (frontend -> replica).
+
+    Unlike the collective layouts, serving tags *recycle* their slot block
+    modulo the capacity: the frontend pairs a response with its request by
+    the batch sequence number carried in the payload (not by tag), so tag
+    aliasing is only possible with more than ``SERVING_REQUEST_CAPACITY``
+    batches simultaneously in flight — far above any admissible queue
+    depth.  The tag identifies the message *kind* for mailbox matching and
+    for the static schedule verifier's region-soundness check.
+    """
+    if batch_seq < 0:
+        raise ValueError(f"serving batch sequence must be >= 0, got {batch_seq}")
+    return SERVING.check(
+        SERVING_REQUEST_TAG_BASE + batch_seq % SERVING_REQUEST_CAPACITY,
+        "serving-request",
+    )
+
+
+def serving_response_tag(batch_seq: int) -> int:
+    """Tag of the response to batch ``batch_seq`` (replica -> frontend)."""
+    if batch_seq < 0:
+        raise ValueError(f"serving batch sequence must be >= 0, got {batch_seq}")
+    return SERVING.check(
+        SERVING_RESPONSE_TAG_BASE + batch_seq % SERVING_RESPONSE_CAPACITY,
+        "serving-response",
+    )
+
+
+def serving_swap_tag(version: int) -> int:
+    """Tag of weight payload / announcement for model ``version``.
+
+    Slots recycle modulo the capacity (see :func:`serving_request_tag`);
+    subscribers order swaps by the monotonic version number carried in the
+    payload, so a recycled tag can never roll a replica backwards.
+    """
+    if version < 0:
+        raise ValueError(f"serving model version must be >= 0, got {version}")
+    return SERVING.check(
+        SERVING_SWAP_TAG_BASE + version % SERVING_SWAP_CAPACITY,
+        "serving-swap",
+    )
+
+
+def serving_control_tag(kind: int) -> int:
+    """Tag of serving control message kind ``kind`` (stop, health, ...)."""
+    if not 0 <= kind < SERVING_CONTROL_CAPACITY:
+        raise ValueError(
+            f"serving control kind {kind} outside [0, {SERVING_CONTROL_CAPACITY})"
+        )
+    return SERVING.check(SERVING_CONTROL_TAG_BASE + kind, "serving-control")
 
 
 def barrier_tag(epoch: int, round_index: int) -> int:

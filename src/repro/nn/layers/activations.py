@@ -16,8 +16,9 @@ class ReLU(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
-        self._mask = x > 0
-        return x * self._mask
+        mask = x > 0
+        self._mask = mask if self.training else None
+        return x * mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
@@ -35,7 +36,7 @@ class Sigmoid(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         out = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
-        self._output = out
+        self._output = out if self.training else None
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -53,7 +54,7 @@ class Tanh(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         out = np.tanh(np.asarray(x, dtype=np.float64))
-        self._output = out
+        self._output = out if self.training else None
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -76,7 +76,7 @@ class MultiHeadSelfAttention(Module):
         context = np.einsum("bhqk,bhkd->bhqd", attn, v)
         merged = self._merge_heads(context)
         out = self.wo(merged)
-        self._cache = (q, k, v, attn, scale, x.shape)
+        self._cache = (q, k, v, attn, scale, x.shape) if self.training else None
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -112,10 +112,13 @@ class FeedForward(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         hidden = self.fc1(x)
-        self._mask = hidden > 0
-        return self.fc2(hidden * self._mask)
+        mask = hidden > 0
+        self._mask = mask if self.training else None
+        return self.fc2(hidden * mask)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("FeedForward.backward called before forward")
         g = self.fc2.backward(grad_output)
         g = g * self._mask
         return self.fc1.backward(g)

@@ -133,7 +133,7 @@ class Conv2D(Module):
             out = out + self.b.data
         batch = x.shape[0]
         out = out.reshape(batch, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
-        self._cache = (x.shape, cols, out_h, out_w)
+        self._cache = (x.shape, cols, out_h, out_w) if self.training else None
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -34,7 +34,7 @@ class Embedding(Module):
             raise TypeError(f"Embedding expects integer token ids, got {tokens.dtype}")
         if tokens.min(initial=0) < 0 or tokens.max(initial=0) >= self.vocab_size:
             raise ValueError("token id out of range")
-        self._tokens = tokens
+        self._tokens = tokens if self.training else None
         return self.W.data[tokens]
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -59,7 +59,7 @@ class Dense(Module):
             raise ValueError(
                 f"Dense expected last dimension {self.in_features}, got {x.shape}"
             )
-        self._input = x
+        self._input = x if self.training else None
         out = x @ self.W.data
         if self.use_bias:
             out = out + self.b.data

@@ -89,7 +89,7 @@ class LSTMCell(Module):
         o = _sigmoid(z[:, 3 * H :])
         c_next = f * c_prev + i * g
         h_next = o * np.tanh(c_next)
-        self._cache = (x, h_prev, c_prev, i, f, g, o, c_next)
+        self._cache = (x, h_prev, c_prev, i, f, g, o, c_next) if self.training else None
         return h_next, c_next
 
     def backward(
@@ -197,8 +197,9 @@ class LSTM(Module):
             h = mask * h_new + (1.0 - mask) * h
             c = mask * c_new + (1.0 - mask) * c
             hs[:, t, :] = h
-            step_caches.append((cell_cache, mask))
-        self._cache = (step_caches, x.shape, lengths)
+            if self.training:
+                step_caches.append((cell_cache, mask))
+        self._cache = (step_caches, x.shape, lengths) if self.training else None
         if self.return_sequences:
             return hs
         return h

@@ -118,7 +118,7 @@ class LayerNorm(Module):
         var = x.var(axis=-1, keepdims=True)
         inv_std = 1.0 / np.sqrt(var + self.eps)
         x_hat = (x - mean) * inv_std
-        self._cache = (x_hat, inv_std)
+        self._cache = (x_hat, inv_std) if self.training else None
         return self.gamma.data * x_hat + self.beta.data
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -34,6 +34,11 @@ class MaxPool2D(Module):
         out_h, out_w = h // k, w // k
         windows = x.reshape(b, c, out_h, k, out_w, k)
         out = windows.max(axis=(3, 5))
+        if not self.training:
+            # Inference needs no gradient routing: skip the (expensive)
+            # tie-broken argmax mask entirely.
+            self._cache = None
+            return out
         mask = windows == out[:, :, :, None, :, None]
         # Break ties: keep only the first maximal element per window so the
         # gradient is not double counted.  The window axes (3 and 5) are
@@ -76,7 +81,7 @@ class AvgPool2D(Module):
             raise ValueError(
                 f"AvgPool2D requires H and W divisible by {k}, got {x.shape}"
             )
-        self._input_shape = x.shape
+        self._input_shape = x.shape if self.training else None
         return x.reshape(b, c, h // k, k, w // k, k).mean(axis=(3, 5))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -100,7 +105,7 @@ class GlobalAvgPool2D(Module):
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 4:
             raise ValueError(f"GlobalAvgPool2D expects 4-D input, got {x.shape}")
-        self._input_shape = x.shape
+        self._input_shape = x.shape if self.training else None
         return x.mean(axis=(2, 3))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -99,7 +99,14 @@ class Module:
 
     # ------------------------------------------------------------- modes
     def train(self, mode: bool = True) -> "Module":
-        """Set training mode recursively (affects dropout, batch norm)."""
+        """Set training mode recursively.
+
+        Affects dropout and batch-norm semantics, and whether layer
+        forwards cache backward-pass state at all: in eval mode
+        (``train(False)`` / :meth:`eval`) forwards keep no gradient-side
+        bookkeeping — serving and evaluation pay neither the memory nor
+        the extra compute — and a subsequent ``backward`` raises.
+        """
         object.__setattr__(self, "training", mode)
         for child in self._modules.values():
             child.train(mode)

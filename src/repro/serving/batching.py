@@ -1,0 +1,207 @@
+"""Dynamic batching under a latency SLO, with admission control.
+
+The frontend fuses concurrent inference requests into batches the way
+production model servers do: a batch is dispatched as soon as it reaches
+``max_batch_size`` requests, or as soon as its *oldest* request has
+waited ``max_queue_delay_s`` — whichever comes first.  Under light load
+requests therefore pay at most one queue-delay of extra latency; under
+heavy load batches fill instantly and the replicas see maximal batch
+sizes.
+
+Admission control bounds the queue: once ``max_queue_depth`` requests are
+waiting, :meth:`DynamicBatcher.submit` raises
+:class:`BackpressureError` instead of queueing — the caller sheds load or
+retries, and the queue (and thus the latency of admitted requests) stays
+bounded.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, List, Optional, Tuple
+
+
+class BackpressureError(RuntimeError):
+    """The admission queue is saturated; the request was not enqueued."""
+
+
+class StaleReplicaError(RuntimeError):
+    """Every routable replica refused the batch as too stale to serve."""
+
+
+class RequestFuture:
+    """Completion handle of one submitted request.
+
+    The frontend completes the future with ``(output, model_version)`` —
+    every response is tagged with the model version that produced it — or
+    fails it with an exception (stale replicas, shutdown).
+    """
+
+    __slots__ = ("_event", "_output", "_version", "_error", "submitted_at")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._output: Any = None
+        self._version: int = -1
+        self._error: Optional[BaseException] = None
+        self.submitted_at = time.perf_counter()
+
+    # ------------------------------------------------------------ produce
+    def set_result(self, output: Any, version: int) -> None:
+        self._output = output
+        self._version = int(version)
+        self._event.set()
+
+    def set_exception(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    # ------------------------------------------------------------ consume
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> Tuple[Any, int]:
+        """Block until completion; returns ``(output, model_version)``.
+
+        Raises the failure exception if the request failed, or
+        :class:`TimeoutError` if no completion arrived in ``timeout``
+        seconds.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"inference request not completed within {timeout} s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._output, self._version
+
+    @property
+    def latency(self) -> float:
+        """Seconds from submission to now (or to completion once done)."""
+        return time.perf_counter() - self.submitted_at
+
+
+@dataclass
+class PendingRequest:
+    """One queued request awaiting batching."""
+
+    request_id: int
+    inputs: Any
+    future: RequestFuture
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class DynamicBatcher:
+    """Thread-safe request queue implementing the batching policy.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Dispatch a batch once it holds this many requests.
+    max_queue_delay_s:
+        ... or once its oldest request has waited this long.
+    max_queue_depth:
+        Admission bound; see :class:`BackpressureError`.
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int,
+        max_queue_delay_s: float,
+        max_queue_depth: int,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_queue_delay_s < 0:
+            raise ValueError(
+                f"max_queue_delay_s must be >= 0, got {max_queue_delay_s}"
+            )
+        if max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        self.max_batch_size = int(max_batch_size)
+        self.max_queue_delay_s = float(max_queue_delay_s)
+        self.max_queue_depth = int(max_queue_depth)
+        self._queue: Deque[PendingRequest] = deque()
+        self._cond = threading.Condition()
+        self._next_id = 0
+        self._closed = False
+        #: Submissions rejected by admission control since construction.
+        self.rejected = 0
+
+    # -------------------------------------------------------------- admit
+    def submit(self, inputs: Any) -> RequestFuture:
+        """Queue one request; returns its completion future.
+
+        Raises :class:`BackpressureError` when the queue is saturated and
+        :class:`RuntimeError` after :meth:`close`.
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("DynamicBatcher is closed; request rejected")
+            if len(self._queue) >= self.max_queue_depth:
+                self.rejected += 1
+                raise BackpressureError(
+                    f"admission queue saturated ({len(self._queue)} >= "
+                    f"{self.max_queue_depth} queued requests)"
+                )
+            future = RequestFuture()
+            self._queue.append(
+                PendingRequest(self._next_id, inputs, future)
+            )
+            self._next_id += 1
+            self._cond.notify_all()
+            return future
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (not yet dispatched)."""
+        with self._cond:
+            return len(self._queue)
+
+    # ----------------------------------------------------------- dispatch
+    def next_batch(self, poll_timeout: float = 0.1) -> Optional[List[PendingRequest]]:
+        """Block until a batch is due under the policy, and return it.
+
+        Returns ``None`` when no request arrived within ``poll_timeout``
+        (so the dispatcher loop can check for shutdown) and an empty list
+        never.  After :meth:`close`, drains the remaining queue and then
+        keeps returning ``None``.
+        """
+        with self._cond:
+            if not self._queue:
+                if self._closed:
+                    return None
+                self._cond.wait(poll_timeout)
+                if not self._queue:
+                    return None
+            # A batch exists; hold it until full or until the oldest
+            # request's SLO clock runs out.
+            deadline = self._queue[0].enqueued_at + self.max_queue_delay_s
+            while len(self._queue) < self.max_batch_size and not self._closed:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(self.max_batch_size, len(self._queue)))
+            ]
+            self._cond.notify_all()
+            return batch or None
+
+    # -------------------------------------------------------------- close
+    def close(self) -> List[PendingRequest]:
+        """Refuse further submissions; return any still-queued requests.
+
+        The caller decides what to do with the drained requests (fail
+        their futures, or dispatch one final batch).
+        """
+        with self._cond:
+            self._closed = True
+            drained = list(self._queue)
+            self._queue.clear()
+            self._cond.notify_all()
+            return drained

@@ -1,0 +1,180 @@
+"""Configuration of the online serving tier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class ServingConfig:
+    """Configuration of one serving world.
+
+    The world has ``train_ranks + replicas + 1`` ranks on the configured
+    comm backend: ranks ``[0, train_ranks)`` run data-parallel SGD and
+    publish weight versions, ranks ``[train_ranks, train_ranks +
+    replicas)`` are model replicas, and the last rank is the frontend
+    (dynamic batcher + router + response collector).
+
+    Attributes
+    ----------
+    replicas:
+        Number of model replicas serving inference batches.
+    train_ranks:
+        Ranks of the co-scheduled training world (0 = serve-only: the
+        replicas keep version 0 forever).
+    comm_backend:
+        Registered comm backend carrying the world (``"thread"`` for
+        tests and the in-process :class:`~repro.serving.InferenceServer`
+        handle, ``"process"`` / ``"shm"`` for real concurrency).  ``None``
+        uses the process-wide default.
+    max_batch_size:
+        Most requests the frontend fuses into one inference batch.
+    max_queue_delay_s:
+        Longest a queued request may wait for batch-mates before the
+        batch is dispatched anyway — the batching half of the latency
+        SLO.  With ``max_batch_size`` it defines the batching policy:
+        dispatch at ``max_batch_size`` requests or ``max_queue_delay_s``
+        seconds, whichever comes first.
+    max_queue_depth:
+        Admission-control bound: once this many requests are queued
+        (not yet dispatched), further submissions fail fast with
+        :class:`~repro.serving.BackpressureError` instead of growing the
+        queue without bound.
+    max_staleness_versions:
+        Bounded-staleness knob ``K``: a replica refuses to serve once the
+        latest *announced* model version is more than ``K`` versions
+        ahead of the version it has applied.  ``None`` disables the
+        refusal (serve whatever is loaded).
+    request_timeout_s:
+        How long a client waits for its response future.
+    publish_every_steps:
+        The training world publishes full weights to every replica each
+        time its monotonic step counter advances by this many steps.
+    announce_every_steps:
+        The training world announces the *existence* of new versions at
+        this (usually finer) period; announcements are what the
+        bounded-staleness check compares against.
+    train_steps:
+        Steps the co-scheduled training world runs before finishing.
+    train_batch_size:
+        Global batch size of the co-scheduled training world.
+    learning_rate:
+        Learning rate of the co-scheduled training world.
+    input_dim:
+        Input dimensionality of the default model/workload pair.
+    seed:
+        Base seed: identical model initialisation on every rank (the
+        replicas must start from the training world's version-0 model).
+    """
+
+    replicas: int = 2
+    train_ranks: int = 0
+    comm_backend: Optional[str] = None
+    max_batch_size: int = 8
+    max_queue_delay_s: float = 0.005
+    max_queue_depth: int = 256
+    max_staleness_versions: Optional[int] = None
+    request_timeout_s: float = 30.0
+    publish_every_steps: int = 5
+    announce_every_steps: int = 1
+    train_steps: int = 50
+    train_batch_size: int = 32
+    learning_rate: float = 0.05
+    input_dim: int = 64
+    seed: int = 0
+
+    # ------------------------------------------------------------ layout
+    @property
+    def world_size(self) -> int:
+        return self.train_ranks + self.replicas + 1
+
+    @property
+    def trainer_ranks(self) -> range:
+        """Global ranks of the co-scheduled training world."""
+        return range(0, self.train_ranks)
+
+    @property
+    def replica_ranks(self) -> range:
+        """Global ranks of the replica pool."""
+        return range(self.train_ranks, self.train_ranks + self.replicas)
+
+    @property
+    def frontend_rank(self) -> int:
+        """Global rank of the frontend."""
+        return self.train_ranks + self.replicas
+
+    @property
+    def publisher_rank(self) -> Optional[int]:
+        """Global rank publishing weight versions (``None`` = serve-only)."""
+        return 0 if self.train_ranks else None
+
+    # -------------------------------------------------------- validation
+    def validate(self) -> None:
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if self.train_ranks < 0:
+            raise ValueError(f"train_ranks must be >= 0, got {self.train_ranks}")
+        if self.comm_backend is not None:
+            from repro.comm.backend import get_backend
+
+            get_backend(self.comm_backend)  # raises on unknown names
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_queue_delay_s < 0:
+            raise ValueError(
+                f"max_queue_delay_s must be >= 0, got {self.max_queue_delay_s}"
+            )
+        if self.max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {self.max_queue_depth}")
+        if self.max_staleness_versions is not None and self.max_staleness_versions < 0:
+            raise ValueError(
+                f"max_staleness_versions must be >= 0 or None, "
+                f"got {self.max_staleness_versions}"
+            )
+        if self.request_timeout_s <= 0:
+            raise ValueError(
+                f"request_timeout_s must be > 0, got {self.request_timeout_s}"
+            )
+        if self.publish_every_steps < 1:
+            raise ValueError(
+                f"publish_every_steps must be >= 1, got {self.publish_every_steps}"
+            )
+        if self.announce_every_steps < 1:
+            raise ValueError(
+                f"announce_every_steps must be >= 1, got {self.announce_every_steps}"
+            )
+        if self.train_ranks:
+            if self.train_steps < 1:
+                raise ValueError(f"train_steps must be >= 1, got {self.train_steps}")
+            if self.train_batch_size < self.train_ranks:
+                raise ValueError(
+                    f"train_batch_size must be >= train_ranks ({self.train_ranks}), "
+                    f"got {self.train_batch_size}"
+                )
+            if self.learning_rate <= 0:
+                raise ValueError(
+                    f"learning_rate must be positive, got {self.learning_rate}"
+                )
+        if self.input_dim < 1:
+            raise ValueError(f"input_dim must be >= 1, got {self.input_dim}")
+
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        backend = f", backend={self.comm_backend}" if self.comm_backend else ""
+        train = (
+            f", train_ranks={self.train_ranks} (publish every "
+            f"{self.publish_every_steps} steps)"
+            if self.train_ranks
+            else ", serve-only"
+        )
+        staleness = (
+            f", K={self.max_staleness_versions}"
+            if self.max_staleness_versions is not None
+            else ""
+        )
+        return (
+            f"serving: {self.replicas} replica(s){train}{backend}, "
+            f"batch<= {self.max_batch_size}, delay<= {self.max_queue_delay_s * 1e3:.1f} ms, "
+            f"queue<= {self.max_queue_depth}{staleness}"
+        )

@@ -1,0 +1,312 @@
+"""The serving frontend: dynamic batcher, replica router, collector.
+
+The frontend is one rank of the serving world running three roles on two
+threads plus whoever calls :meth:`Frontend.submit`:
+
+* **submitters** (client threads) push requests through the
+  :class:`~repro.serving.batching.DynamicBatcher`'s admission control and
+  block on their :class:`~repro.serving.batching.RequestFuture`;
+* the **dispatcher** thread pulls due batches off the batcher, routes
+  each to the least-loaded healthy replica (fewest outstanding requests)
+  and sends it; it is the *only* thread sending on the serve channel, so
+  multi-frame sends on a socket transport never interleave;
+* the **collector** thread receives results/rejections, completes the
+  futures (tagging each result with the model version that produced it),
+  maintains per-replica load and health accounting, re-queues
+  staleness-rejected batches for the dispatcher to retry on another
+  replica, and tracks version announcements on the swap channel.
+
+A batch rejected by every replica fails its futures with
+:class:`~repro.serving.batching.StaleReplicaError` — bounded staleness
+is a guarantee, not a hint, so the frontend never silently falls back to
+weights older than the knob allows.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.comm.communicator import CommTimeoutError
+from repro.comm.message import ANY_SOURCE
+from repro.serving import protocol
+from repro.serving.batching import (
+    DynamicBatcher,
+    PendingRequest,
+    RequestFuture,
+    StaleReplicaError,
+)
+from repro.serving.config import ServingConfig
+
+#: How long the collector blocks per receive before polling the swap
+#: channel and the stop flag.
+COLLECTOR_POLL_S = 0.02
+#: How long the dispatcher waits inside the batcher per iteration.
+DISPATCHER_POLL_S = 0.01
+
+
+@dataclass
+class _InFlightBatch:
+    """One dispatched batch awaiting its response."""
+
+    seq: int
+    requests: List[PendingRequest]
+    replica: int
+    #: Replicas that have already rejected this batch as too stale.
+    tried: Set[int] = field(default_factory=set)
+    first_reason: str = ""
+
+
+class Frontend:
+    """The frontend role of the serving world (runs on the last rank)."""
+
+    def __init__(self, comm, config: ServingConfig) -> None:
+        self._comm = comm
+        self._serve = comm.dup(protocol.SERVE_CHANNEL)
+        self._swap = comm.dup(protocol.SWAP_CHANNEL)
+        self.config = config
+        self.batcher = DynamicBatcher(
+            config.max_batch_size, config.max_queue_delay_s, config.max_queue_depth
+        )
+        self._replicas = list(config.replica_ranks)
+        self._lock = threading.Lock()
+        self._outstanding: Dict[int, int] = {r: 0 for r in self._replicas}
+        self._inflight: Dict[int, _InFlightBatch] = {}
+        self._retry: Deque[_InFlightBatch] = deque()
+        self._next_seq = 0
+        self._rr = 0
+        self._stop = threading.Event()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serving-dispatcher", daemon=True
+        )
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="serving-collector", daemon=True
+        )
+        # -------- accounting
+        self._latencies: List[float] = []
+        self._versions_served: Dict[int, int] = {}
+        self._announced_version = 0
+        self._replica_health: Dict[int, Dict[str, int]] = {}
+        self._completed = 0
+        self._stale_failures = 0
+
+    # --------------------------------------------------------------- api
+    def start(self) -> "Frontend":
+        self._dispatcher.start()
+        self._collector.start()
+        return self
+
+    def submit(self, inputs: np.ndarray) -> RequestFuture:
+        """Admit one request (one example); see :class:`DynamicBatcher`."""
+        return self.batcher.submit(np.asarray(inputs, dtype=np.float64))
+
+    @property
+    def announced_version(self) -> int:
+        with self._lock:
+            return self._announced_version
+
+    def outstanding(self) -> int:
+        with self._lock:
+            return sum(len(b.requests) for b in self._inflight.values()) + len(
+                self._retry
+            )
+
+    # ---------------------------------------------------------- shutdown
+    def shutdown(self, drain_timeout: float = 30.0) -> Dict[str, Any]:
+        """Drain in-flight work, stop the replicas, return the report.
+
+        Requests still queued in the batcher are failed (clients should
+        await their futures before triggering shutdown); dispatched
+        batches are given ``drain_timeout`` seconds to complete.
+        """
+        for pending in self.batcher.close():
+            pending.future.set_exception(
+                RuntimeError("serving frontend shutting down")
+            )
+        deadline = time.perf_counter() + drain_timeout
+        while self.outstanding() and time.perf_counter() < deadline:
+            time.sleep(0.005)
+        self._stop.set()
+        self._dispatcher.join(timeout=drain_timeout)
+        self._collector.join(timeout=drain_timeout)
+        # Threads are down: this is now the only thread touching the
+        # serve channel, so the stop fan-out cannot interleave with a
+        # dispatch.
+        for replica in self._replicas:
+            protocol.send_stop(self._serve, replica)
+        with self._lock:
+            leftovers = list(self._inflight.values()) + list(self._retry)
+            self._inflight.clear()
+            self._retry.clear()
+        for batch in leftovers:
+            for pending in batch.requests:
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        RuntimeError("serving frontend shut down mid-request")
+                    )
+        return self.report()
+
+    # ------------------------------------------------------------ report
+    def report(self) -> Dict[str, Any]:
+        with self._lock:
+            latencies = np.asarray(self._latencies, dtype=np.float64)
+            report: Dict[str, Any] = {
+                "completed_requests": self._completed,
+                "rejected_submissions": self.batcher.rejected,
+                "stale_failures": self._stale_failures,
+                "versions_served": dict(sorted(self._versions_served.items())),
+                "announced_version": self._announced_version,
+                "replica_health": {
+                    r: dict(h) for r, h in sorted(self._replica_health.items())
+                },
+            }
+        if latencies.size:
+            report["latency_p50_s"] = float(np.percentile(latencies, 50))
+            report["latency_p99_s"] = float(np.percentile(latencies, 99))
+            report["latency_mean_s"] = float(latencies.mean())
+        return report
+
+    # -------------------------------------------------------- dispatcher
+    def _least_loaded(self, excluding: Set[int]) -> Optional[int]:
+        candidates = [r for r in self._replicas if r not in excluding]
+        if not candidates:
+            return None
+        # Ties rotate round-robin so an idle pool still spreads load
+        # (min-by-rank would pin all traffic on the first replica).
+        n = len(self._replicas)
+        self._rr = (self._rr + 1) % n
+        chosen = min(
+            candidates,
+            key=lambda r: (
+                self._outstanding[r],
+                (self._replicas.index(r) - self._rr) % n,
+            ),
+        )
+        return chosen
+
+    def _dispatch(self, batch: _InFlightBatch) -> None:
+        protocol.send_request(
+            self._serve,
+            batch.replica,
+            batch.seq,
+            [p.request_id for p in batch.requests],
+            np.stack([p.inputs for p in batch.requests]),
+        )
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            retry = None
+            rerouted = False
+            with self._lock:
+                if self._retry:
+                    retry = self._retry.popleft()
+                    replica = self._least_loaded(retry.tried)
+                    if replica is not None:
+                        retry.seq = self._next_seq
+                        self._next_seq += 1
+                        retry.replica = replica
+                        self._outstanding[replica] += len(retry.requests)
+                        self._inflight[retry.seq] = retry
+                        rerouted = True
+            if retry is not None:
+                if rerouted:
+                    self._dispatch(retry)
+                else:
+                    self._fail_stale(retry)
+                continue
+            requests = self.batcher.next_batch(poll_timeout=DISPATCHER_POLL_S)
+            if requests is None:
+                if self._stop.is_set():
+                    return
+                continue
+            with self._lock:
+                replica = self._least_loaded(set())
+                seq = self._next_seq
+                self._next_seq += 1
+                batch = _InFlightBatch(seq, requests, replica)
+                self._outstanding[replica] += len(requests)
+                self._inflight[seq] = batch
+            self._dispatch(batch)
+
+    def _fail_stale(self, batch: _InFlightBatch) -> None:
+        with self._lock:
+            self._stale_failures += len(batch.requests)
+        error = StaleReplicaError(
+            f"all {len(self._replicas)} replica(s) refused the batch as too "
+            f"stale: {batch.first_reason}"
+        )
+        for pending in batch.requests:
+            pending.future.set_exception(error)
+
+    # --------------------------------------------------------- collector
+    def _collect_loop(self) -> None:
+        publisher = self.config.publisher_rank
+        while not self._stop.is_set() or self.outstanding():
+            if publisher is not None:
+                while True:
+                    announce = self._swap.poll(source=publisher)
+                    if announce is None:
+                        break
+                    with self._lock:
+                        self._announced_version = max(
+                            self._announced_version, int(announce[1])
+                        )
+            try:
+                msg = self._serve.recv(source=ANY_SOURCE, timeout=COLLECTOR_POLL_S)
+            except CommTimeoutError:
+                continue
+            kind = msg[0]
+            if kind == protocol.MSG_RESULT:
+                self._on_result(msg)
+            elif kind == protocol.MSG_REJECT:
+                self._on_reject(msg)
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"frontend: unexpected message {kind!r}")
+
+    def _take_inflight(self, seq: int) -> Optional[_InFlightBatch]:
+        with self._lock:
+            batch = self._inflight.pop(seq, None)
+            if batch is not None:
+                self._outstanding[batch.replica] -= len(batch.requests)
+            return batch
+
+    def _on_result(self, msg) -> None:
+        _, seq, request_ids, outputs, version, health = msg
+        batch = self._take_inflight(seq)
+        if batch is None:  # pragma: no cover - duplicate response guard
+            return
+        now = time.perf_counter()
+        with self._lock:
+            self._replica_health[batch.replica] = dict(health)
+            self._versions_served[version] = self._versions_served.get(
+                version, 0
+            ) + len(batch.requests)
+            self._completed += len(batch.requests)
+            self._latencies.extend(
+                now - p.future.submitted_at for p in batch.requests
+            )
+        outputs = np.asarray(outputs)
+        for i, pending in enumerate(batch.requests):
+            pending.future.set_result(outputs[i], version)
+
+    def _on_reject(self, msg) -> None:
+        _, seq, request_ids, reason, applied, announced, health = msg
+        batch = self._take_inflight(seq)
+        if batch is None:  # pragma: no cover - duplicate response guard
+            return
+        with self._lock:
+            self._replica_health[batch.replica] = dict(health)
+            self._announced_version = max(self._announced_version, int(announced))
+            batch.tried.add(batch.replica)
+            if not batch.first_reason:
+                batch.first_reason = reason
+            exhausted = len(batch.tried) >= len(self._replicas)
+            if not exhausted:
+                self._retry.append(batch)
+        if exhausted:
+            self._fail_stale(batch)

@@ -1,0 +1,115 @@
+"""The co-scheduled training world: train, publish, announce.
+
+The trainer ranks of a serving world run plain synchronous data-parallel
+SGD over a :class:`~repro.comm.subworld.SubsetCommunicator` spanning only
+themselves — the collectives layer runs verbatim on the subset view
+while the serving traffic shares the same fabric on its own channels.
+
+After every optimizer step the model version (the monotonic step
+counter) advances.  Trainer rank 0 — the *publisher*; all trainers are
+identical after the allreduce — feeds the replica pool:
+
+* every ``publish_every_steps`` steps it ships the full flat parameter
+  vector (plus its :func:`~repro.training.model_sync.model_hash`) to
+  every replica: a hot-swap payload;
+* every ``announce_every_steps`` steps in between it announces the bare
+  version number.  Announcements are cheap, so the replicas always know
+  the frontier; the gap between announced and shipped versions is what
+  the bounded-staleness knob measures.
+
+The frontend is announced on both occasions so its report can show the
+training frontier next to the versions it actually served.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.collectives.sync import allreduce
+from repro.comm.subworld import SubsetCommunicator
+from repro.nn.parameters import (
+    assign_flat_gradients,
+    flatten_gradients,
+    flatten_parameters,
+)
+from repro.serving import protocol
+from repro.serving.config import ServingConfig
+from repro.training.model_sync import model_hash
+
+
+def run_trainer(comm, config: ServingConfig) -> Dict[str, object]:
+    """Training loop of one trainer rank; returns its summary dict."""
+    from repro.data.hyperplane import HyperplaneDataset
+    from repro.data.loader import ShardedLoader
+    from repro.nn.losses import MSELoss
+    from repro.nn.optim import SGD
+    from repro.serving.replica import default_model_factory
+
+    trainers = list(config.trainer_ranks)
+    train_rank = trainers.index(comm.rank)
+    sub = SubsetCommunicator(comm, trainers) if len(trainers) > 1 else None
+    swap = comm.dup(protocol.SWAP_CHANNEL)
+    is_publisher = comm.rank == config.publisher_rank
+    replicas = list(config.replica_ranks)
+
+    model = default_model_factory(config)
+    dataset = HyperplaneDataset(
+        num_examples=max(4 * config.train_batch_size, 256),
+        input_dim=config.input_dim,
+        noise_std=0.5,
+        seed=config.seed,
+    )
+    loader = ShardedLoader(
+        dataset,
+        config.train_batch_size,
+        rank=train_rank,
+        world_size=len(trainers),
+        seed=config.seed,
+    )
+    loss_fn = MSELoss()
+    optimizer = SGD(model, config.learning_rate)
+
+    version = 0
+    losses: List[float] = []
+    published = 0
+    epoch = 0
+    while version < config.train_steps:
+        for batch in loader.epoch_batches(epoch):
+            if version >= config.train_steps:
+                break
+            model.zero_grad()
+            outputs = model.forward(batch.inputs)
+            loss, grad = loss_fn(outputs, batch.targets)
+            model.backward(grad)
+            if sub is not None:
+                flat = flatten_gradients(model)
+                flat = allreduce(
+                    sub, flat, algorithm="recursive_doubling", average=True
+                )
+                assign_flat_gradients(model, flat)
+            optimizer.step()
+            version += 1
+            losses.append(loss)
+            if not is_publisher:
+                continue
+            if version % config.publish_every_steps == 0:
+                flat_params = flatten_parameters(model)
+                digest = model_hash(model)
+                for replica in replicas:
+                    protocol.send_weights(swap, replica, version, flat_params, digest)
+                protocol.send_announce(swap, config.frontend_rank, version)
+                published += 1
+            elif version % config.announce_every_steps == 0:
+                for replica in replicas:
+                    protocol.send_announce(swap, replica, version)
+                protocol.send_announce(swap, config.frontend_rank, version)
+        epoch += 1
+
+    return {
+        "rank": comm.rank,
+        "steps": version,
+        "final_version": version,
+        "published_versions": published,
+        "final_loss": losses[-1] if losses else float("nan"),
+        "model_hash": model_hash(model),
+    }

@@ -39,6 +39,10 @@ class StepStats:
     #: Seconds spent waiting on each fusion bucket's collective, in
     #: bucket-index order (empty when the exchange is not bucketed).
     bucket_waits: Tuple[float, ...] = field(default=())
+    #: Monotonic model version after this step's optimizer update (the
+    #: step counter).  The serving tier's weight hot-swap channel keys
+    #: published parameter sets by exactly this counter.
+    model_version: int = 0
 
 
 LossFn = Callable[[np.ndarray, np.ndarray], Tuple[float, np.ndarray]]
@@ -156,6 +160,7 @@ class DistributedSGD:
             num_active=result.num_active,
             gradient_norm=grad_norm,
             bucket_waits=result.bucket_waits,
+            model_version=self.steps,
         )
 
     def close(self) -> None:

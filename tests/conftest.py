@@ -12,6 +12,12 @@ from repro.nn.parameters import (
 )
 
 
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers", "slow: multi-process end-to-end tests (seconds, not milliseconds)"
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
