@@ -37,6 +37,13 @@ like perfectly ordinary Python to flake8-style tools:
     concatenation) so the error is actionable at a P=512 deployment, not
     just in a unit test.
 
+``time-time``
+    No ``time.time()`` in the timing-sensitive packages (comm,
+    collectives, training, serving).  Wall clocks step and smear under
+    NTP, which shears interval measurements and trace timestamps; use
+    ``time.perf_counter()`` / ``time.perf_counter_ns()``
+    (``CLOCK_MONOTONIC``) for intervals, as the flight recorder does.
+
 Entry point: ``python -m repro lint [paths...]`` (see :mod:`repro.cli`);
 :func:`lint_paths` is the API.  Scope control lives in
 :data:`RULE_SCOPES` — rules apply only where their invariant holds, so a
@@ -243,6 +250,27 @@ def rule_silent_array_copy(path: str, tree: ast.AST, source: str) -> List[LintFi
     return findings
 
 
+def rule_time_time(path: str, tree: ast.AST, source: str) -> List[LintFinding]:
+    findings: List[LintFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "time"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        ):
+            findings.append(LintFinding(
+                path, node.lineno, "time-time",
+                "time.time() is a steppable wall clock; use "
+                "time.perf_counter() / perf_counter_ns() for intervals "
+                "and trace timestamps",
+            ))
+    return findings
+
+
 def rule_valueerror_no_value(path: str, tree: ast.AST, source: str) -> List[LintFinding]:
     findings: List[LintFinding] = []
     for node in ast.walk(tree):
@@ -308,6 +336,8 @@ RULE_SCOPES: Tuple[Tuple[str, Rule, Callable[[str], bool]], ...] = (
     ("valueerror-no-value", rule_valueerror_no_value,
      _in_packages("comm", "collectives", "training", "compression",
                   "tuning", "analysis")),
+    ("time-time", rule_time_time,
+     _in_packages("comm", "collectives", "training", "serving")),
 )
 
 

@@ -36,7 +36,9 @@ algorithms (with chunk pipelining and non-uniform
 hierarchical schedule), broadcast, reduce, allgather, the barrier, the
 compressed ring, fused :class:`~repro.training.exchange.SynchronousExchange`
 plans, the serving tier's request/response + hot-swap round trip
-(:func:`repro.serving.protocol.serving_round_trip`) — plus purely static
+(:func:`repro.serving.protocol.serving_round_trip`), the flight-recorder
+telemetry collection (:func:`repro.obs.collect.telemetry_round_trip`) —
+plus purely static
 checks of the partial dissemination pattern
 and the persistent solo schedules.  :func:`self_test` proves the checkers
 have teeth: each deliberately broken schedule (dropped receive, reused
@@ -408,6 +410,7 @@ def check_reduction_coverage(
 _REGIONS_SYNC = frozenset({tags.SYNC.name})
 _REGIONS_BARRIER = frozenset({tags.BARRIER.name})
 _REGIONS_SERVING = frozenset({tags.SERVING.name})
+_REGIONS_TELEMETRY = frozenset({tags.TELEMETRY.name})
 
 
 @dataclass
@@ -615,6 +618,22 @@ def build_cases(size: int, include_exchange: bool = True) -> List[VerifyCase]:
         regions=_REGIONS_SERVING,
     ))
 
+    # The flight-recorder collection schedule (clock-sync ping-pong per
+    # peer followed by per-rank buffer shipment to rank 0) — every
+    # receive source-explicit, every tag from the telemetry region.
+    # Rank 0 sums the known payloads (rank + 1), so the oracle is the
+    # triangular number P * (P + 1) / 2.
+    def fn_telemetry(comm):
+        from repro.obs.collect import telemetry_round_trip
+        return telemetry_round_trip(comm, rounds=2)
+    cases.append(VerifyCase(
+        name="telemetry[collection]",
+        world_size=size,
+        fn=fn_telemetry,
+        expected=lambda rank, _p=size: _p * (_p + 1) // 2 if rank == 0 else None,
+        regions=_REGIONS_TELEMETRY,
+    ))
+
     if include_exchange and size <= 8:
         n = size + 15
         exchange_total = expected_sum(size, n=n)
@@ -716,6 +735,12 @@ def check_tag_layout() -> CaseResult:
         ("serving swap version", lambda: tags.serving_swap_tag(-1)),
         ("serving control kind", lambda: tags.serving_control_tag(
             tags.SERVING_CONTROL_CAPACITY)),
+        ("telemetry ping round", lambda: tags.telemetry_ping_tag(
+            1, tags.TELEMETRY_SYNC_MAX_ROUNDS)),
+        ("telemetry pong peer", lambda: tags.telemetry_pong_tag(0, 0)),
+        ("telemetry buffer rank", lambda: tags.telemetry_buffer_tag(0)),
+        ("telemetry buffer rank", lambda: tags.telemetry_buffer_tag(
+            tags.TELEMETRY_BUFFER_CAPACITY)),
     ]
     for label, mint in overflowing:
         try:

@@ -55,6 +55,8 @@ EXPERIMENTS: Dict[str, str] = {
     "tune": "calibrate the LogGP model to a comm backend and auto-tune fusion",
     "serve": "online inference tier: dynamic batching + replica routing + "
     "live weight hot-swap (serve-while-train on any backend)",
+    "trace": "flight-recorder a small training run and export a Perfetto "
+    "(Chrome trace-event) JSON timeline with per-rank tracks",
     "verify": "statically verify collective schedules, tags and the shm ring",
     "lint": "repo-specific AST lint (tag discipline, shm cleanup, framing)",
 }
@@ -238,6 +240,26 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero unless the served model version "
                    "advanced beyond 0 mid-run (CI smoke gate)")
     _add_backend_argument(p, "comm backend hosting trainers, replicas and frontend")
+
+    p = sub.add_parser("trace", help=EXPERIMENTS["trace"])
+    p.add_argument("--world-size", type=int, default=4,
+                   help="training ranks of the traced run")
+    p.add_argument("--steps", type=int, default=8,
+                   help="traced training steps per rank")
+    p.add_argument("--mode", default="sync",
+                   choices=["sync", "solo", "majority", "quorum"],
+                   help="gradient-exchange mode of the traced run")
+    p.add_argument("--fusion-buckets", type=int, default=2,
+                   help="fusion buckets of the traced exchange")
+    p.add_argument("--capacity", type=int, default=None,
+                   help="flight-recorder ring capacity in events "
+                   "(default: 65536; overflow drops oldest)")
+    p.add_argument("--out", type=str, default="trace.json",
+                   help="output path of the Chrome trace-event JSON")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="whole-world timeout in seconds")
+    _add_backend_argument(p, "comm backend carrying the traced ranks")
 
     p = sub.add_parser("verify", help=EXPERIMENTS["verify"])
     p.add_argument(
@@ -441,6 +463,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         for failure in failures:
             print(f"ASSERTION FAILED: {failure}")
         return 0 if not failures else 1
+    elif args.command == "trace":
+        from repro.obs.recorder import DEFAULT_CAPACITY
+        from repro.obs.tracecmd import TraceConfig, format_summary, run_trace
+
+        config = TraceConfig(
+            world_size=args.world_size,
+            steps=args.steps,
+            mode=args.mode,
+            fusion_buckets=args.fusion_buckets,
+            capacity=args.capacity or DEFAULT_CAPACITY,
+            seed=args.seed,
+        )
+        try:
+            config.validate()
+        except ValueError as exc:
+            parser.error(str(exc))
+        summary = run_trace(
+            config, backend=args.backend, out=args.out, timeout=args.timeout
+        )
+        print(format_summary(summary))
     elif args.command == "verify":
         from repro.analysis import schedule_verifier
 

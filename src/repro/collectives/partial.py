@@ -46,6 +46,7 @@ from repro.comm.message import ANY_TAG
 from repro.comm.reduce_ops import ReduceOp, SUM, get_op
 from repro.comm.router import Channel
 from repro.collectives.sync import allreduce_recursive_doubling
+from repro.obs import recorder as _obs
 from repro.utils.rng import seeded_rng
 
 # Tag bases come from the global tag-region map (one tag per round in
@@ -222,6 +223,9 @@ class PartialAllreduce:
         self.stale_norm_history: List[float] = []
 
         self._depth = max(1, int(math.ceil(math.log2(self.size)))) if self.size > 1 else 0
+        # The progress thread inherits the owning rank's flight recorder
+        # (thread-local bindings do not propagate to spawned threads).
+        self._recorder = _obs.current()
         self._thread = threading.Thread(
             target=self._progress_loop,
             name=f"partial-allreduce-rank{self.rank}",
@@ -383,6 +387,7 @@ class PartialAllreduce:
         return int(self._initiator_rng.integers(0, self.size))
 
     def _progress_loop(self) -> None:
+        _obs.bind(self._recorder)
         try:
             round_index = 0
             while True:
@@ -405,6 +410,10 @@ class PartialAllreduce:
         if activation is None:
             return False
         initiator, forward_from_distance = activation
+        _obs.instant(
+            "partial-activation", "partial", round=round_index,
+            initiator=initiator, external=forward_from_distance >= 0,
+        )
 
         # Forward the activation along the dissemination tree.
         self._forward_activation(round_index, initiator, forward_from_distance)
@@ -417,7 +426,12 @@ class PartialAllreduce:
             self._send_acc[:] = 0
             swap_marker = self._add_counter
             fresh = self._last_arrival_round >= round_index
-            self.stale_norm_history.append(float(np.linalg.norm(contribution)))
+            stale_norm = float(np.linalg.norm(contribution))
+            self.stale_norm_history.append(stale_norm)
+        _obs.instant(
+            "partial-staleness", "partial", round=round_index,
+            fresh=fresh, stale_norm=stale_norm,
+        )
 
         # Piggyback the number of active processes onto the reduction.  The
         # counter element is always combined with SUM — even when the data
@@ -445,6 +459,7 @@ class PartialAllreduce:
         result = np.asarray(reduced[:-1]).reshape(self.shape)
         num_active = self._decode_num_active(float(reduced[-1]))
         self.nap_history.append(num_active)
+        _obs.counter("partial-num-active", num_active, cat="partial")
 
         with self._cond:
             record = _RoundRecord(

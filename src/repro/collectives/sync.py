@@ -64,6 +64,7 @@ import numpy as np
 
 from repro.comm import reduce_kernels, tags
 from repro.comm.communicator import Communicator
+from repro.obs import recorder as _obs
 from repro.comm.reduce_ops import ReduceOp, get_op
 from repro.collectives.topology import (
     HostTopology,
@@ -414,28 +415,30 @@ def allreduce_recursive_doubling(
     in_group = _fold_in(comm, flat, epoch, n_chunks, reduce_op, timeout)
 
     if in_group:
-        dist = 1
-        round_index = 0
-        while dist < pof2:
-            partner = rank ^ dist
-            _send_segments(
-                comm, flat, 0, flat.size, partner, epoch, _PHASE_RD, round_index, n_chunks
-            )
-            _recv_segments(
-                comm,
-                flat,
-                0,
-                flat.size,
-                partner,
-                epoch,
-                _PHASE_RD,
-                round_index,
-                n_chunks,
-                timeout,
-                reduce_op=reduce_op,
-            )
-            dist <<= 1
-            round_index += 1
+        with _obs.span("rd-exchange", "collective", n_chunks=n_chunks):
+            dist = 1
+            round_index = 0
+            while dist < pof2:
+                partner = rank ^ dist
+                _send_segments(
+                    comm, flat, 0, flat.size, partner, epoch, _PHASE_RD,
+                    round_index, n_chunks,
+                )
+                _recv_segments(
+                    comm,
+                    flat,
+                    0,
+                    flat.size,
+                    partner,
+                    epoch,
+                    _PHASE_RD,
+                    round_index,
+                    n_chunks,
+                    timeout,
+                    reduce_op=reduce_op,
+                )
+                dist <<= 1
+                round_index += 1
 
     _fold_out(comm, flat, epoch, n_chunks, in_group, timeout)
     return flat.reshape(acc.shape)
@@ -474,43 +477,47 @@ def allreduce_ring(
     pred = (rank - 1) % size
 
     # reduce-scatter
-    for step in range(size - 1):
-        send_chunk = (rank - step) % size
-        recv_chunk = (rank - step - 1) % size
-        _send_segments(
-            comm, flat, *bounds[send_chunk], succ, epoch, _PHASE_RING_RS, step, n_chunks
-        )
-        _recv_segments(
-            comm,
-            flat,
-            *bounds[recv_chunk],
-            pred,
-            epoch,
-            _PHASE_RING_RS,
-            step,
-            n_chunks,
-            timeout,
-            reduce_op=reduce_op,
-        )
+    with _obs.span("ring-rs", "collective", steps=size - 1, n_chunks=n_chunks):
+        for step in range(size - 1):
+            send_chunk = (rank - step) % size
+            recv_chunk = (rank - step - 1) % size
+            _send_segments(
+                comm, flat, *bounds[send_chunk], succ, epoch, _PHASE_RING_RS,
+                step, n_chunks,
+            )
+            _recv_segments(
+                comm,
+                flat,
+                *bounds[recv_chunk],
+                pred,
+                epoch,
+                _PHASE_RING_RS,
+                step,
+                n_chunks,
+                timeout,
+                reduce_op=reduce_op,
+            )
 
     # allgather
-    for step in range(size - 1):
-        send_chunk = (rank - step + 1) % size
-        recv_chunk = (rank - step) % size
-        _send_segments(
-            comm, flat, *bounds[send_chunk], succ, epoch, _PHASE_RING_AG, step, n_chunks
-        )
-        _recv_segments(
-            comm,
-            flat,
-            *bounds[recv_chunk],
-            pred,
-            epoch,
-            _PHASE_RING_AG,
-            step,
-            n_chunks,
-            timeout,
-        )
+    with _obs.span("ring-ag", "collective", steps=size - 1, n_chunks=n_chunks):
+        for step in range(size - 1):
+            send_chunk = (rank - step + 1) % size
+            recv_chunk = (rank - step) % size
+            _send_segments(
+                comm, flat, *bounds[send_chunk], succ, epoch, _PHASE_RING_AG,
+                step, n_chunks,
+            )
+            _recv_segments(
+                comm,
+                flat,
+                *bounds[recv_chunk],
+                pred,
+                epoch,
+                _PHASE_RING_AG,
+                step,
+                n_chunks,
+                timeout,
+            )
     return flat.reshape(arr.shape)
 
 
@@ -550,49 +557,53 @@ def allreduce_rabenseifner(
     if in_group:
         # Recursive-halving reduce-scatter within the power-of-two group.
         # Each rank keeps track of the index range [lo, hi) it owns.
-        lo, hi = 0, n
-        dist = pof2 // 2
-        round_index = 0
-        while dist >= 1:
-            partner = rank ^ dist
-            mid = lo + (hi - lo) // 2
-            if rank < partner:
-                # Keep the lower half, send the upper half.
-                keep_lo, keep_hi = lo, mid
-                send_lo, send_hi = mid, hi
-            else:
-                keep_lo, keep_hi = mid, hi
-                send_lo, send_hi = lo, mid
-            _send_segments(
-                comm, flat, send_lo, send_hi, partner, epoch,
-                _PHASE_RABEN_RS, round_index, n_chunks,
-            )
-            _recv_segments(
-                comm, flat, keep_lo, keep_hi, partner, epoch,
-                _PHASE_RABEN_RS, round_index, n_chunks, timeout,
-                reduce_op=reduce_op,
-            )
-            lo, hi = keep_lo, keep_hi
-            dist //= 2
-            round_index += 1
+        with _obs.span("raben-rs", "collective", n_chunks=n_chunks):
+            lo, hi = 0, n
+            dist = pof2 // 2
+            round_index = 0
+            while dist >= 1:
+                partner = rank ^ dist
+                mid = lo + (hi - lo) // 2
+                if rank < partner:
+                    # Keep the lower half, send the upper half.
+                    keep_lo, keep_hi = lo, mid
+                    send_lo, send_hi = mid, hi
+                else:
+                    keep_lo, keep_hi = mid, hi
+                    send_lo, send_hi = lo, mid
+                _send_segments(
+                    comm, flat, send_lo, send_hi, partner, epoch,
+                    _PHASE_RABEN_RS, round_index, n_chunks,
+                )
+                _recv_segments(
+                    comm, flat, keep_lo, keep_hi, partner, epoch,
+                    _PHASE_RABEN_RS, round_index, n_chunks, timeout,
+                    reduce_op=reduce_op,
+                )
+                lo, hi = keep_lo, keep_hi
+                dist //= 2
+                round_index += 1
 
         # Recursive-doubling allgather of the owned segments, retracing the
         # halving steps in reverse order.
-        seg_lo, seg_hi = lo, hi
-        dist = 1
-        round_index = 0
-        while dist < pof2:
-            partner = rank ^ dist
-            tag = _tag(epoch, _PHASE_RABEN_AG, round_index)
-            comm.send((seg_lo, seg_hi, flat[seg_lo:seg_hi].copy()), partner, tag=tag)
-            other_lo, other_hi, other_data = comm.recv(
-                source=partner, tag=tag, timeout=timeout
-            )
-            if other_hi > other_lo:
-                flat[other_lo:other_hi] = other_data
-            seg_lo, seg_hi = min(seg_lo, other_lo), max(seg_hi, other_hi)
-            dist *= 2
-            round_index += 1
+        with _obs.span("raben-ag", "collective"):
+            seg_lo, seg_hi = lo, hi
+            dist = 1
+            round_index = 0
+            while dist < pof2:
+                partner = rank ^ dist
+                tag = _tag(epoch, _PHASE_RABEN_AG, round_index)
+                comm.send(
+                    (seg_lo, seg_hi, flat[seg_lo:seg_hi].copy()), partner, tag=tag
+                )
+                other_lo, other_hi, other_data = comm.recv(
+                    source=partner, tag=tag, timeout=timeout
+                )
+                if other_hi > other_lo:
+                    flat[other_lo:other_hi] = other_data
+                seg_lo, seg_hi = min(seg_lo, other_lo), max(seg_hi, other_hi)
+                dist *= 2
+                round_index += 1
 
     _fold_out(comm, flat, epoch, n_chunks, in_group, timeout)
     return flat.reshape(arr.shape)
@@ -889,13 +900,18 @@ def allreduce_hierarchical(
     acc = _as_float_array(data, copy=copy)
     flat = acc.reshape(-1)
 
-    _intra_reduce(comm, flat, topology, epoch, n_chunks, reduce_op, timeout)
+    with _obs.span("hier-intra-reduce", "collective", n_chunks=n_chunks):
+        _intra_reduce(comm, flat, topology, epoch, n_chunks, reduce_op, timeout)
     if topology.is_leader(comm.rank):
-        view = _LeaderView(comm, topology.leaders, epoch)
-        allreduce_ring(
-            view, flat, op=reduce_op, timeout=timeout, n_chunks=n_chunks, copy=False
-        )
-    _intra_bcast(comm, flat, topology, epoch, n_chunks, timeout)
+        with _obs.span("hier-leader-ring", "collective",
+                       leaders=topology.num_hosts, n_chunks=n_chunks):
+            view = _LeaderView(comm, topology.leaders, epoch)
+            allreduce_ring(
+                view, flat, op=reduce_op, timeout=timeout, n_chunks=n_chunks,
+                copy=False,
+            )
+    with _obs.span("hier-intra-bcast", "collective", n_chunks=n_chunks):
+        _intra_bcast(comm, flat, topology, epoch, n_chunks, timeout)
     return flat.reshape(acc.shape)
 
 
@@ -989,7 +1005,11 @@ def allreduce(
             f"unknown allreduce algorithm {algorithm!r}; "
             f"available: {sorted(ALLREDUCE_ALGORITHMS)}"
         ) from None
-    result = impl(comm, data, op=op, timeout=timeout, n_chunks=n_chunks, copy=copy)
+    with _obs.span(
+        f"allreduce[{algorithm}]", "collective",
+        nbytes=_obs.payload_nbytes(data), n_chunks=n_chunks,
+    ):
+        result = impl(comm, data, op=op, timeout=timeout, n_chunks=n_chunks, copy=copy)
     if average:
         # The implementations return an owned buffer, so divide in place.
         result /= comm.size

@@ -17,6 +17,7 @@ from repro.comm import tags
 from repro.comm.message import ANY_SOURCE, ANY_TAG, Message
 from repro.comm.requests import RecvRequest, Request, SendRequest
 from repro.comm.router import Channel, Router
+from repro.obs import recorder as _obs
 
 
 class CommTimeoutError(TimeoutError):
@@ -124,7 +125,16 @@ class Communicator:
             source=self._rank, dest=dest, tag=int(tag),
             payload=self._outgoing(payload, dest),
         )
-        self._router.deliver(msg, self._channel)
+        rec = _obs.current()
+        if rec is None:
+            self._router.deliver(msg, self._channel)
+        else:
+            t0 = _obs.perf_counter_ns()
+            self._router.deliver(msg, self._channel)
+            _obs.record_send(
+                rec, self._channel, self._rank, dest, msg.tag,
+                _obs.payload_nbytes(payload), t0,
+            )
 
     def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
         """Nonblocking send; the returned request is already complete."""
@@ -133,7 +143,16 @@ class Communicator:
             source=self._rank, dest=dest, tag=int(tag),
             payload=self._outgoing(payload, dest),
         )
-        self._router.deliver(msg, self._channel)
+        rec = _obs.current()
+        if rec is None:
+            self._router.deliver(msg, self._channel)
+        else:
+            t0 = _obs.perf_counter_ns()
+            self._router.deliver(msg, self._channel)
+            _obs.record_send(
+                rec, self._channel, self._rank, dest, msg.tag,
+                _obs.payload_nbytes(payload), t0,
+            )
         return SendRequest(msg)
 
     # ----------------------------------------------------------- p2p recv
@@ -154,8 +173,17 @@ class Communicator:
     ) -> Message:
         """Blocking receive returning the full :class:`Message` envelope."""
         effective = self.default_timeout if timeout is None else timeout
+        rec = _obs.current()
         try:
-            return self._mailbox.get(source, tag, timeout=effective)
+            if rec is None:
+                return self._mailbox.get(source, tag, timeout=effective)
+            t0 = _obs.perf_counter_ns()
+            msg = self._mailbox.get(source, tag, timeout=effective)
+            _obs.record_recv(
+                rec, self._channel, msg.source, self._rank, msg.tag,
+                _obs.payload_nbytes(msg.payload), t0,
+            )
+            return msg
         except TimeoutError as exc:
             raise CommTimeoutError(str(exc)) from exc
 

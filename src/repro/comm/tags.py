@@ -25,6 +25,8 @@ Layout (all bounds half-open)::
     [200_000_000, 300_000_000)   partial-collective quorum arrivals
     [300_000_000, 400_000_000)   serving tier (requests, responses,
                                  weight hot-swap, control)
+    [400_000_000, 500_000_000)   telemetry (clock-sync ping/pong,
+                                 trace-buffer shipment to rank 0)
     [1_000_000_000, 2_000_000_000)   dissemination barrier
     [2_000_000_000, 2_000_000_000 + 2^62)   synchronous collectives
 
@@ -102,6 +104,21 @@ SERVING_CONTROL_TAG_BASE = SERVING_SWAP_TAG_BASE + SERVING_SWAP_CAPACITY
 #: Control kinds addressable within the control block.
 SERVING_CONTROL_CAPACITY = 10_000_000
 
+# -- telemetry (repro.obs.collect) ------------------------------------------
+TELEMETRY_TAG_BASE = 400_000_000
+#: Clock-sync pings, rank 0 -> peer; one tag slot per (peer, round) so
+#: repeated estimation rounds can never steal each other's messages.
+TELEMETRY_PING_TAG_BASE = TELEMETRY_TAG_BASE
+TELEMETRY_PING_CAPACITY = 40_000_000
+#: Clock-sync pongs, peer -> rank 0, echoing the (peer, round) slot.
+TELEMETRY_PONG_TAG_BASE = TELEMETRY_PING_TAG_BASE + TELEMETRY_PING_CAPACITY
+TELEMETRY_PONG_CAPACITY = 40_000_000
+#: Flight-recorder buffer shipment, rank r -> rank 0; one slot per rank.
+TELEMETRY_BUFFER_TAG_BASE = TELEMETRY_PONG_TAG_BASE + TELEMETRY_PONG_CAPACITY
+TELEMETRY_BUFFER_CAPACITY = 20_000_000
+#: Clock-sync rounds addressable per peer within the ping/pong blocks.
+TELEMETRY_SYNC_MAX_ROUNDS = 1_024
+
 # -- dissemination barrier (repro.comm.communicator) ------------------------
 BARRIER_TAG_BASE = 1_000_000_000
 #: Tags reserved per barrier epoch (one per dissemination round; 64 rounds
@@ -158,6 +175,12 @@ SERVING = TagRegion(
     SERVING_CONTROL_TAG_BASE + SERVING_CONTROL_CAPACITY,
     "serving tier: inference requests/responses, weight hot-swap, control",
 )
+TELEMETRY = TagRegion(
+    "telemetry",
+    TELEMETRY_TAG_BASE,
+    TELEMETRY_BUFFER_TAG_BASE + TELEMETRY_BUFFER_CAPACITY,
+    "telemetry: clock-sync ping/pong, trace-buffer shipment to rank 0",
+)
 BARRIER = TagRegion(
     "barrier",
     BARRIER_TAG_BASE,
@@ -179,6 +202,7 @@ TAG_REGIONS: Tuple[TagRegion, ...] = (
     PARTIAL_ACTIVATION,
     PARTIAL_ARRIVAL,
     SERVING,
+    TELEMETRY,
     BARRIER,
     SYNC,
 )
@@ -343,6 +367,54 @@ def serving_control_tag(kind: int) -> int:
             f"serving control kind {kind} outside [0, {SERVING_CONTROL_CAPACITY})"
         )
     return SERVING.check(SERVING_CONTROL_TAG_BASE + kind, "serving-control")
+
+
+def _telemetry_sync_slot(peer: int, round_index: int, capacity: int, what: str) -> int:
+    """Slot of clock-sync round ``round_index`` with ``peer`` (strided
+    layout: ``peer * TELEMETRY_SYNC_MAX_ROUNDS + round_index``)."""
+    if peer <= 0:
+        raise ValueError(
+            f"{what} peer must be a non-zero rank (rank 0 drives the "
+            f"estimation), got {peer}"
+        )
+    if not 0 <= round_index < TELEMETRY_SYNC_MAX_ROUNDS:
+        raise ValueError(
+            f"{what} round {round_index} outside [0, {TELEMETRY_SYNC_MAX_ROUNDS})"
+        )
+    slot = peer * TELEMETRY_SYNC_MAX_ROUNDS + round_index
+    if slot >= capacity:
+        raise ValueError(
+            f"{what} peer {peer} overflows the telemetry clock-sync block "
+            f"(capacity {capacity} slots at {TELEMETRY_SYNC_MAX_ROUNDS} "
+            f"rounds per peer)"
+        )
+    return slot
+
+
+def telemetry_ping_tag(peer: int, round_index: int) -> int:
+    """Tag of clock-sync ping ``round_index``, rank 0 -> ``peer``."""
+    slot = _telemetry_sync_slot(
+        peer, round_index, TELEMETRY_PING_CAPACITY, "telemetry-ping"
+    )
+    return TELEMETRY.check(TELEMETRY_PING_TAG_BASE + slot, "telemetry-ping")
+
+
+def telemetry_pong_tag(peer: int, round_index: int) -> int:
+    """Tag of clock-sync pong ``round_index``, ``peer`` -> rank 0."""
+    slot = _telemetry_sync_slot(
+        peer, round_index, TELEMETRY_PONG_CAPACITY, "telemetry-pong"
+    )
+    return TELEMETRY.check(TELEMETRY_PONG_TAG_BASE + slot, "telemetry-pong")
+
+
+def telemetry_buffer_tag(rank: int) -> int:
+    """Tag of rank ``rank``'s trace-buffer shipment to rank 0."""
+    if not 0 < rank < TELEMETRY_BUFFER_CAPACITY:
+        raise ValueError(
+            f"telemetry buffer rank {rank} outside "
+            f"(0, {TELEMETRY_BUFFER_CAPACITY}) — rank 0 collects, it never ships"
+        )
+    return TELEMETRY.check(TELEMETRY_BUFFER_TAG_BASE + rank, "telemetry-buffer")
 
 
 def barrier_tag(epoch: int, round_index: int) -> int:

@@ -1,0 +1,383 @@
+"""Metrics registry: counters, gauges, log-bucketed streaming histograms.
+
+Built on the same streaming philosophy as :mod:`repro.utils.stats`
+(:class:`~repro.utils.stats.RunningStat` is embedded in every
+histogram for exact mean/min/max): all metrics are O(1) per update and
+bounded in memory under sustained load, so the serving tier can account
+for millions of requests without keeping a raw latency list around.
+
+Log-bucketed histogram
+----------------------
+:class:`LogHistogram` buckets values geometrically: value ``v`` lands in
+bucket ``floor(log(v / min_value) / log(growth))``.  With the default
+``growth = 1.015`` adjacent bucket edges are 1.5% apart, so any quantile
+read off the bucket (geometric) midpoints is within ±0.75% of the exact
+sample quantile — comfortably inside the 1% tolerance the serving tests
+assert against ``np.percentile``.  Buckets are held sparsely in a dict;
+covering twelve decades (1 ns … 1000 s) costs at most ~1860 occupied
+buckets, usually far fewer.
+
+Cross-rank merge
+----------------
+Histograms merge by adding bucket counts, counters by summing, gauges by
+taking the max — the operations :func:`merge_snapshots` applies when
+rank snapshots are gathered to rank 0 over the telemetry tag region.
+
+Straggler attribution
+---------------------
+:func:`straggler_attribution` folds per-rank per-step timings (compute
+seconds, bucket-wait seconds, exchange seconds) into per-window shares of
+compute vs. wait vs. wire — the "where does the slow rank's time go"
+report the paper's imbalance argument calls for.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.utils.stats import RunningStat
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LogHistogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "straggler_attribution",
+]
+
+
+class Counter:
+    """Monotonically increasing counter (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got increment {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self._value}
+
+
+class LogHistogram:
+    """Streaming histogram with geometrically spaced buckets.
+
+    Parameters
+    ----------
+    growth:
+        Ratio between adjacent bucket edges.  Quantile error from the
+        bucket midpoint is at most ``±(sqrt(growth) - 1)``.
+    min_value:
+        Smallest resolvable positive value; everything in
+        ``[0, min_value]`` shares bucket 0.  Negative values are
+        rejected — the histogram tracks durations and sizes.
+    """
+
+    def __init__(self, growth: float = 1.015, min_value: float = 1e-9) -> None:
+        if growth <= 1.0:
+            raise ValueError(f"growth must exceed 1, got {growth}")
+        if min_value <= 0.0:
+            raise ValueError(f"min_value must be positive, got {min_value}")
+        self.growth = float(growth)
+        self.min_value = float(min_value)
+        self._log_growth = math.log(self.growth)
+        self._buckets: Dict[int, int] = {}
+        self._stat = RunningStat()
+        self._lock = threading.Lock()
+
+    # ---- ingest ------------------------------------------------------
+    def _bucket_index(self, value: float) -> int:
+        if value <= self.min_value:
+            return 0
+        return 1 + int(math.floor(math.log(value / self.min_value) / self._log_growth))
+
+    def push(self, value: float) -> None:
+        value = float(value)
+        if value < 0 or math.isnan(value):
+            raise ValueError(f"LogHistogram takes non-negative values, got {value}")
+        idx = self._bucket_index(value)
+        with self._lock:
+            self._buckets[idx] = self._buckets.get(idx, 0) + 1
+            self._stat.push(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.push(v)
+
+    # ---- read --------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._stat.count
+
+    @property
+    def mean(self) -> float:
+        return self._stat.mean
+
+    @property
+    def min(self) -> float:
+        return self._stat.min
+
+    @property
+    def max(self) -> float:
+        return self._stat.max
+
+    def _bucket_mid(self, idx: int) -> float:
+        if idx <= 0:
+            return self.min_value
+        # Geometric midpoint of [min * g^(i-1), min * g^i).
+        return self.min_value * self.growth ** (idx - 0.5)
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (``q`` in [0, 1])."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            n = self._stat.count
+            if n == 0:
+                return float("nan")
+            # Rank convention matching np.percentile's default linear
+            # interpolation target index, resolved to the owning bucket.
+            rank = q * (n - 1)
+            cumulative = 0
+            value = self._stat.max
+            for idx in sorted(self._buckets):
+                cumulative += self._buckets[idx]
+                if cumulative > rank:
+                    value = self._bucket_mid(idx)
+                    break
+            # The sample extrema are tracked exactly; clamping removes
+            # midpoint bias at the tails (and makes single-valued
+            # distributions exact).
+            return min(max(value, self._stat.min), self._stat.max)
+
+    def percentile(self, p: float) -> float:
+        """Approximate ``p``-th percentile (``p`` in [0, 100])."""
+        return self.quantile(p / 100.0)
+
+    # ---- merge / serialise -------------------------------------------
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        if (other.growth, other.min_value) != (self.growth, self.min_value):
+            raise ValueError(
+                "cannot merge histograms with different bucket layouts: "
+                f"growth {self.growth} vs {other.growth}, "
+                f"min_value {self.min_value} vs {other.min_value}"
+            )
+        with self._lock:
+            for idx, n in other._buckets.items():
+                self._buckets[idx] = self._buckets.get(idx, 0) + n
+            stat = self._stat
+            ostat = other._stat
+            if ostat.count:
+                merged = RunningStat()
+                merged.count = stat.count + ostat.count
+                total = stat.mean * stat.count + ostat.mean * ostat.count
+                merged._mean = total / merged.count
+                # Chan et al. parallel variance combination.
+                delta = ostat.mean - stat.mean
+                merged._m2 = (
+                    stat._m2 + ostat._m2
+                    + delta * delta * stat.count * ostat.count / merged.count
+                )
+                merged._min = min(stat.min if stat.count else math.inf, ostat.min)
+                merged._max = max(stat.max if stat.count else -math.inf, ostat.max)
+                self._stat = merged
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "type": "histogram",
+                "growth": self.growth,
+                "min_value": self.min_value,
+                "count": self._stat.count,
+                "mean": self._stat.mean,
+                "min": self._stat.min,
+                "max": self._stat.max,
+                "buckets": {str(idx): n for idx, n in self._buckets.items()},
+            }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LogHistogram":
+        hist = cls(growth=data["growth"], min_value=data["min_value"])
+        hist._buckets = {int(idx): int(n) for idx, n in data["buckets"].items()}
+        count = int(data["count"])
+        if count:
+            stat = RunningStat()
+            stat.count = count
+            stat._mean = float(data["mean"])
+            stat._min = float(data["min"])
+            stat._max = float(data["max"])
+            # m2 is not serialised (std is not needed for merged
+            # quantiles); keep it zero and accept std=0 on round-trip.
+            hist._stat = stat
+        return hist
+
+
+class MetricsRegistry:
+    """Name-keyed metric store with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, kind: type, factory) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, Gauge)
+
+    def histogram(
+        self, name: str, growth: float = 1.015, min_value: float = 1e-9
+    ) -> LogHistogram:
+        return self._get_or_create(
+            name, LogHistogram, lambda: LogHistogram(growth, min_value)
+        )
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Plain-data view of every metric (picklable, JSON-safe)."""
+        with self._lock:
+            return {name: metric.to_dict() for name, metric in self._metrics.items()}
+
+
+def merge_snapshots(
+    snapshots: Sequence[Dict[str, Dict[str, Any]]]
+) -> Dict[str, Dict[str, Any]]:
+    """Merge per-rank registry snapshots into one global view.
+
+    Counters sum, gauges take the max, histograms add bucket counts
+    (merged histograms additionally expose ``p50``/``p99`` for direct
+    reporting).
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    hists: Dict[str, LogHistogram] = {}
+    for snap in snapshots:
+        for name, data in snap.items():
+            kind = data.get("type")
+            if name in merged and merged[name]["type"] != kind:
+                raise TypeError(
+                    f"metric {name!r} has conflicting types across ranks: "
+                    f"{merged[name]['type']} vs {kind}"
+                )
+            if kind == "counter":
+                if name not in merged:
+                    merged[name] = {"type": "counter", "value": 0.0}
+                merged[name]["value"] += data["value"]
+            elif kind == "gauge":
+                if name not in merged:
+                    merged[name] = {"type": "gauge", "value": data["value"]}
+                else:
+                    merged[name]["value"] = max(merged[name]["value"], data["value"])
+            elif kind == "histogram":
+                if name not in hists:
+                    hists[name] = LogHistogram.from_dict(data)
+                    merged[name] = {"type": "histogram"}
+                else:
+                    hists[name].merge(LogHistogram.from_dict(data))
+            else:
+                raise ValueError(f"metric {name!r} has unknown type {kind!r}")
+    for name, hist in hists.items():
+        merged[name] = dict(hist.to_dict())
+        merged[name]["p50"] = hist.quantile(0.50)
+        merged[name]["p99"] = hist.quantile(0.99)
+    return merged
+
+
+def straggler_attribution(
+    per_rank_steps: Sequence[Sequence[Dict[str, float]]],
+    window: int = 0,
+) -> List[Dict[str, Any]]:
+    """Per-rank per-window shares of compute vs. wait vs. wire time.
+
+    Parameters
+    ----------
+    per_rank_steps:
+        ``per_rank_steps[rank]`` is that rank's per-step timing dicts
+        with keys ``compute_s``, ``wait_s`` and ``exchange_s`` (the wire
+        share is ``exchange_s - wait_s``, clamped at zero: time the
+        exchange spent moving/reducing bytes rather than blocked on a
+        peer).
+    window:
+        Steps per attribution window; ``0`` (default) folds the whole
+        run into one window per rank.
+
+    Returns one record per (rank, window):
+    ``{"rank", "window", "steps", "compute_s", "wait_s", "wire_s",
+    "compute_share", "wait_share", "wire_share"}`` with shares summing
+    to 1 for non-empty windows.
+    """
+    if window < 0:
+        raise ValueError(f"window must be non-negative, got {window}")
+    report: List[Dict[str, Any]] = []
+    for rank, steps in enumerate(per_rank_steps):
+        steps = list(steps)
+        size = window or max(1, len(steps))
+        for start in range(0, max(1, len(steps)), size):
+            chunk = steps[start : start + size]
+            compute = sum(float(s.get("compute_s", 0.0)) for s in chunk)
+            wait = sum(float(s.get("wait_s", 0.0)) for s in chunk)
+            exchange = sum(float(s.get("exchange_s", 0.0)) for s in chunk)
+            wire = max(exchange - wait, 0.0)
+            total = compute + wait + wire
+            report.append(
+                {
+                    "rank": rank,
+                    "window": start // size,
+                    "steps": len(chunk),
+                    "compute_s": compute,
+                    "wait_s": wait,
+                    "wire_s": wire,
+                    "compute_share": compute / total if total else 0.0,
+                    "wait_share": wait / total if total else 0.0,
+                    "wire_share": wire / total if total else 0.0,
+                }
+            )
+            if not steps:
+                break
+    return report

@@ -23,6 +23,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, List, Optional, Tuple
 
+from repro.obs import recorder as _obs
+
 
 class BackpressureError(RuntimeError):
     """The admission queue is saturated; the request was not enqueued."""
@@ -130,6 +132,9 @@ class DynamicBatcher:
         self._closed = False
         #: Submissions rejected by admission control since construction.
         self.rejected = 0
+        # Submit/dispatch run on client and dispatcher threads, so the
+        # frontend rank's recorder is captured here, at construction.
+        self._recorder = _obs.current()
 
     # -------------------------------------------------------------- admit
     def submit(self, inputs: Any) -> RequestFuture:
@@ -143,6 +148,10 @@ class DynamicBatcher:
                 raise RuntimeError("DynamicBatcher is closed; request rejected")
             if len(self._queue) >= self.max_queue_depth:
                 self.rejected += 1
+                if self._recorder is not None:
+                    self._recorder.instant(
+                        "queue-reject", "serving", depth=len(self._queue)
+                    )
                 raise BackpressureError(
                     f"admission queue saturated ({len(self._queue)} >= "
                     f"{self.max_queue_depth} queued requests)"
@@ -152,6 +161,13 @@ class DynamicBatcher:
                 PendingRequest(self._next_id, inputs, future)
             )
             self._next_id += 1
+            if self._recorder is not None:
+                self._recorder.instant(
+                    "queue-admit", "serving", request_id=self._next_id - 1
+                )
+                self._recorder.counter(
+                    "queue-depth", len(self._queue), cat="serving"
+                )
             self._cond.notify_all()
             return future
 
@@ -189,6 +205,15 @@ class DynamicBatcher:
                 self._queue.popleft()
                 for _ in range(min(self.max_batch_size, len(self._queue)))
             ]
+            if batch and self._recorder is not None:
+                self._recorder.instant(
+                    "batch-dispatch", "serving",
+                    batch_size=len(batch),
+                    oldest_wait_s=time.perf_counter() - batch[0].enqueued_at,
+                )
+                self._recorder.counter(
+                    "batch-size", len(batch), cat="serving"
+                )
             self._cond.notify_all()
             return batch or None
 

@@ -25,6 +25,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from repro.comm.communicator import CommTimeoutError
+from repro.obs import recorder as _obs
 from repro.serving import protocol
 from repro.serving.config import ServingConfig
 from repro.serving.versioning import VersionedWeights, WeightStore
@@ -107,6 +108,12 @@ def run_replica(
             health["swaps_applied"] += 1
         if store.too_stale(config.max_staleness_versions):
             health["rejected_batches"] += 1
+            _obs.instant(
+                "stale-reject", "serving",
+                batch_seq=batch_seq,
+                applied=store.applied_version,
+                staleness=store.staleness(),
+            )
             protocol.send_reject(
                 serve,
                 frontend,
@@ -120,7 +127,11 @@ def run_replica(
                 health,
             )
             continue
-        outputs = np.asarray(model.forward(inputs))
+        with _obs.span(
+            "serve-batch", "serving",
+            batch_seq=batch_seq, batch_size=int(request_ids.size),
+        ):
+            outputs = np.asarray(model.forward(inputs))
         health["served_batches"] += 1
         health["served_requests"] += int(request_ids.size)
         protocol.send_result(

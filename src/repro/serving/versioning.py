@@ -26,6 +26,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs import recorder as _obs
+
 
 @dataclass(frozen=True)
 class VersionedWeights:
@@ -55,6 +57,9 @@ class WeightStore:
         self.swaps_applied = 0
         #: Number of staged payloads discarded as stale (version <= applied).
         self.swaps_discarded = 0
+        # Stage runs on the replica's collector path; capture the owning
+        # rank's recorder at construction rather than per call.
+        self._recorder = _obs.current()
 
     # ------------------------------------------------------------- ingest
     def stage(self, weights: VersionedWeights) -> bool:
@@ -68,12 +73,18 @@ class WeightStore:
             self._announced_version = max(self._announced_version, weights.version)
             if weights.version <= self._applied_version:
                 self.swaps_discarded += 1
-                return False
-            if self._pending is not None and weights.version <= self._pending.version:
+                staged = False
+            elif self._pending is not None and weights.version <= self._pending.version:
                 self.swaps_discarded += 1
-                return False
-            self._pending = weights
-            return True
+                staged = False
+            else:
+                self._pending = weights
+                staged = True
+        if self._recorder is not None:
+            self._recorder.instant(
+                "swap-stage", "serving", version=weights.version, staged=staged
+            )
+        return staged
 
     def announce(self, version: int) -> None:
         """Advance the announced-version frontier (no payload)."""
@@ -98,6 +109,10 @@ class WeightStore:
         with self._lock:
             self._applied_version = pending.version
             self.swaps_applied += 1
+        if self._recorder is not None:
+            self._recorder.instant(
+                "swap-apply", "serving", version=pending.version
+            )
         return pending.version
 
     # ------------------------------------------------------------- status

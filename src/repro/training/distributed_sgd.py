@@ -10,6 +10,7 @@ import numpy as np
 
 from repro.data.loader import Batch
 from repro.nn.metrics import topk_accuracy
+from repro.obs import recorder as _obs
 from repro.nn.module import Module
 from repro.nn.optim import Optimizer
 from repro.nn.parameters import assign_flat_gradients, flatten_gradients
@@ -130,7 +131,8 @@ class DistributedSGD:
             what makes the partial collectives see realistic arrival
             orders.
         """
-        loss, top1, top5, compute_time = self._local_gradient(batch)
+        with _obs.span("compute", "step", step=self.steps):
+            loss, top1, top5, compute_time = self._local_gradient(batch)
         if pre_exchange_sleep > 0:
             time.sleep(pre_exchange_sleep)
 
@@ -140,9 +142,11 @@ class DistributedSGD:
             if norm > self.gradient_clip > 0:
                 flat = flat * (self.gradient_clip / norm)
 
-        result: ExchangeResult = self.exchange.exchange(flat)
-        assign_flat_gradients(self.model, result.gradient)
-        self.optimizer.step()
+        with _obs.span("exchange", "step", step=self.steps):
+            result: ExchangeResult = self.exchange.exchange(flat)
+        with _obs.span("update", "step", step=self.steps):
+            assign_flat_gradients(self.model, result.gradient)
+            self.optimizer.step()
 
         self.staleness.record(result.included)
         self.quorum.record(result.num_active)

@@ -103,6 +103,7 @@ from repro.collectives.sync import (
     resolve_host_topology,
 )
 from repro.compression import BucketCompressor, GradientCodec, resolve_codec
+from repro.obs import recorder as _obs
 from repro.training.bucketing import GradientBucketer
 from repro.tuning.autotune import TunedPlan
 
@@ -329,7 +330,9 @@ class SynchronousExchange(GradientExchange):
         start = time.perf_counter()
         flat = np.asarray(flat_gradient, dtype=np.float64)
         bucketer = self._ensure_bucketer(flat.size)
-        buffers = bucketer.pack(flat, out=self._pack_buffers)
+        with _obs.span("bucket-pack", "exchange", nbytes=flat.nbytes,
+                       buckets=bucketer.num_buckets):
+            buffers = bucketer.pack(flat, out=self._pack_buffers)
         self._pack_buffers = buffers
         if self.style == "horovod":
             order = self._negotiated_order(bucketer.num_buckets)
@@ -341,7 +344,9 @@ class SynchronousExchange(GradientExchange):
         for b in order:
             bucket_start = time.perf_counter()
             if buffers[b].size:
-                buffers[b], sent = self._reduce_bucket(b, buffers[b])
+                with _obs.span("bucket-wait", "exchange", bucket=b,
+                               nbytes=buffers[b].nbytes):
+                    buffers[b], sent = self._reduce_bucket(b, buffers[b])
                 wire_bytes += sent
             bucket_waits[b] = time.perf_counter() - bucket_start
         self._step += 1
@@ -516,9 +521,11 @@ class PartialExchange(GradientExchange):
 
     def exchange(self, flat_gradient: np.ndarray) -> ExchangeResult:
         start = time.perf_counter()
-        buffers = self.bucketer.pack(
-            np.asarray(flat_gradient, dtype=np.float64)
-        )
+        with _obs.span("bucket-pack", "exchange",
+                       buckets=self.bucketer.num_buckets):
+            buffers = self.bucketer.pack(
+                np.asarray(flat_gradient, dtype=np.float64)
+            )
         reduced: List[np.ndarray] = []
         bucket_waits: List[float] = []
         included = True
@@ -526,7 +533,9 @@ class PartialExchange(GradientExchange):
         wire_bytes = 0
         for b, (partial, buffer) in enumerate(zip(self.partials, buffers)):
             contribution, decode_template, sent = self._encode_contribution(b, buffer)
-            result = partial.reduce(contribution)
+            with _obs.span("bucket-wait", "exchange", bucket=b,
+                           nbytes=buffer.nbytes):
+                result = partial.reduce(contribution)
             data = result.data
             if decode_template is not None:
                 data = self.codec.decode(decode_template.with_payload(data))

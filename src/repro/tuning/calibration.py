@@ -67,6 +67,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import recorder as _obs
 from repro.simtime.collective_model import allreduce_time
 from repro.simtime.network import LogGPParams
 
@@ -873,18 +874,22 @@ def calibrate(
                 return cached
 
     samples: List[CalibrationSample] = []
-    samples += measure_pingpong(
-        world_size, sizes, base_iterations=base_iterations, backend=backend
-    )
-    reduce_samples = measure_reduce(
-        sizes, base_iterations=base_iterations, world_size=world_size
-    )
+    with _obs.span("calibrate-pingpong", "tuning", world_size=world_size):
+        samples += measure_pingpong(
+            world_size, sizes, base_iterations=base_iterations, backend=backend
+        )
+    with _obs.span("calibrate-reduce", "tuning"):
+        reduce_samples = measure_reduce(
+            sizes, base_iterations=base_iterations, world_size=world_size
+        )
     samples += reduce_samples
-    samples += measure_allreduce(
-        world_size, sizes, algorithm=algorithm, base_iterations=base_iterations,
-        backend=backend,
-    )
-    params = fit_loggp(samples)
+    with _obs.span("calibrate-allreduce", "tuning", algorithm=algorithm):
+        samples += measure_allreduce(
+            world_size, sizes, algorithm=algorithm, base_iterations=base_iterations,
+            backend=backend,
+        )
+    with _obs.span("calibrate-fit", "tuning", samples=len(samples)):
+        params = fit_loggp(samples)
     # Per-link-class parameters.  The main sweep above ran the backend's
     # default topology — single-host for ``hier``, i.e. pure shm rings —
     # so its fit IS the intra-host tier.  Two-tier backends additionally
@@ -892,9 +897,14 @@ def calibrate(
     # single-tier backends see the same parameters through both keys.
     link_params = {"intra": params, "inter": params}
     if backend == "hier":
-        link_params["inter"] = measure_inter_link(
-            world_size, sizes, base_iterations=base_iterations, backend=backend,
-            reduce_samples=reduce_samples, anchor=params,
+        with _obs.span("calibrate-inter-link", "tuning"):
+            link_params["inter"] = measure_inter_link(
+                world_size, sizes, base_iterations=base_iterations, backend=backend,
+                reduce_samples=reduce_samples, anchor=params,
+            )
+    with _obs.span("calibrate-codec", "tuning", nbytes=max(sizes)):
+        codec_costs = measure_codec_costs(
+            nbytes=max(sizes), base_iterations=base_iterations
         )
     profile = CalibratedProfile(
         backend=backend,
@@ -903,9 +913,7 @@ def calibrate(
         algorithm=algorithm,
         samples=tuple(samples),
         max_rel_error=max_relative_error(samples, params),
-        codec_costs=measure_codec_costs(
-            nbytes=max(sizes), base_iterations=base_iterations
-        ),
+        codec_costs=codec_costs,
         link_params=link_params,
     )
     profile.save(profile_path(world_size, backend, cache_dir))

@@ -31,6 +31,12 @@ class Timer:
         self._start: Optional[float] = None
 
     def start(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError(
+                "Timer.start() called while an interval is already running; "
+                "call stop() first (the in-flight interval would be "
+                "silently discarded)"
+            )
         self._start = time.perf_counter()
         return self
 

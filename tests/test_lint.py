@@ -192,6 +192,45 @@ def test_valueerror_rule_scoped_out_of_experiments():
 
 
 # ---------------------------------------------------------------------------
+# time-time
+# ---------------------------------------------------------------------------
+def test_time_time_fires_in_timing_sensitive_packages():
+    findings = _lint(
+        """
+        import time
+        def f():
+            start = time.time()
+            return time.time() - start
+        """,
+        "src/repro/serving/thing.py",
+    )
+    assert [f.rule for f in findings] == ["time-time", "time-time"]
+
+
+def test_monotonic_clocks_pass():
+    findings = _lint(
+        """
+        import time
+        def f():
+            a = time.perf_counter()
+            b = time.perf_counter_ns()
+            time.sleep(0.01)
+            return a, b, time.monotonic()
+        """,
+        "src/repro/comm/thing.py",
+    )
+    assert findings == []
+
+
+def test_time_time_rule_scoped_out_of_experiments():
+    findings = _lint(
+        "import time\ndef f():\n    return time.time()\n",
+        "src/repro/experiments/fig9.py",
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # the repo itself is clean
 # ---------------------------------------------------------------------------
 def test_src_tree_lints_clean():

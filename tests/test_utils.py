@@ -144,6 +144,17 @@ class TestTimers:
         with pytest.raises(RuntimeError):
             Timer().stop()
 
+    def test_timer_double_start_raises(self):
+        # Regression: start() used to silently discard the in-flight
+        # interval, corrupting accumulated timings.
+        t = Timer().start()
+        with pytest.raises(RuntimeError, match="already running"):
+            t.start()
+        t.stop()  # the original interval is still intact
+        assert t.elapsed >= 0.0
+        t.start()  # restartable after a clean stop
+        t.stop()
+
     def test_virtual_clock_advance(self):
         clock = VirtualClock()
         clock.advance(1.5)
