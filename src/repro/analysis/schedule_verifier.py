@@ -264,6 +264,14 @@ def check_tag_soundness(
                     f"sync tag {e.tag} does not round-trip through the "
                     f"(epoch, phase, round, chunk) layout: {fields}",
                 ))
+        elif reg.name == tags.SHARDING.name:
+            fields = tags.decode_sharding_tag(e.tag)
+            if tags.sharding_tag(*fields) != e.tag:
+                violations.append(Violation(
+                    case, "tags",
+                    f"sharding tag {e.tag} does not round-trip through the "
+                    f"(epoch, phase, round, chunk) layout: {fields}",
+                ))
     return violations
 
 
@@ -408,6 +416,7 @@ def check_reduction_coverage(
 # case model
 # ---------------------------------------------------------------------------
 _REGIONS_SYNC = frozenset({tags.SYNC.name})
+_REGIONS_SHARDING = frozenset({tags.SHARDING.name})
 _REGIONS_BARRIER = frozenset({tags.BARRIER.name})
 _REGIONS_SERVING = frozenset({tags.SERVING.name})
 _REGIONS_TELEMETRY = frozenset({tags.TELEMETRY.name})
@@ -591,6 +600,87 @@ def build_cases(size: int, include_exchange: bool = True) -> List[VerifyCase]:
         expected=lambda rank, _p=size: [(r, r * r) for r in range(_p)],
     ))
 
+    # Sharded collectives: reduce_scatter's per-rank window must hold
+    # exactly the certificate sum restricted to the owned slice, and the
+    # reduce-scatter -> allgather_flat composition must restore the full
+    # sum on every rank — for every schedule family, chunking and layout.
+    from repro.collectives import sharding as _sharding
+
+    n_shard = size + 3
+    for algorithm in ("ring", "halving"):
+        for n_chunks in (1, 3):
+            def fn_rs(comm, _a=algorithm, _c=n_chunks, _p=size):
+                flat, (lo, hi) = _sharding.reduce_scatter(
+                    comm, contribution(comm.rank, _p),
+                    algorithm=_a, n_chunks=_c,
+                )
+                return flat[lo:hi].copy()
+            def expect_window(rank, _a=algorithm, _p=size, _t=total, _n=n_shard):
+                lo, hi = _sharding.shard_bounds(_n, _p, _a)[rank]
+                return _t[lo:hi]
+            cases.append(VerifyCase(
+                name=f"reduce_scatter[{algorithm},chunks={n_chunks}]",
+                world_size=size,
+                fn=fn_rs,
+                expected=expect_window,
+                regions=_REGIONS_SHARDING,
+            ))
+
+            def fn_rs_ag(comm, _a=algorithm, _c=n_chunks, _p=size):
+                flat, _ = _sharding.reduce_scatter(
+                    comm, contribution(comm.rank, _p),
+                    algorithm=_a, n_chunks=_c,
+                )
+                return _sharding.allgather_flat(
+                    comm, flat,
+                    algorithm=_sharding.ALLGATHER_FOR_REDUCE_SCATTER[_a],
+                    n_chunks=_c,
+                )
+            cases.append(VerifyCase(
+                name=f"reduce_scatter+allgather[{algorithm},chunks={n_chunks}]",
+                world_size=size,
+                fn=fn_rs_ag,
+                expected=lambda rank, _t=total: _t,
+                regions=_REGIONS_SHARDING,
+            ))
+
+    for label, topology in _hier_topologies(size):
+        def fn_rs_ag_hier(comm, _p=size):
+            flat, _ = _sharding.reduce_scatter(
+                comm, contribution(comm.rank, _p),
+                algorithm="hierarchical", n_chunks=2,
+            )
+            return _sharding.allgather_flat(
+                comm, flat, algorithm="hierarchical", n_chunks=2,
+            )
+        cases.append(VerifyCase(
+            name=f"reduce_scatter+allgather[hierarchical,{label}]",
+            world_size=size,
+            fn=fn_rs_ag_hier,
+            expected=lambda rank, _t=total: _t,
+            regions=_REGIONS_SHARDING,
+            host_topology=topology,
+        ))
+
+    if codec is not None:
+        unit_total_shard = expected_sum(size, unit=True)
+
+        def fn_rs_ag_comp(comm, _p=size, _codec=codec):
+            flat, _ = _sharding.reduce_scatter(
+                comm, contribution(comm.rank, _p, unit=True),
+                algorithm="ring", n_chunks=2, codec=_codec,
+            )
+            return _sharding.allgather_flat(
+                comm, flat, algorithm="ring", n_chunks=2, codec=_codec,
+            )
+        cases.append(VerifyCase(
+            name="reduce_scatter+allgather[compressed_ring,fp16]",
+            world_size=size,
+            fn=fn_rs_ag_comp,
+            expected=lambda rank, _t=unit_total_shard: _t,
+            regions=_REGIONS_SHARDING,
+        ))
+
     def fn_barrier(comm):
         comm.barrier()
         comm.barrier()
@@ -677,6 +767,63 @@ def build_cases(size: int, include_exchange: bool = True) -> List[VerifyCase]:
                     [size - size // 2, size // 2]
                 ),
             ))
+
+        # The ZeRO-1 sharded exchange: reduce-scatter, shard-local SGD
+        # update, parameter allgather.  Every rank starts from the same
+        # seeded model, contributes size * certificate so the averaged
+        # gradient is exactly the certificate sum, and must end with
+        # params == init - lr * sum on every element — proving each
+        # window's update ran exactly once and the gather restored the
+        # full parameter vector.
+        def _shard_model():
+            import repro.nn as nn
+            return nn.Sequential(nn.Dense(size + 4, 2, seed=20260808))
+
+        probe = _shard_model()
+        from repro.nn.parameters import flatten_parameters as _flatten
+        n_z1 = _flatten(probe).size
+        z1_lr = 0.25
+        z1_total = expected_sum(size, n=n_z1)
+        z1_expected = _flatten(probe) - z1_lr * z1_total
+        for z1_algorithm in ("ring", "halving"):
+            def fn_zero1(comm, _a=z1_algorithm, _p=size, _n=n_z1):
+                from repro.nn.optim import SGD
+                from repro.training.exchange import ShardedExchange
+                model = _shard_model()
+                optimizer = SGD(model, z1_lr)
+                ex = ShardedExchange(comm, algorithm=_a, fusion_buckets=2)
+                ex.exchange_update(
+                    _p * contribution(comm.rank, _p, n=_n), model, optimizer
+                )
+                return _flatten(model)
+            cases.append(VerifyCase(
+                name=f"sharded-exchange[zero1,{z1_algorithm},buckets=2]",
+                world_size=size,
+                fn=fn_zero1,
+                expected=lambda rank, _t=z1_expected: _t,
+                regions=_REGIONS_SHARDING,
+            ))
+        if size >= 4:
+            def fn_zero1_hier(comm, _p=size, _n=n_z1):
+                from repro.nn.optim import SGD
+                from repro.training.exchange import ShardedExchange
+                model = _shard_model()
+                optimizer = SGD(model, z1_lr)
+                ex = ShardedExchange(comm, fusion_buckets=2)
+                ex.exchange_update(
+                    _p * contribution(comm.rank, _p, n=_n), model, optimizer
+                )
+                return _flatten(model)
+            cases.append(VerifyCase(
+                name="sharded-exchange[zero1,hierarchical,multi-host]",
+                world_size=size,
+                fn=fn_zero1_hier,
+                expected=lambda rank, _t=z1_expected: _t,
+                regions=_REGIONS_SHARDING,
+                host_topology=HostTopology.from_hosts(
+                    [size - size // 2, size // 2]
+                ),
+            ))
     return cases
 
 
@@ -718,12 +865,41 @@ def check_tag_layout() -> CaseResult:
                 f"{tuple(tags.decode_sync_tag(tag))}",
             ))
 
+    sharding_samples = [
+        (0, 0, 0, 0),
+        (tags.SHARDING_MAX_EPOCHS - 1, tags.SHARDING_MAX_PHASES - 1,
+         tags.SHARDING_MAX_ROUNDS - 1, tags.SHARDING_MAX_CHUNKS - 1),
+        (54321, 11, 999, 3),
+    ]
+    for fields in sharding_samples:
+        tag = tags.sharding_tag(*fields)
+        if tag not in tags.SHARDING:
+            violations.append(Violation(
+                case, "tags",
+                f"sharding tag {tag} of {fields} escapes its region",
+            ))
+        if tuple(tags.decode_sharding_tag(tag)) != fields:
+            violations.append(Violation(
+                case, "tags",
+                f"sharding layout does not round-trip: {fields} -> {tag} -> "
+                f"{tuple(tags.decode_sharding_tag(tag))}",
+            ))
+
     overflowing = [
         ("epoch", lambda: tags.sync_tag(tags.SYNC_MAX_EPOCHS, 0, 0, 0)),
         ("epoch", lambda: tags.sync_tag(-1, 0, 0, 0)),
         ("phase", lambda: tags.sync_tag(0, tags.SYNC_MAX_PHASES, 0, 0)),
         ("round", lambda: tags.sync_tag(0, 0, tags.SYNC_MAX_ROUNDS, 0)),
         ("chunk", lambda: tags.sync_tag(0, 0, 0, tags.SYNC_MAX_CHUNKS)),
+        ("sharding epoch", lambda: tags.sharding_tag(
+            tags.SHARDING_MAX_EPOCHS, 0, 0, 0)),
+        ("sharding epoch", lambda: tags.sharding_tag(-1, 0, 0, 0)),
+        ("sharding phase", lambda: tags.sharding_tag(
+            0, tags.SHARDING_MAX_PHASES, 0, 0)),
+        ("sharding round", lambda: tags.sharding_tag(
+            0, 0, tags.SHARDING_MAX_ROUNDS, 0)),
+        ("sharding chunk", lambda: tags.sharding_tag(
+            0, 0, 0, tags.SHARDING_MAX_CHUNKS)),
         ("barrier epoch", lambda: tags.barrier_tag(
             tags.BARRIER.span // tags.BARRIER_TAGS_PER_EPOCH, 0)),
         ("partial round", lambda: tags.partial_activation_tag(

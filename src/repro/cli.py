@@ -178,6 +178,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--functional-world-size", type=int, default=4,
         help="world size of the functional (real-transport) validation",
     )
+    p.add_argument(
+        "--sharding", default="none", choices=["none", "zero1"],
+        help="add a ZeRO-1 sharded-exchange functional row (reduce-scatter, "
+        "shard-local update, parameter allgather)",
+    )
     _add_backend_argument(p, "comm backend of the functional exchange rows")
     _add_compression_argument(p, "gradient codec of the fused exchange")
 
@@ -251,6 +256,9 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="gradient-exchange mode of the traced run")
     p.add_argument("--fusion-buckets", type=int, default=2,
                    help="fusion buckets of the traced exchange")
+    p.add_argument("--sharding", default="none", choices=["none", "zero1"],
+                   help="optimizer-state sharding of the traced exchange "
+                   "(zero1 = reduce-scatter/allgather update path)")
     p.add_argument("--capacity", type=int, default=None,
                    help="flight-recorder ring capacity in events "
                    "(default: 65536; overflow drops oldest)")
@@ -389,6 +397,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 n_chunks=args.pipeline_chunks,
                 backend=args.backend,
                 compression=args.compression,
+                sharding=args.sharding,
             )
         print(fusion_pipeline.report(result))
     elif args.command == "tune":
@@ -471,6 +480,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             world_size=args.world_size,
             steps=args.steps,
             mode=args.mode,
+            sharding=args.sharding,
             fusion_buckets=args.fusion_buckets,
             capacity=args.capacity or DEFAULT_CAPACITY,
             seed=args.seed,

@@ -30,6 +30,14 @@ from repro.collectives.sync import (
     allgather,
     ALLREDUCE_ALGORITHMS,
 )
+from repro.collectives.sharding import (
+    ALLGATHER_FLAT_ALGORITHMS,
+    ALLGATHER_FOR_REDUCE_SCATTER,
+    REDUCE_SCATTER_ALGORITHMS,
+    allgather_flat,
+    reduce_scatter,
+    shard_bounds,
+)
 from repro.collectives.schedules import (
     build_activation_schedule,
     build_recursive_doubling_allreduce_schedule,
@@ -59,6 +67,12 @@ __all__ = [
     "reduce_to_root",
     "allgather",
     "ALLREDUCE_ALGORITHMS",
+    "ALLGATHER_FLAT_ALGORITHMS",
+    "ALLGATHER_FOR_REDUCE_SCATTER",
+    "REDUCE_SCATTER_ALGORITHMS",
+    "allgather_flat",
+    "reduce_scatter",
+    "shard_bounds",
     "build_activation_schedule",
     "build_recursive_doubling_allreduce_schedule",
     "build_binomial_broadcast_schedule",

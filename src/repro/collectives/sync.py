@@ -190,10 +190,17 @@ def _send_segments(
     phase: int,
     round_index: int,
     n_chunks: int,
+    mint: Callable[..., int] = _tag,
 ) -> None:
-    """Send ``flat[lo:hi]`` to ``dest`` as ``n_chunks`` eager segments."""
+    """Send ``flat[lo:hi]`` to ``dest`` as ``n_chunks`` eager segments.
+
+    ``mint`` is the ``(epoch, phase, round, chunk)`` tag-mint function;
+    the sharded-optimizer collectives (:mod:`repro.collectives.sharding`)
+    reuse these helpers with :func:`repro.comm.tags.sharding_tag` so
+    their messages stay in the ``sharding`` region.
+    """
     for k, (slo, shi) in enumerate(_segment_bounds(hi - lo, n_chunks)):
-        comm.send(flat[lo + slo : lo + shi], dest, tag=_tag(epoch, phase, round_index, k))
+        comm.send(flat[lo + slo : lo + shi], dest, tag=mint(epoch, phase, round_index, k))
 
 
 def _recv_segments(
@@ -208,6 +215,7 @@ def _recv_segments(
     n_chunks: int,
     timeout: Optional[float],
     reduce_op: Optional[ReduceOp] = None,
+    mint: Callable[..., int] = _tag,
 ) -> None:
     """Receive ``n_chunks`` segments into ``flat[lo:hi]``.
 
@@ -218,7 +226,7 @@ def _recv_segments(
     """
     for k, (slo, shi) in enumerate(_segment_bounds(hi - lo, n_chunks)):
         incoming = comm.recv(
-            source=source, tag=_tag(epoch, phase, round_index, k), timeout=timeout
+            source=source, tag=mint(epoch, phase, round_index, k), timeout=timeout
         )
         if shi <= slo:
             continue
@@ -240,6 +248,8 @@ def _fold_in(
     n_chunks: int,
     reduce_op: ReduceOp,
     timeout: Optional[float],
+    phase: int = _PHASE_FOLD_IN,
+    mint: Callable[..., int] = _tag,
 ) -> bool:
     """Fold the extra ranks' contributions into the power-of-two group.
 
@@ -254,7 +264,8 @@ def _fold_in(
         return True
     if rank >= pof2:
         _send_segments(
-            comm, flat, 0, flat.size, rank - pof2, epoch, _PHASE_FOLD_IN, 0, n_chunks
+            comm, flat, 0, flat.size, rank - pof2, epoch, phase, 0, n_chunks,
+            mint=mint,
         )
         return False
     if rank < rem:
@@ -265,11 +276,12 @@ def _fold_in(
             flat.size,
             rank + pof2,
             epoch,
-            _PHASE_FOLD_IN,
+            phase,
             0,
             n_chunks,
             timeout,
             reduce_op=reduce_op,
+            mint=mint,
         )
     return True
 
@@ -281,6 +293,8 @@ def _fold_out(
     n_chunks: int,
     in_group: bool,
     timeout: Optional[float],
+    phase: int = _PHASE_FOLD_OUT,
+    mint: Callable[..., int] = _tag,
 ) -> None:
     """Hand the reduced result back to the folded-out extra ranks."""
     rank, size = comm.rank, comm.size
@@ -290,7 +304,8 @@ def _fold_out(
         return
     if in_group and rank < rem:
         _send_segments(
-            comm, flat, 0, flat.size, rank + pof2, epoch, _PHASE_FOLD_OUT, 0, n_chunks
+            comm, flat, 0, flat.size, rank + pof2, epoch, phase, 0, n_chunks,
+            mint=mint,
         )
     elif not in_group:
         _recv_segments(
@@ -300,10 +315,11 @@ def _fold_out(
             flat.size,
             rank - pof2,
             epoch,
-            _PHASE_FOLD_OUT,
+            phase,
             0,
             n_chunks,
             timeout,
+            mint=mint,
         )
 
 
@@ -361,12 +377,35 @@ def reduce(
     return acc
 
 
-def allgather(comm: Communicator, data, timeout: Optional[float] = None) -> List:
-    """Gather one value from every rank at every rank (ring algorithm)."""
+def allgather(
+    comm: Communicator,
+    data,
+    timeout: Optional[float] = None,
+    out: Optional[List[np.ndarray]] = None,
+) -> List:
+    """Gather one value from every rank at every rank (ring algorithm).
+
+    With ``out`` (a list of ``size`` preallocated per-rank arrays) each
+    received array payload is copied straight into its destination slot
+    and the same list is returned, so a steady-state caller (negotiation
+    rounds, parameter gathers) reuses its buffers instead of retaining a
+    freshly allocated list of wire payloads every call.  Without ``out``
+    the delivered payloads are returned as before.
+    """
     epoch = _next_epoch(comm)
     rank, size = comm.rank, comm.size
-    items: List = [None] * size
-    items[rank] = data
+    if out is not None:
+        if len(out) != size:
+            raise ValueError(
+                f"allgather out has {len(out)} slot(s) but the world has "
+                f"{size} rank(s)"
+            )
+        items: List = out
+        if items[rank] is not data:
+            np.copyto(items[rank], np.asarray(data))
+    else:
+        items = [None] * size
+        items[rank] = data
     if size == 1:
         return items
     succ = (rank + 1) % size
@@ -376,7 +415,11 @@ def allgather(comm: Communicator, data, timeout: Optional[float] = None) -> List
         send_idx = (rank - step) % size
         comm.send(items[send_idx], succ, tag=tag)
         recv_idx = (rank - step - 1) % size
-        items[recv_idx] = comm.recv(source=pred, tag=tag, timeout=timeout)
+        incoming = comm.recv(source=pred, tag=tag, timeout=timeout)
+        if out is not None:
+            np.copyto(items[recv_idx], np.asarray(incoming))
+        else:
+            items[recv_idx] = incoming
     return items
 
 

@@ -182,6 +182,7 @@ def run_functional(
     iterations: int = 4,
     backend: Optional[str] = None,
     compression: Optional[str] = None,
+    sharding: str = "none",
 ) -> List[FunctionalRow]:
     """Measure the real exchange on ``backend`` and verify its result.
 
@@ -190,10 +191,18 @@ def run_functional(
     loopback TCP and removes the shared GIL.  Either way the functional
     rows validate correctness and give a rough cost signal, while the
     analytic rows carry the latency claims.
+
+    ``sharding="zero1"`` appends a row running the ZeRO-1
+    :class:`~repro.training.exchange.ShardedExchange` end to end (SGD on
+    a flat parameter vector): its error column compares the gathered
+    parameters against the dense-update reference, and its wire column is
+    the *measured* bytes this rank sent per exchange.
     """
     from repro.comm import get_backend, launch
     from repro.training.exchange import SynchronousExchange
 
+    if sharding not in ("none", "zero1"):
+        raise ValueError(f"sharding must be 'none' or 'zero1', got {sharding!r}")
     backend_name = get_backend(backend).name
     configs = [
         ("unfused single-buffer (RD)", dict(algorithm="recursive_doubling")),
@@ -246,6 +255,49 @@ def run_functional(
                 world_size=world_size,
                 elements=elements,
                 configuration=name,
+                seconds_per_exchange=float(np.mean([o[0] for o in outputs])),
+                max_abs_error=float(max(o[1] for o in outputs)),
+                backend=backend_name,
+                wire_bytes=int(outputs[0][2]),
+            )
+        )
+    if sharding == "zero1":
+        lr = 0.25
+        init = np.linspace(-1.0, 1.0, elements)
+        params_expected = init - iterations * lr * expected
+
+        def sharded_worker(comm):
+            from repro.nn.module import Module
+            from repro.nn.optim import SGD
+            from repro.nn.parameters import flatten_parameters
+            from repro.training.exchange import ShardedExchange
+
+            model = Module()
+            model.add_parameter("theta", init.copy())
+            optimizer = SGD(model, lr)
+            exchange = ShardedExchange(
+                comm,
+                algorithm="ring",
+                fusion_threshold_bytes=fusion_threshold_bytes,
+                pipeline_chunks=n_chunks,
+            )
+            gradient = base + comm.rank
+            start = time.perf_counter()
+            for _ in range(iterations):
+                result = exchange.exchange_update(gradient, model, optimizer)
+            elapsed = (time.perf_counter() - start) / iterations
+            return (
+                elapsed,
+                float(np.max(np.abs(flatten_parameters(model) - params_expected))),
+                result.wire_bytes,
+            )
+
+        outputs = launch(sharded_worker, world_size, backend=backend)
+        rows.append(
+            FunctionalRow(
+                world_size=world_size,
+                elements=elements,
+                configuration=f"zero1 sharded ring (C={n_chunks})",
                 seconds_per_exchange=float(np.mean([o[0] for o in outputs])),
                 max_abs_error=float(max(o[1] for o in outputs)),
                 backend=backend_name,

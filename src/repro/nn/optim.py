@@ -9,11 +9,12 @@ gradients, so these optimizers are purely local.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.nn.module import Module, Parameter
+from repro.nn.parameters import _ordered_named_parameters
 
 
 class LearningRateSchedule:
@@ -102,6 +103,131 @@ class Optimizer:
     def _apply(self, lr: float) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------ sharding
+    def step_windows(
+        self,
+        params: Sequence[np.ndarray],
+        grads: Sequence[np.ndarray],
+        keys: Sequence[str],
+    ) -> None:
+        """One update step applied to *owned* parameter windows only (ZeRO-1).
+
+        ``params[i]`` is a writable view of a flat-parameter window,
+        ``grads[i]`` the matching (already reduced and averaged)
+        gradient window, and ``keys[i]`` a stable identifier — the
+        exchange uses ``"lo:hi"`` in global flat coordinates — that the
+        lazily allocated per-window state (momentum, moments) is keyed
+        by.  Because every update rule here is elementwise, applying it
+        to windows of the flat vector is bit-identical to the per-parameter
+        :meth:`step`; a rank therefore only ever materialises state for
+        the ~1/P of the model it owns.  Counts as one step.
+        """
+        if not (len(params) == len(grads) == len(keys)):
+            raise ValueError(
+                f"step_windows needs parallel params/grads/keys, got lengths "
+                f"{len(params)}/{len(grads)}/{len(keys)}"
+            )
+        lr = self.current_lr()
+        for param, grad, key in zip(params, grads, keys):
+            if param.shape != grad.shape:
+                raise ValueError(
+                    f"window {key!r}: parameter window has shape {param.shape} "
+                    f"but gradient window has {grad.shape}"
+                )
+            if param.size:
+                self._apply_window(param, grad, str(key), lr)
+        self.step_count += 1
+
+    def _apply_window(self, param: np.ndarray, grad: np.ndarray, key: str, lr: float) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ state
+    #: Names of this optimizer's per-entry state arrays (e.g.
+    #: ``("velocity",)`` for momentum SGD); empty for stateless rules.
+    state_slots: tuple = ()
+
+    def _slot_store(self, slot: str, windowed: bool) -> Dict:
+        """Subclass storage dict for ``slot`` (``id(param)``- or window-keyed)."""
+        raise KeyError(slot)
+
+    def state_dict(self) -> Dict:
+        """Serializable optimizer state (checkpoint / sharded round-trip).
+
+        Layout::
+
+            {"step_count": int,
+             "param_state":  {param_name: {slot: ndarray}},
+             "window_state": {"lo:hi":    {slot: ndarray}}}
+
+        Per-parameter state is keyed by the module's canonical parameter
+        names, window state by the owned-window keys of
+        :meth:`step_windows`; arrays are copies, so mutating the live
+        optimizer does not corrupt a saved checkpoint.
+        """
+        param_state: Dict[str, Dict[str, np.ndarray]] = {}
+        window_state: Dict[str, Dict[str, np.ndarray]] = {}
+        for slot in self.state_slots:
+            by_param = self._slot_store(slot, windowed=False)
+            for name, param in _ordered_named_parameters(self.module):
+                arr = by_param.get(id(param))
+                if arr is not None:
+                    param_state.setdefault(name, {})[slot] = np.array(arr, copy=True)
+            for key, arr in self._slot_store(slot, windowed=True).items():
+                window_state.setdefault(key, {})[slot] = np.array(arr, copy=True)
+        return {
+            "step_count": int(self.step_count),
+            "param_state": param_state,
+            "window_state": window_state,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore :meth:`state_dict` output; replaces all current state."""
+        self.step_count = int(state.get("step_count", 0))
+        param_state = state.get("param_state", {})
+        window_state = state.get("window_state", {})
+        named = dict(_ordered_named_parameters(self.module))
+        unknown = sorted(set(param_state) - set(named))
+        if unknown:
+            raise ValueError(
+                f"state_dict references parameter(s) {unknown} not present "
+                f"in the module"
+            )
+        for slot in self.state_slots:
+            by_param = self._slot_store(slot, windowed=False)
+            by_window = self._slot_store(slot, windowed=True)
+            by_param.clear()
+            by_window.clear()
+            for name, slots in param_state.items():
+                if slot in slots:
+                    arr = np.array(slots[slot], dtype=np.float64, copy=True)
+                    if arr.shape != named[name].data.shape:
+                        raise ValueError(
+                            f"state for parameter {name!r} slot {slot!r} has "
+                            f"shape {arr.shape}, parameter has "
+                            f"{named[name].data.shape}"
+                        )
+                    by_param[id(named[name])] = arr
+            for key, slots in window_state.items():
+                if slot in slots:
+                    by_window[str(key)] = np.array(
+                        slots[slot], dtype=np.float64, copy=True
+                    )
+
+    def state_bytes(self) -> int:
+        """Bytes held in optimizer state arrays (0 for stateless rules).
+
+        Under ZeRO-1 sharding only the owned windows are ever allocated,
+        so this gauge drops to ~1/P of the unsharded footprint — the
+        metric exported as ``repro_optimizer_state_bytes``.
+        """
+        total = 0
+        for slot in self.state_slots:
+            for arr in self._slot_store(slot, windowed=False).values():
+                total += arr.nbytes
+            for arr in self._slot_store(slot, windowed=True).values():
+                total += arr.nbytes
+        return total
+
 
 class SGD(Optimizer):
     """Plain stochastic gradient descent with optional weight decay."""
@@ -118,6 +244,11 @@ class SGD(Optimizer):
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
             param.data -= lr * grad
+
+    def _apply_window(self, param: np.ndarray, grad: np.ndarray, key: str, lr: float) -> None:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param
+        param -= lr * grad
 
 
 class MomentumSGD(Optimizer):
@@ -140,6 +271,14 @@ class MomentumSGD(Optimizer):
         self.weight_decay = weight_decay
         self.nesterov = nesterov
         self._velocity: Dict[int, np.ndarray] = {}
+        self._window_velocity: Dict[str, np.ndarray] = {}
+
+    state_slots = ("velocity",)
+
+    def _slot_store(self, slot: str, windowed: bool) -> Dict:
+        if slot != "velocity":
+            raise KeyError(slot)
+        return self._window_velocity if windowed else self._velocity
 
     def _apply(self, lr: float) -> None:
         for param in self.parameters:
@@ -153,6 +292,17 @@ class MomentumSGD(Optimizer):
             self._velocity[id(param)] = vel
             update = grad + self.momentum * vel if self.nesterov else vel
             param.data -= lr * update
+
+    def _apply_window(self, param: np.ndarray, grad: np.ndarray, key: str, lr: float) -> None:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param
+        vel = self._window_velocity.get(key)
+        if vel is None:
+            vel = np.zeros_like(param)
+        vel = self.momentum * vel + grad
+        self._window_velocity[key] = vel
+        update = grad + self.momentum * vel if self.nesterov else vel
+        param -= lr * update
 
 
 class Adam(Optimizer):
@@ -176,6 +326,17 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m: Dict[int, np.ndarray] = {}
         self._v: Dict[int, np.ndarray] = {}
+        self._window_m: Dict[str, np.ndarray] = {}
+        self._window_v: Dict[str, np.ndarray] = {}
+
+    state_slots = ("m", "v")
+
+    def _slot_store(self, slot: str, windowed: bool) -> Dict:
+        if slot == "m":
+            return self._window_m if windowed else self._m
+        if slot == "v":
+            return self._window_v if windowed else self._v
+        raise KeyError(slot)
 
     def _apply(self, lr: float) -> None:
         t = self.step_count + 1
@@ -195,3 +356,20 @@ class Adam(Optimizer):
             m_hat = m / (1 - self.beta1**t)
             v_hat = v / (1 - self.beta2**t)
             param.data -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _apply_window(self, param: np.ndarray, grad: np.ndarray, key: str, lr: float) -> None:
+        t = self.step_count + 1
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param
+        m = self._window_m.get(key)
+        v = self._window_v.get(key)
+        if m is None:
+            m = np.zeros_like(param)
+            v = np.zeros_like(param)
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad**2
+        self._window_m[key] = m
+        self._window_v[key] = v
+        m_hat = m / (1 - self.beta1**t)
+        v_hat = v / (1 - self.beta2**t)
+        param -= lr * m_hat / (np.sqrt(v_hat) + self.eps)

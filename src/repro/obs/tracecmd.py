@@ -35,6 +35,7 @@ class TraceConfig:
     world_size: int = 4
     steps: int = 8
     mode: str = "sync"  # "sync", "solo", "majority" or "quorum"
+    sharding: str = "none"  # "none" or "zero1" (sync mode only)
     fusion_buckets: int = 2
     input_dim: int = 64
     global_batch_size: int = 32
@@ -50,6 +51,14 @@ class TraceConfig:
             raise ValueError(f"steps must be >= 1, got {self.steps}")
         if self.capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        if self.sharding not in ("none", "zero1"):
+            raise ValueError(
+                f"sharding must be 'none' or 'zero1', got {self.sharding!r}"
+            )
+        if self.sharding == "zero1" and self.mode != "sync":
+            raise ValueError(
+                f"sharding='zero1' requires mode='sync', got {self.mode!r}"
+            )
 
 
 def _trace_rank_main(comm, config: TraceConfig) -> Optional[Dict[str, Any]]:
@@ -58,7 +67,7 @@ def _trace_rank_main(comm, config: TraceConfig) -> Optional[Dict[str, Any]]:
     from repro.data.loader import ShardedLoader
     from repro.nn.losses import MSELoss
     from repro.nn.models.mlp import HyperplaneMLP
-    from repro.nn.optim import SGD
+    from repro.nn.optim import MomentumSGD
     from repro.training.distributed_sgd import DistributedSGD
     from repro.training.exchange import build_exchange
 
@@ -75,10 +84,15 @@ def _trace_rank_main(comm, config: TraceConfig) -> Optional[Dict[str, Any]]:
             config.mode,
             fusion_buckets=config.fusion_buckets,
             seed=config.seed + 777,
+            sharding=config.sharding,
         )
+        # Momentum (not plain SGD) so the optimizer actually carries
+        # per-parameter state and the state-bytes gauge has a story to
+        # tell: replicated under sharding="none", cut P-fold under zero1.
+        optimizer = MomentumSGD(model, config.learning_rate)
         sgd = DistributedSGD(
             model,
-            SGD(model, config.learning_rate),
+            optimizer,
             exchange,
             MSELoss(),
             world_size=comm.size,
@@ -129,6 +143,7 @@ def _trace_rank_main(comm, config: TraceConfig) -> Optional[Dict[str, Any]]:
                 if done >= config.steps:
                     break
             epoch += 1
+        registry.gauge("repro_optimizer_state_bytes").set(optimizer.state_bytes())
         sgd.close()
         # All training traffic is done on every rank before anyone dumps
         # its buffer, so the traces cover the same (whole) run.
@@ -184,9 +199,15 @@ def run_trace(
     write_chrome_trace(out, trace)
     merged = merge_snapshots(collected["snapshots"])
     straggler = straggler_attribution(collected["per_rank_steps"])
+    state_bytes = [
+        int(snapshot.get("repro_optimizer_state_bytes", {}).get("value", 0))
+        for snapshot in collected["snapshots"]
+    ]
     return {
         "out": out,
         "world_size": config.world_size,
+        "sharding": config.sharding,
+        "optimizer_state_bytes": state_bytes,
         "events": len(trace["traceEvents"]),
         "dropped_events": trace["otherData"]["dropped_events"],
         "clock_offsets_ns": collected["clock_offsets_ns"],
@@ -216,6 +237,15 @@ def format_summary(summary: Dict[str, Any]) -> str:
             f"{100 * record['wait_share']:5.1f}% wait, "
             f"{100 * record['wire_share']:5.1f}% wire "
             f"over {record['steps']} step(s)"
+        )
+    state_bytes = summary.get("optimizer_state_bytes")
+    if state_bytes:
+        per_rank = ", ".join(
+            f"r{rank}={nbytes}" for rank, nbytes in enumerate(state_bytes)
+        )
+        lines.append(
+            f"  opt state  : {per_rank} bytes "
+            f"(sharding={summary.get('sharding', 'none')})"
         )
     steps = summary["metrics"].get("steps", {}).get("value")
     if steps is not None:

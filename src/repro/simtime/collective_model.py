@@ -315,6 +315,91 @@ def fused_exchange_time(
     return params.collective_overhead + ag_end
 
 
+def sharded_exchange_time(
+    bucket_bytes: Sequence[float],
+    size: int,
+    algorithm: str = "ring",
+    params: LogGPParams = DEFAULT_NETWORK,
+    n_chunks: int = 1,
+    compression: Optional[CompressionModel] = None,
+    update_seconds_per_byte: float = 0.0,
+) -> float:
+    """Duration of a ZeRO-1 sharded exchange (reduce-scatter / allgather).
+
+    Mirrors :class:`repro.training.exchange.ShardedExchange`: every bucket
+    is reduce-scattered, then the optimizer update runs on the owned
+    ``1/P`` window, then every bucket's *parameters* are allgathered.  The
+    phases are globally ordered (all scatters complete before the update),
+    so buckets serialise within each phase and nothing overlaps across
+    phases — unlike :func:`fused_exchange_time`'s ring recurrence.
+
+    ``algorithm`` is a sharded-collective name: ``"ring"`` charges
+    ``P - 1`` chunk rounds per phase, ``"halving"`` the recursive
+    halving/doubling rounds of the Rabenseifner split.
+    ``update_seconds_per_byte`` charges the shard-local optimizer update
+    (zero keeps the model purely communication-bound; the dense baseline
+    it is compared against pays ``P`` times this term *off* the wire).
+    Reduce-closed ``compression`` shrinks every hop by ``wire_scale`` and
+    pays the encode/decode transform per bucket, as the implementation's
+    compressed ring does for both the gradient and parameter hops.
+    """
+    if not bucket_bytes:
+        raise ValueError("bucket_bytes must not be empty")
+    if any(b < 0 for b in bucket_bytes):
+        raise ValueError(f"message size must be non-negative, got {list(bucket_bytes)}")
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    if update_seconds_per_byte < 0 or not math.isfinite(update_seconds_per_byte):
+        raise ValueError(
+            f"update_seconds_per_byte must be non-negative and finite, "
+            f"got {update_seconds_per_byte}"
+        )
+    if algorithm not in ("ring", "halving"):
+        raise ValueError(
+            f"unknown sharded exchange algorithm {algorithm!r}; "
+            f"the flat model covers 'ring' and 'halving'"
+        )
+    update = sum(bucket_bytes) / size * update_seconds_per_byte
+    if size == 1:
+        return params.collective_overhead + update
+    transform = 0.0
+    wire_scale = 1.0
+    if compression is not None and not compression.is_identity:
+        if not compression.reduce_closed:
+            raise ValueError(
+                f"sharded exchange supports reduce-closed codecs only, "
+                f"got {compression.name!r}"
+            )
+        wire_scale = compression.wire_scale
+        # Both the gradient scatter and the parameter gather are encoded.
+        transform = 2.0 * sum(
+            _transform_time(b, size, compression) for b in bucket_bytes
+        )
+    scatter = 0.0
+    gather = 0.0
+    rounds = math.ceil(math.log2(size))
+    for nbytes in bucket_bytes:
+        wire = nbytes * wire_scale
+        if algorithm == "halving":
+            scale = ((size - 1) / size) / (1.0 - 0.5 ** rounds)
+            round_bytes = [scale * wire / (1 << (r + 1)) for r in range(rounds)]
+            scatter += sum(
+                _pipelined_round(b, b / wire_scale, n_chunks, params)
+                for b in round_bytes
+            )
+            gather += sum(_pipelined_round(b, 0.0, 1, params) for b in round_bytes)
+        else:
+            rs, ag = _ring_phase_times(wire, size, n_chunks, params)
+            # _ring_phase_times charges reduction on the wire bytes; the
+            # compressed ring decodes and combines dense values, so the
+            # gamma share stays dense regardless of wire_scale.
+            scatter += rs + (size - 1) * (wire / size) * (1.0 / wire_scale - 1.0) * params.gamma
+            gather += ag
+    return params.collective_overhead + scatter + update + gather + transform
+
+
 # ---------------------------------------------------------------------------
 # two-tier (hierarchical) cost model
 # ---------------------------------------------------------------------------

@@ -307,6 +307,32 @@ class GradientBucketer:
             buffers.append(buffer)
         return buffers
 
+    def shard_windows(
+        self,
+        world_size: int,
+        algorithm: str = "ring",
+        topology=None,
+    ) -> List[List[Tuple[int, int]]]:
+        """Per-bucket, per-rank owned windows for a sharded (ZeRO-1) exchange.
+
+        ``result[b][r]`` is the ``(lo, hi)`` window — in *bucket-local*
+        coordinates, i.e. offsets into bucket ``b``'s fusion buffer —
+        that rank ``r`` owns after a
+        :func:`repro.collectives.sharding.reduce_scatter` of that
+        bucket.  Sharding is aligned per bucket (each fusion buffer is
+        its own collective), so the windows follow the same ownership
+        map the collective uses; global flat coordinates are recovered
+        by adding ``bucket.start``.
+        """
+        from repro.collectives.sharding import shard_bounds
+
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        return [
+            shard_bounds(b.num_elements, world_size, algorithm, topology=topology)
+            for b in self.buckets
+        ]
+
     def unpack(self, buffers: Sequence[np.ndarray]) -> np.ndarray:
         """Reassemble the flat gradient from per-bucket buffers (bit-exact)."""
         if len(buffers) != self.num_buckets:

@@ -65,6 +65,11 @@ class TrainingConfig:
         ``compression_options`` merges extra codec options over the
         inline ones (e.g. ``{"error_feedback": True}``).  The ``"auto"``
         fusion knobs are tuned under the selected codec's cost model.
+    sharding:
+        ``"zero1"`` shards the optimizer states across ranks and runs the
+        update over a reduce-scatter/allgather exchange (ZeRO stage 1);
+        ``"none"`` keeps the replicated dense update.  Synchronous mode
+        only.
     quorum:
         Required number of fresh contributions for ``mode="quorum"``.
     learning_rate, optimizer, momentum, weight_decay:
@@ -135,6 +140,12 @@ class TrainingConfig:
     #: ``"auto"`` fusion values; ``None`` uses ``$REPRO_TUNING_CACHE_DIR``
     #: or ``~/.cache/repro/tuning``.
     tuning_cache_dir: Optional[str] = None
+    #: Optimizer-state sharding: ``"none"`` replicates optimizer state on
+    #: every rank; ``"zero1"`` (synchronous mode only) reduce-scatters each
+    #: fusion bucket, applies the optimizer update on the owned 1/P shard
+    #: and allgathers the refreshed parameters (ZeRO stage 1 — see
+    #: :class:`repro.training.exchange.ShardedExchange`).
+    sharding: str = "none"
     #: Paper-faithful single receive buffer for partial collectives: a
     #: lagging rank only sees the latest completed round (Section 5).
     #: Disable for exact per-round results (ablation).
@@ -211,6 +222,21 @@ class TrainingConfig:
 
             # Raises ValueError on unknown codec names or invalid options.
             get_codec(self.compression, **self.compression_options)
+        if self.sharding not in ("none", "zero1"):
+            raise ValueError(
+                f"sharding must be 'none' or 'zero1', got {self.sharding!r}"
+            )
+        if self.sharding == "zero1":
+            if self.mode != "sync":
+                raise ValueError(
+                    f"sharding='zero1' requires mode='sync', got mode={self.mode!r}"
+                )
+            if self.collect_gradient_norms:
+                raise ValueError(
+                    f"sharding={self.sharding!r} cannot collect gradient "
+                    f"norms: the sharded exchange never materialises the "
+                    f"full reduced gradient on any rank"
+                )
 
     @property
     def local_batch_size(self) -> int:
@@ -225,6 +251,8 @@ class TrainingConfig:
         """One-line description used in experiment reports."""
         if self.mode == "sync":
             variant = f"synch-SGD ({self.sync_style})"
+            if self.sharding == "zero1":
+                variant += ", zero1"
         else:
             variant = f"eager-SGD ({self.mode})"
             if self.mode == "quorum":

@@ -142,17 +142,28 @@ class DistributedSGD:
             if norm > self.gradient_clip > 0:
                 flat = flat * (self.gradient_clip / norm)
 
-        with _obs.span("exchange", "step", step=self.steps):
-            result: ExchangeResult = self.exchange.exchange(flat)
-        with _obs.span("update", "step", step=self.steps):
-            assign_flat_gradients(self.model, result.gradient)
-            self.optimizer.step()
+        if self.exchange.updates_parameters:
+            # Sharded (ZeRO-1) exchange: the collective pipeline applies
+            # the optimizer update on the owned shard and gathers the
+            # refreshed parameters, so there is no separate update phase.
+            with _obs.span("exchange", "step", step=self.steps):
+                result: ExchangeResult = self.exchange.exchange_update(
+                    flat, self.model, self.optimizer
+                )
+        else:
+            with _obs.span("exchange", "step", step=self.steps):
+                result = self.exchange.exchange(flat)
+            with _obs.span("update", "step", step=self.steps):
+                assign_flat_gradients(self.model, result.gradient)
+                self.optimizer.step()
 
         self.staleness.record(result.included)
         self.quorum.record(result.num_active)
         self.steps += 1
         grad_norm = (
-            float(np.linalg.norm(result.gradient)) if self.collect_gradient_norms else 0.0
+            float(np.linalg.norm(result.gradient))
+            if self.collect_gradient_norms and result.gradient is not None
+            else 0.0
         )
         return StepStats(
             loss=loss,

@@ -15,6 +15,14 @@ cover the systems compared in the paper's evaluation:
   quorum allreduce, including the stale-gradient accumulation semantics
   (handled inside :class:`repro.collectives.partial.PartialAllreduce`).
 
+A fourth, :class:`ShardedExchange` (``sharding="zero1"``), changes the
+contract: instead of returning a combined gradient it *applies the
+optimizer update itself* over a reduce-scatter → shard-local update →
+parameter-allgather pipeline, keeping each rank's optimizer state at
+1/P of the dense footprint (ZeRO stage 1).  Callers detect this via
+:attr:`GradientExchange.updates_parameters` and use
+:meth:`ShardedExchange.exchange_update`.
+
 Fusion buffers and pipelining
 -----------------------------
 Both multi-rank exchanges are *bucketed*: a
@@ -95,6 +103,11 @@ import numpy as np
 
 from repro.comm.communicator import Communicator
 from repro.collectives.partial import PartialAllreduce, PartialMode, make_partial_allreduce
+from repro.collectives.sharding import (
+    ALLGATHER_FOR_REDUCE_SCATTER,
+    allgather_flat,
+    reduce_scatter,
+)
 from repro.collectives.sync import (
     allgather,
     allreduce,
@@ -103,6 +116,7 @@ from repro.collectives.sync import (
     resolve_host_topology,
 )
 from repro.compression import BucketCompressor, GradientCodec, resolve_codec
+from repro.nn.parameters import assign_flat_parameters, flatten_parameters
 from repro.obs import recorder as _obs
 from repro.training.bucketing import GradientBucketer
 from repro.tuning.autotune import TunedPlan
@@ -115,8 +129,12 @@ CompressionSpec = Union[str, GradientCodec, None]
 class ExchangeResult:
     """Outcome of one gradient exchange on one rank."""
 
-    #: The combined (averaged) gradient to apply locally.
-    gradient: np.ndarray
+    #: The combined (averaged) gradient to apply locally.  ``None`` for
+    #: parameter-updating exchanges (:class:`ShardedExchange`): a ZeRO-1
+    #: rank only ever holds its owned gradient shard fully reduced, and
+    #: the update has already been applied to the model when the result
+    #: is returned.
+    gradient: Optional[np.ndarray]
     #: Whether this rank's freshly computed gradient was part of the
     #: combination (always true for synchronous exchanges; for bucketed
     #: partial exchanges: whether it was part of *every* bucket's round).
@@ -139,6 +157,11 @@ class GradientExchange:
     """Base class for gradient exchanges."""
 
     name = "base"
+    #: Whether :meth:`exchange_update` replaces the exchange → assign →
+    #: ``optimizer.step()`` pipeline (ZeRO-style exchanges update the
+    #: model parameters in place; the trainer must then skip its own
+    #: optimizer step).
+    updates_parameters = False
 
     def exchange(self, flat_gradient: np.ndarray) -> ExchangeResult:
         raise NotImplementedError
@@ -417,6 +440,265 @@ class SynchronousExchange(GradientExchange):
         return acc, encoded.nbytes
 
 
+def _payload_nbytes(data) -> int:
+    """Bytes of the array payload(s) in one send (0 for scalars/metadata)."""
+    nbytes = getattr(data, "nbytes", None)
+    if isinstance(nbytes, int):
+        return nbytes
+    if isinstance(data, tuple):
+        return sum(_payload_nbytes(item) for item in data)
+    return 0
+
+
+class _WireCountingComm:
+    """Pass-through communicator proxy counting the bytes this rank sends.
+
+    The sharded exchange reports *measured* update-path wire bytes — the
+    reduce-scatter and parameter-allgather hops this rank actually put
+    on the wire — instead of an analytic payload size, so the accounting
+    stays honest across algorithms, codecs and topologies without
+    teaching every collective to count.
+    """
+
+    def __init__(self, comm: Communicator) -> None:
+        self._comm = comm
+        self.bytes_sent = 0
+
+    def __getattr__(self, name):
+        return getattr(self._comm, name)
+
+    def send(self, data, dest: int, tag: int = 0) -> None:
+        self.bytes_sent += _payload_nbytes(data)
+        self._comm.send(data, dest, tag=tag)
+
+
+#: Sharded (reduce-scatter) algorithm run for each configured allreduce
+#: algorithm.  Recursive doubling has no reduce-scatter half (every rank
+#: accumulates the full vector), so it maps to the bandwidth-optimal ring.
+_SHARDED_ALGORITHM_FOR_ALLREDUCE = {
+    "recursive_doubling": "ring",
+    "ring": "ring",
+    "rabenseifner": "halving",
+    "hierarchical": "hierarchical",
+}
+
+
+class ShardedExchange(GradientExchange):
+    """ZeRO stage-1 exchange: scatter gradients, update a shard, gather params.
+
+    Instead of allreducing the gradient and redundantly running the full
+    optimizer update on every rank, each fusion bucket is reduce-scattered
+    (:func:`repro.collectives.sharding.reduce_scatter`) so each rank holds
+    one contiguous 1/P window fully reduced; the optimizer applies the
+    update — and lazily allocates momentum / moment state — for the owned
+    windows only (:meth:`repro.nn.optim.Optimizer.step_windows`); and an
+    allgather of the updated **parameters**
+    (:func:`~repro.collectives.sharding.allgather_flat`) restores the
+    replicated model.  Optimizer memory drops P-fold; the ring wire cost
+    stays at the ring allreduce's bandwidth-optimal volume (and well below
+    the default recursive-doubling exchange's), with the redundant P-1
+    optimizer applications gone from the critical path.
+
+    With the ring algorithm the pipeline is *bit-identical* to dense
+    ``allreduce(algorithm="ring", average=True)`` + a full optimizer
+    step: the reduce-scatter is the allreduce's own first phase, and the
+    update rules are elementwise.  The bitwise-equivalence test in
+    ``tests/test_sharded_training.py`` holds this to word-for-word
+    equality.
+
+    Parameters mirror :class:`SynchronousExchange` where they overlap.
+    ``algorithm`` is a sharded-collective name (``"ring"``, ``"halving"``,
+    ``"hierarchical"``); on a multi-host topology every bucket is routed
+    through the hierarchical schedule, as in the dense exchange.
+    ``compression`` accepts reduce-closed codecs only (the wire hop must
+    carry one encoded element per dense element) and rides the ring
+    schedule; note the *parameter* gather is then lossy-encoded too.
+    """
+
+    updates_parameters = True
+
+    def __init__(
+        self,
+        comm: Communicator,
+        algorithm: str = "ring",
+        fusion_buckets: int = 1,
+        fusion_threshold_bytes: Optional[int] = None,
+        pipeline_chunks: int = 1,
+        bucketer: Optional[GradientBucketer] = None,
+        plan: Optional[TunedPlan] = None,
+        compression: CompressionSpec = None,
+        compression_options: Optional[Dict] = None,
+    ) -> None:
+        if fusion_buckets < 1:
+            raise ValueError(f"fusion_buckets must be >= 1, got {fusion_buckets}")
+        fusion_threshold_bytes, pipeline_chunks = _apply_plan(
+            plan, comm, fusion_threshold_bytes, pipeline_chunks
+        )
+        if pipeline_chunks < 1:
+            raise ValueError(f"pipeline_chunks must be >= 1, got {pipeline_chunks}")
+        self._inner_comm = comm
+        self.comm = _WireCountingComm(comm)
+        self.host_topology = resolve_host_topology(comm)
+        if not self.host_topology.is_single_host:
+            # Multi-host fabrics route every bucket through the two-tier
+            # schedule so non-leader traffic stays off inter-host links.
+            algorithm = "hierarchical"
+        if algorithm not in ALLGATHER_FOR_REDUCE_SCATTER:
+            raise ValueError(
+                f"unknown sharded exchange algorithm {algorithm!r}; "
+                f"available: {sorted(ALLGATHER_FOR_REDUCE_SCATTER)}"
+            )
+        self.algorithm = algorithm
+        self.codec = resolve_codec(compression, compression_options)
+        if self.codec is not None:
+            if not self.codec.reduce_closed:
+                raise ValueError(
+                    f"sharded exchange supports reduce-closed codecs only "
+                    f"(fixed-width wire, e.g. fp16); {self.codec.name!r} needs "
+                    f"the decode-reduce-encode allgather of the dense exchange"
+                )
+            if algorithm != "ring":
+                raise ValueError(
+                    f"compressed sharded exchange rides the ring schedule "
+                    f"only, got algorithm {algorithm!r}"
+                )
+        self.fusion_buckets = fusion_buckets
+        self.fusion_threshold_bytes = fusion_threshold_bytes
+        self.pipeline_chunks = pipeline_chunks
+        self.name = "sync-zero1"
+        self._bucketer = bucketer
+        self._step = 0
+        self._pack_buffers: Optional[List[np.ndarray]] = None
+        self._param_buffers: Optional[List[np.ndarray]] = None
+        self._windows: Optional[List[List[Tuple[int, int]]]] = None
+
+    def _ensure_bucketer(self, num_parameters: int) -> GradientBucketer:
+        if self._bucketer is None:
+            self._bucketer = _resolve_bucketer(
+                num_parameters, None, self.fusion_threshold_bytes,
+                self.fusion_buckets, codec=self.codec,
+            )
+        elif self._bucketer.num_elements != num_parameters:
+            raise ValueError(
+                f"flat gradient has {num_parameters} elements but the "
+                f"exchange's bucketer covers {self._bucketer.num_elements}"
+            )
+        return self._bucketer
+
+    def _ensure_windows(self, bucketer: GradientBucketer) -> List[List[Tuple[int, int]]]:
+        if self._windows is None:
+            self._windows = bucketer.shard_windows(
+                self._inner_comm.size,
+                self.algorithm,
+                topology=self.host_topology
+                if self.algorithm == "hierarchical" else None,
+            )
+        return self._windows
+
+    def exchange(self, flat_gradient: np.ndarray) -> ExchangeResult:
+        raise RuntimeError(
+            "ShardedExchange applies the optimizer update itself; call "
+            "exchange_update(flat_gradient, model, optimizer) instead"
+        )
+
+    def exchange_update(self, flat_gradient: np.ndarray, model, optimizer) -> ExchangeResult:
+        """Reduce-scatter, update the owned shard, allgather the parameters.
+
+        One data-parallel step's whole update path: on return the model's
+        parameters hold the post-step values on every rank (the trainer
+        must not run ``optimizer.step()`` again).  ``optimizer`` state is
+        allocated for the owned windows only.
+        """
+        start = time.perf_counter()
+        flat = np.asarray(flat_gradient, dtype=np.float64)
+        bucketer = self._ensure_bucketer(flat.size)
+        windows = self._ensure_windows(bucketer)
+        rank = self._inner_comm.rank
+        sent_before = self.comm.bytes_sent
+        topology = (
+            self.host_topology if self.algorithm == "hierarchical" else None
+        )
+        with _obs.span("bucket-pack", "exchange", nbytes=flat.nbytes,
+                       buckets=bucketer.num_buckets):
+            buffers = bucketer.pack(flat, out=self._pack_buffers)
+        self._pack_buffers = buffers
+        flat_params = flatten_parameters(model)
+        if flat_params.size != flat.size:
+            raise ValueError(
+                f"model has {flat_params.size} parameters but the flat "
+                f"gradient has {flat.size} elements"
+            )
+        with _obs.span("param-pack", "exchange", nbytes=flat_params.nbytes):
+            params = bucketer.pack(flat_params, out=self._param_buffers)
+        self._param_buffers = params
+
+        bucket_waits = [0.0] * bucketer.num_buckets
+        for b in range(bucketer.num_buckets):
+            bucket_start = time.perf_counter()
+            if buffers[b].size:
+                with _obs.span("shard-scatter", "exchange", bucket=b,
+                               nbytes=buffers[b].nbytes):
+                    buffers[b], _window = reduce_scatter(
+                        self.comm,
+                        buffers[b],
+                        average=True,
+                        algorithm=self.algorithm,
+                        n_chunks=self.pipeline_chunks,
+                        # The packed fusion buffer is owned by this
+                        # exchange; reduce it in place.
+                        copy=False,
+                        codec=self.codec,
+                        topology=topology,
+                    )
+            bucket_waits[b] = time.perf_counter() - bucket_start
+
+        param_views: List[np.ndarray] = []
+        grad_views: List[np.ndarray] = []
+        keys: List[str] = []
+        for b, bucket in enumerate(bucketer.buckets):
+            lo, hi = windows[b][rank]
+            if hi > lo:
+                param_views.append(params[b][lo:hi])
+                grad_views.append(buffers[b][lo:hi])
+                # Global flat coordinates: stable across steps and across
+                # re-bucketing-free restarts, so per-window optimizer
+                # state survives checkpoint round-trips.
+                keys.append(f"{bucket.start + lo}:{bucket.start + hi}")
+        with _obs.span("shard-update", "exchange", windows=len(keys)):
+            # Every rank calls step_windows — also with zero owned windows
+            # (e.g. the fold's extra ranks under "halving") — so the step
+            # counter, and with it the LR schedule, stays rank-aligned.
+            optimizer.step_windows(param_views, grad_views, keys)
+
+        ag_algorithm = ALLGATHER_FOR_REDUCE_SCATTER[self.algorithm]
+        for b in range(bucketer.num_buckets):
+            bucket_start = time.perf_counter()
+            if params[b].size:
+                with _obs.span("shard-gather", "exchange", bucket=b,
+                               nbytes=params[b].nbytes):
+                    allgather_flat(
+                        self.comm,
+                        params[b],
+                        algorithm=ag_algorithm,
+                        n_chunks=self.pipeline_chunks,
+                        codec=self.codec,
+                        topology=topology,
+                    )
+            bucket_waits[b] += time.perf_counter() - bucket_start
+        with _obs.span("param-unpack", "exchange", nbytes=flat_params.nbytes):
+            assign_flat_parameters(model, bucketer.unpack(params))
+
+        self._step += 1
+        return ExchangeResult(
+            gradient=None,
+            included=True,
+            num_active=self._inner_comm.size,
+            wait_time=time.perf_counter() - start,
+            bucket_waits=tuple(bucket_waits),
+            wire_bytes=self.comm.bytes_sent - sent_before,
+        )
+
+
 class PartialExchange(GradientExchange):
     """Eager-SGD exchange over per-bucket partial allreduces.
 
@@ -595,10 +877,35 @@ def build_exchange(
     plan: Optional[TunedPlan] = None,
     compression: CompressionSpec = None,
     compression_options: Optional[Dict] = None,
+    sharding: str = "none",
 ) -> GradientExchange:
-    """Build the exchange matching a :class:`repro.training.TrainingConfig`."""
+    """Build the exchange matching a :class:`repro.training.TrainingConfig`.
+
+    ``sharding="zero1"`` selects the :class:`ShardedExchange` (synchronous
+    mode only): the configured allreduce ``algorithm`` is mapped onto the
+    matching reduce-scatter/allgather pair via
+    :data:`_SHARDED_ALGORITHM_FOR_ALLREDUCE`.
+    """
+    if sharding not in ("none", "zero1"):
+        raise ValueError(f"unknown sharding mode {sharding!r}; use 'none' or 'zero1'")
     if comm is None or comm.size == 1:
         return SingleProcessExchange()
+    if sharding == "zero1":
+        if mode != "sync":
+            raise ValueError(
+                f"sharding='zero1' requires mode='sync' (the partial "
+                f"collectives replicate optimizer state), got mode={mode!r}"
+            )
+        return ShardedExchange(
+            comm,
+            algorithm=_SHARDED_ALGORITHM_FOR_ALLREDUCE.get(algorithm, algorithm),
+            fusion_buckets=fusion_buckets,
+            fusion_threshold_bytes=fusion_threshold_bytes,
+            pipeline_chunks=pipeline_chunks,
+            plan=plan,
+            compression=compression,
+            compression_options=compression_options,
+        )
     if mode == "sync":
         return SynchronousExchange(
             comm,

@@ -98,6 +98,7 @@ def _rank_main(
         pipeline_chunks=config.pipeline_chunks,
         compression=config.compression,
         compression_options=config.compression_options,
+        sharding=config.sharding,
     )
     sgd = DistributedSGD(
         model,

@@ -28,6 +28,7 @@ from repro.simtime.collective_model import (
     CompressionModel,
     fused_exchange_time,
     hierarchical_fused_exchange_time,
+    sharded_exchange_time,
 )
 from repro.simtime.network import LogGPParams
 from repro.tuning.calibration import CalibratedProfile, calibrate
@@ -182,12 +183,19 @@ def predict_exchange_time(
     compression: Optional[CompressionModel] = None,
     ranks_per_host: Optional[Sequence[int]] = None,
     inter_params: Optional[LogGPParams] = None,
+    sharding: str = "none",
 ) -> float:
     """Modelled duration of one bucketed gradient exchange.
 
     With ``compression``, the fusion threshold budgets the *encoded*
     bucket size (mirroring the exchange's wire-width bucketing), and the
     codec's wire/transform terms enter the cost model.
+
+    ``sharding="zero1"`` scores the ZeRO-1 reduce-scatter/allgather
+    exchange (:func:`~repro.simtime.collective_model.sharded_exchange_time`)
+    instead: the configured allreduce ``algorithm`` is mapped onto the
+    matching sharded schedule, and multi-host fabrics are approximated by
+    the flat ring at the full world size.
 
     ``ranks_per_host`` with more than one host scores the *two-tier*
     schedules the exchange runs on a multi-host fabric
@@ -202,6 +210,15 @@ def predict_exchange_time(
     bucket_bytes = plan_bucket_bytes(
         gradient_bytes, fusion_threshold_bytes, compression
     )
+    if sharding == "zero1":
+        return sharded_exchange_time(
+            bucket_bytes,
+            world_size,
+            algorithm="halving" if algorithm == "rabenseifner" else "ring",
+            params=params,
+            n_chunks=pipeline_chunks,
+            compression=compression,
+        )
     multi_host = ranks_per_host is not None and len(ranks_per_host) > 1
     if multi_host and (
         compression is None or compression.is_identity or compression.reduce_closed
@@ -297,6 +314,7 @@ def autotune(
     compression_model: Optional[CompressionModel] = None,
     ranks_per_host: Optional[Sequence[int]] = None,
     inter_params: Optional[LogGPParams] = None,
+    sharding: str = "none",
 ) -> TunedPlan:
     """Pick ``(fusion_threshold_bytes, pipeline_chunks)`` for one exchange shape.
 
@@ -324,6 +342,12 @@ def autotune(
     as the inter tier — so the recommendation is a *per-tier* fusion
     threshold: the knee moves because only the leader ring pays the slow
     links.  Live trials then run on the matching simulated topology.
+
+    ``sharding="zero1"`` scores the grid with the sharded-exchange model
+    (:func:`predict_exchange_time` routes to
+    :func:`~repro.simtime.collective_model.sharded_exchange_time`); live
+    trials are skipped — the measurement harness runs the dense exchange
+    and would dispose with the wrong schedule.
     """
     if world_size < 1:
         raise ValueError(f"size must be >= 1, got {world_size}")
@@ -338,6 +362,8 @@ def autotune(
         raise ValueError(f"gradient_bytes must be >= 1, got {gradient_bytes}")
     if live_trials < 0:
         raise ValueError(f"live_trials must be non-negative, got {live_trials}")
+    if sharding == "zero1":
+        live_trials = 0
     thresholds = tuple(thresholds) if thresholds is not None else DEFAULT_THRESHOLD_GRID
     chunks = tuple(chunks) if chunks is not None else DEFAULT_CHUNK_GRID
     if not thresholds or not chunks:
@@ -363,6 +389,7 @@ def autotune(
         params, world_size, gradient_bytes, algorithm,
         DEFAULT_FIXED_THRESHOLD_BYTES, 1, compression_model,
         ranks_per_host=ranks_per_host, inter_params=inter_params,
+        sharding=sharding,
     )
 
     # Score the grid; dedupe candidates that bucket identically.
@@ -376,6 +403,7 @@ def autotune(
                 params, world_size, gradient_bytes, algorithm, threshold, n_chunks,
                 compression_model,
                 ranks_per_host=ranks_per_host, inter_params=inter_params,
+                sharding=sharding,
             )
             if key not in seen or predicted < seen[key][0]:
                 seen[key] = (predicted, threshold, n_chunks)
@@ -532,6 +560,7 @@ def resolve_auto_fusion(
         thresholds=thresholds,
         chunks=chunks,
         compression_model=compression_model,
+        sharding=getattr(config, "sharding", "none"),
     )
     return replace(
         config,
